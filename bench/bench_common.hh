@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: scale control
+ * (MOPT_BENCH_FULL=1 restores paper-scale parameters) and banner
+ * printing.
+ */
+
+#ifndef MOPT_BENCH_BENCH_COMMON_HH
+#define MOPT_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/flags.hh"
+
+namespace mopt {
+
+/** Print the harness banner and the active scale mode. */
+inline void
+benchBanner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "=== " << title << " ===\n";
+    std::cout << "Reproduces: " << paper_ref << "\n";
+    std::cout << "Scale: "
+              << (benchFullScale()
+                      ? "FULL (paper-scale; MOPT_BENCH_FULL=1)"
+                      : "reduced (set MOPT_BENCH_FULL=1 for paper scale)")
+              << "\n\n";
+}
+
+/** Pick @p full when MOPT_BENCH_FULL=1, else @p reduced. */
+template <typename T>
+T
+scaled(T reduced, T full)
+{
+    return benchFullScale() ? full : reduced;
+}
+
+} // namespace mopt
+
+#endif // MOPT_BENCH_BENCH_COMMON_HH

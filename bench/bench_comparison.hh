@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Shared driver for the Figs. 7/8 reproduction: per-operator GFLOPS
+ * of MOpt-1, MOpt-5, the oneDNN-style library, and the TVM-style
+ * auto-tuner, normalized to the auto-tuner (the paper normalizes to
+ * TVM).
+ *
+ * Default mode scores every system on the *simulated testbed*
+ * (cachesim/sim_machine): downscaled operators against a
+ * capacity-scaled machine preset, exact LRU traffic converted to
+ * bandwidth-scaled time with the Sec. 7 parallel structure. This is
+ * the DESIGN.md substitution for the authors' hardware: all three
+ * systems are compared on the same machine model, the auto-tuner
+ * "executes" its trials on that machine, and the comparison is
+ * deterministic.
+ *
+ * MOPT_BENCH_WALLCLOCK=1 switches to real execution on the host
+ * (meaningful only on a multi-core machine resembling the preset —
+ * the paper's original methodology).
+ */
+
+#ifndef MOPT_BENCH_BENCH_COMPARISON_HH
+#define MOPT_BENCH_BENCH_COMPARISON_HH
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/autotuner.hh"
+#include "baselines/heuristic_lib.hh"
+#include "bench_common.hh"
+#include "cachesim/sim_machine.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "exec/measure.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+
+/** True when real host execution was requested. */
+inline bool
+benchWallclock()
+{
+    const char *v = std::getenv("MOPT_BENCH_WALLCLOCK");
+    return v != nullptr && v[0] == '1';
+}
+
+/**
+ * Ratio-based simulation twin of an operator: divide the spatial and
+ * channel extents (instead of capping them) so different Table-1
+ * layers keep *different* downscaled shapes, preserving the relative
+ * variety the comparison figures rely on. k stays a multiple of the
+ * 16-wide microkernel block where possible.
+ */
+inline ConvProblem
+simTwin(const ConvProblem &orig, std::int64_t hw_div, std::int64_t ch_div,
+        std::int64_t hw_cap, std::int64_t ch_cap)
+{
+    ConvProblem p = orig;
+    const auto shrink = [](std::int64_t v, std::int64_t div,
+                           std::int64_t lo, std::int64_t cap) {
+        return std::clamp(v / div, std::min(v, lo), std::min(v, cap));
+    };
+    p.h = shrink(orig.h, hw_div, 8, hw_cap);
+    p.w = shrink(orig.w, hw_div, 8, hw_cap);
+    p.k = shrink(orig.k, ch_div, 16, ch_cap);
+    p.c = shrink(orig.c, ch_div, 16, ch_cap);
+    if (p.k >= 16)
+        p.k = (p.k / 16) * 16;
+    if (p != orig)
+        p.name = orig.name + "-tw";
+    p.validate();
+    return p;
+}
+
+inline void
+runComparison(const MachineSpec &machine, int exec_threads)
+{
+    const bool wallclock = benchWallclock();
+    const int tuner_trials = scaled(16, 1000);
+
+    // Simulated mode: downscale operators and the machine's capacities
+    // by matched factors so the problem-to-cache ratios (and thus the
+    // bottleneck structure) survive, while trace simulation stays
+    // fast. L3 is compressed hardest so the twins stay several times
+    // larger than it — on the real machines every Table-1 operator
+    // exceeds L3, and that is what makes tiling quality matter.
+    const std::int64_t max_hw =
+        wallclock ? scaled<std::int64_t>(68, 1 << 20)
+                  : scaled<std::int64_t>(16, 28);
+    const std::int64_t max_ch =
+        wallclock ? scaled<std::int64_t>(512, 1 << 20)
+                  : scaled<std::int64_t>(64, 128);
+    // L1 is scaled more gently than L2/L3 so the microkernel's
+    // register tile (twice as wide on AVX-512) keeps the same
+    // proportion of L1 it has on the real machines.
+    const MachineSpec m = wallclock
+                              ? machine
+                              : scaledMachine(machine, 16, 32, 512);
+
+    std::vector<ConvProblem> problems;
+    {
+        std::vector<std::string> names;
+        if (benchFullScale()) {
+            for (const auto &w : allWorkloads())
+                names.push_back(w.name);
+        } else {
+            names = {"Y2", "Y5", "Y9", "Y12", "R2", "R3",
+                     "R8", "R9", "M1", "M3", "M5", "M7"};
+        }
+        for (const auto &n : names) {
+            const ConvProblem orig = workloadByName(n);
+            problems.push_back(
+                wallclock
+                    ? orig.downscaled(max_hw, max_ch)
+                    : simTwin(orig, scaled(4, 2), scaled(4, 2),
+                              max_hw, max_ch));
+        }
+    }
+
+    const int threads = std::min<int>(
+        exec_threads,
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+    std::cout << "Machine model: " << m.name << ", mode: "
+              << (wallclock
+                      ? "wall-clock (" + std::to_string(threads) +
+                            " threads on this host)"
+                      : "simulated testbed (deterministic)")
+              << "\n\n";
+
+    Table t({"Layer", "MOpt-1", "MOpt-5", "oneDNN-sub", "TVM-sub",
+             "MOpt-1/TVM", "MOpt-5/TVM", "oneDNN/TVM"});
+
+    std::vector<double> r_m1, r_m5, r_lib;
+    for (const auto &p : problems) {
+        // GFLOPS of one configuration under the active mode.
+        auto score = [&](const ExecConfig &cfg) {
+            if (wallclock) {
+                MeasureOptions mo;
+                mo.reps = scaled(3, 50);
+                mo.warmups = 1;
+                mo.threads = threads;
+                return measureConfig(p, cfg, mo).mean_gflops;
+            }
+            return simulateTime(p, cfg, m, true).gflops;
+        };
+
+        // MOpt candidates (top-1 and best-of-top-5, as in the paper).
+        OptimizerOptions oo;
+        oo.effort = benchFullScale()
+                        ? OptimizerOptions::Effort::Standard
+                        : OptimizerOptions::Effort::Fast;
+        oo.parallel = true;
+        const OptimizeOutput opt = optimizeConv(p, m, oo);
+        const double g1 = score(opt.candidates.front().config);
+        double g5 = g1;
+        for (std::size_t i = 1; i < opt.candidates.size(); ++i)
+            g5 = std::max(g5, score(opt.candidates[i].config));
+
+        // oneDNN-style library (fixed blocking, no search).
+        const double glib = score(heuristicConfig(p, m));
+
+        // TVM-style auto-tuner: its per-trial "execution" runs on the
+        // same testbed it is being compared on.
+        TunerOptions to;
+        to.trials = tuner_trials;
+        to.seed = 2021;
+        MeasureFn measure;
+        if (wallclock) {
+            measure = makeExecutionMeasure(p, threads);
+        } else {
+            measure = [&](const ExecConfig &cfg) {
+                return simulateTime(p, cfg, m, true).total_seconds;
+            };
+        }
+        const TunerResult tuned = autotune(p, m, measure, to);
+        const double gtvm = score(tuned.best);
+
+        r_m1.push_back(g1 / gtvm);
+        r_m5.push_back(g5 / gtvm);
+        r_lib.push_back(glib / gtvm);
+
+        t.row()
+            .add(p.name)
+            .add(g1, 1)
+            .add(g5, 1)
+            .add(glib, 1)
+            .add(gtvm, 1)
+            .add(r_m1.back(), 2)
+            .add(r_m5.back(), 2)
+            .add(r_lib.back(), 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nGeomean speedups vs TVM-sub: MOpt-1 "
+              << geomean(r_m1) << "x, MOpt-5 " << geomean(r_m5)
+              << "x, oneDNN-sub " << geomean(r_lib) << "x\n";
+    std::cout << "Geomean MOpt-5 vs oneDNN-sub: "
+              << geomean(r_m5) / geomean(r_lib) << "x\n";
+    std::cout << "(Paper geomeans vs TVM on " << machine.name
+              << ": 1.4x-1.8x for MOpt; vs oneDNN: 1.1x-1.4x. Expected "
+                 "shape: MOpt-5 >= MOpt-1 >= baselines on most "
+                 "operators.)\n";
+}
+
+} // namespace mopt
+
+#endif // MOPT_BENCH_BENCH_COMPARISON_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fig. 5 reproduction: loss-of-performance of model-selected
+ * configurations versus the best of a ~100-point uniform sample of
+ * the tiling space, for all 32 Table-1 operators (single-core, as in
+ * Sec. 9). Reports top-1 / top-2 / top-5 losses; the paper observes
+ * top-5 loss below 4.5% everywhere and below 3% for 30 of 32.
+ *
+ * Default mode scores configurations on the simulated testbed
+ * (downscaled operator twins against a capacity-scaled i7-9700K);
+ * MOPT_BENCH_WALLCLOCK=1 restores single-core host execution.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/grid_sampler.hh"
+#include "bench_common.hh"
+#include "bench_comparison.hh"
+#include "cachesim/sim_machine.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "exec/measure.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Fig. 5: model-selected vs sampled-best performance",
+                "Fig. 5 (top-1/2/5 loss over ~100 grid-sampled configs,"
+                " single core)");
+    const bool wallclock = benchWallclock();
+
+    const int nconfigs = scaled(24, 100);
+    const std::int64_t max_hw =
+        wallclock ? scaled<std::int64_t>(28, 1 << 20)
+                  : scaled<std::int64_t>(20, 32);
+    const std::int64_t max_ch =
+        wallclock ? scaled<std::int64_t>(128, 1 << 20)
+                  : scaled<std::int64_t>(32, 64);
+    // Simulated twin: L3 compressed harder than L1/L2 so the memory
+    // boundary still carries capacity misses for the downscaled
+    // operators (real L3/L1 ratios are in the hundreds).
+    const MachineSpec m = wallclock
+                              ? i7_9700k()
+                              : scaledMachine(i7_9700k(), 32, 32, 256);
+    std::cout << "Mode: "
+              << (wallclock ? "wall-clock (single host core)"
+                            : "simulated testbed")
+              << ", machine " << m.name << ", " << nconfigs
+              << " sampled configs per operator\n\n";
+
+    Rng rng(2021);
+    Table t({"Layer", "top-1 loss %", "top-2 loss %", "top-5 loss %",
+             "best GFLOPS"});
+    std::vector<double> top1s, top5s;
+
+    for (const auto &orig : allWorkloads()) {
+        const ConvProblem p = orig.downscaled(max_hw, max_ch);
+        SamplerOptions sopts;
+        sopts.count = nconfigs;
+        // Sample inside the model's validity regime (Sec. 2.2): tile
+        // footprints of at least half the level capacity, since two
+        // adjacent tiles must exceed it.
+        sopts.min_fill = 0.5;
+        const auto configs = sampleConfigs(p, m, rng, sopts);
+
+        std::vector<double> predicted, measured;
+        for (const auto &cfg : configs) {
+            // Rank by predicted time, breaking compute-bound ties by
+            // the paper's objective (bandwidth-scaled volume at the
+            // most constraining level): when many configurations are
+            // predicted compute-bound, the one moving the least data
+            // is the safest pick.
+            const CostBreakdown cb = evalMultiLevel(cfg, p, m, false);
+            predicted.push_back(
+                cb.total_seconds +
+                1e-6 * cb.seconds[static_cast<std::size_t>(cb.bottleneck)]);
+            if (wallclock) {
+                MeasureOptions mo;
+                mo.reps = scaled(2, 5);
+                mo.warmups = 1;
+                mo.threads = 1;
+                mo.flush_bytes = 16ll << 20;
+                measured.push_back(measureConfig(p, cfg, mo).mean_seconds);
+            } else {
+                measured.push_back(
+                    simulateTime(p, cfg, m, false).total_seconds);
+            }
+        }
+
+        const double best_meas = minValue(measured);
+        const auto order = smallestK(predicted, 5);
+        auto loss = [&](std::size_t k) {
+            double best_topk = measured[order[0]];
+            for (std::size_t i = 1; i < std::min(k, order.size()); ++i)
+                best_topk = std::min(best_topk, measured[order[i]]);
+            return 100.0 * (1.0 - best_meas / best_topk);
+        };
+
+        const double l1 = loss(1), l2 = loss(2), l5 = loss(5);
+        top1s.push_back(l1);
+        top5s.push_back(l5);
+        t.row()
+            .add(orig.name)
+            .add(l1, 1)
+            .add(l2, 1)
+            .add(l5, 1)
+            .add(p.flops() / best_meas / 1e9, 1);
+    }
+    t.print(std::cout);
+
+    int below3 = 0;
+    for (double l : top5s)
+        below3 += l <= 3.0;
+    std::cout << "\nSummary: max top-1 loss " << maxValue(top1s)
+              << "%, max top-5 loss " << maxValue(top5s) << "%, "
+              << below3 << "/" << top5s.size()
+              << " operators with top-5 loss <= 3%\n";
+    std::cout << "(Paper: top-5 loss < 4.5% for all 32, < 3% for 30 of "
+                 "32.)\n";
+    return 0;
+}

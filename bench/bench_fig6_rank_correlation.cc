@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fig. 6 reproduction: model-predicted rank ordering versus measured
+ * performance and per-level data movement for Resnet9, Mobnet2, and
+ * Yolo5.
+ *
+ * Default mode scores configurations on the simulated testbed
+ * (downscaled twins against a capacity-scaled i7-9700K): performance
+ * is simulated GFLOPS, the reg/L1/L2/L3 "counters" are the LRU
+ * hierarchy's per-boundary traffic — the direct analogue of the
+ * paper's Likwid measurements on an idealized machine.
+ * MOPT_BENCH_WALLCLOCK=1 measures performance by real single-core
+ * execution instead (counters stay simulated).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "baselines/grid_sampler.hh"
+#include "bench_common.hh"
+#include "bench_comparison.hh"
+#include "cachesim/sim_machine.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "exec/measure.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Fig. 6: predicted rank vs measurements and counters",
+                "Fig. 6 (Resnet9 / Mobnet2 / Yolo5; perf + reg/L1/L2/L3"
+                " movement vs predicted order)");
+    const bool wallclock = benchWallclock();
+
+    const int nconfigs = scaled(16, 60);
+    const std::int64_t max_hw = scaled<std::int64_t>(20, 32);
+    const std::int64_t max_ch = scaled<std::int64_t>(32, 64);
+    const MachineSpec m = scaledMachine(i7_9700k(), 32, 32, 256);
+    std::cout << "Simulated machine: " << m.name << " (L1 "
+              << m.capacityWords(LvlL1) << "w, L2 "
+              << m.capacityWords(LvlL2) << "w, L3 "
+              << m.capacityWords(LvlL3) << "w)\n\n";
+
+    for (const char *name : {"R9", "M2", "Y5"}) {
+        const ConvProblem p =
+            workloadByName(name).downscaled(max_hw, max_ch);
+        Rng rng(99);
+        SamplerOptions sopts;
+        sopts.count = nconfigs;
+        // Sample inside the model's validity regime (Sec. 2.2): tile
+        // footprints of at least half the level capacity, since two
+        // adjacent tiles must exceed it.
+        sopts.min_fill = 0.5;
+        const auto configs = sampleConfigs(p, m, rng, sopts);
+
+        std::vector<double> predicted, perf, regs, l1, l2, l3;
+        std::vector<int> pred_lvl;
+        for (const auto &cfg : configs) {
+            const CostBreakdown cb = evalMultiLevel(cfg, p, m, false);
+            predicted.push_back(
+                cb.total_seconds +
+                1e-6 *
+                    cb.seconds[static_cast<std::size_t>(cb.bottleneck)]);
+            pred_lvl.push_back(cb.bottleneck);
+
+            const SimTimeBreakdown sim = simulateTime(p, cfg, m, false);
+            if (wallclock) {
+                MeasureOptions mo;
+                mo.reps = scaled(2, 5);
+                mo.threads = 1;
+                mo.flush_bytes = 16ll << 20;
+                perf.push_back(p.flops() /
+                               measureConfig(p, cfg, mo).mean_seconds /
+                               1e9);
+            } else {
+                perf.push_back(sim.gflops);
+            }
+            regs.push_back(sim.volume_words[LvlReg]);
+            l1.push_back(sim.volume_words[LvlL1]);
+            l2.push_back(sim.volume_words[LvlL2]);
+            l3.push_back(sim.volume_words[LvlL3]);
+        }
+
+        // Order configurations by predicted performance (best first).
+        std::vector<std::size_t> order(configs.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return predicted[a] < predicted[b];
+                  });
+
+        // Majority predicted bottleneck across the sample.
+        std::array<int, NumMemLevels> lvl_count{};
+        for (int l : pred_lvl)
+            ++lvl_count[static_cast<std::size_t>(l)];
+        int headline = 0;
+        for (int l = 1; l < NumMemLevels; ++l)
+            if (lvl_count[static_cast<std::size_t>(l)] >
+                lvl_count[static_cast<std::size_t>(headline)])
+                headline = l;
+
+        std::cout << "--- " << name << " (" << p.summary()
+                  << "), predicted bottleneck mostly "
+                  << memLevelName(headline) << " ---\n";
+        Table t({"pred rank", "GFLOPS", "reg words", "L1 words",
+                 "L2 words", "L3 words"});
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            const std::size_t c = order[i];
+            t.row()
+                .add(static_cast<long long>(i + 1))
+                .add(perf[c], 2)
+                .add(regs[c], 0)
+                .add(l1[c], 0)
+                .add(l2[c], 0)
+                .add(l3[c], 0);
+        }
+        t.print(std::cout);
+
+        std::vector<double> neg_perf;
+        for (double g : perf)
+            neg_perf.push_back(-g); // lower predicted cost ~ higher perf
+        std::cout << "Spearman(predicted cost, 1/perf)      = "
+                  << spearman(predicted, neg_perf) << "\n";
+        std::cout << "Spearman(predicted cost, reg traffic) = "
+                  << spearman(predicted, regs) << "\n";
+        std::cout << "Spearman(predicted cost, L1 traffic)  = "
+                  << spearman(predicted, l1) << "\n";
+        std::cout << "Spearman(predicted cost, L2 traffic)  = "
+                  << spearman(predicted, l2) << "\n";
+        std::cout << "Spearman(predicted cost, L3 traffic)  = "
+                  << spearman(predicted, l3) << "\n\n";
+    }
+    std::cout << "The paper's Fig. 6 shows strong correlation for the "
+                 "predicted bottleneck level and weak\ncorrelation "
+                 "elsewhere; the first Spearman row is the headline "
+                 "relationship.\n";
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fig. 7 reproduction: performance relative to the TVM-style
+ * auto-tuner (plus the oneDNN-style library and MOpt-1/MOpt-5) on the
+ * i7-9700K machine model, 8 threads, with 95% confidence intervals.
+ */
+
+#include "bench_comparison.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Fig. 7: MOpt vs oneDNN-sub vs TVM-sub (i7-9700K model)",
+                "Fig. 7 (GFLOPS relative to TVM, 8 threads, 95% CI)");
+    runComparison(i7_9700k(), 8);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Fig. 8 reproduction: performance relative to the TVM-style
+ * auto-tuner (plus the oneDNN-style library and MOpt-1/MOpt-5) on the
+ * i9-10980XE machine model, 16 threads, with 95% confidence
+ * intervals (the paper uses 16 of the 18 cores).
+ */
+
+#include "bench_comparison.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Fig. 8: MOpt vs oneDNN-sub vs TVM-sub (i9-10980XE model)",
+                "Fig. 8 (GFLOPS relative to TVM, 16 threads, 95% CI)");
+    runComparison(i9_10980xe(), 16);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sec. 9 model validation (counter-level): analytical per-level data
+ * volumes vs traffic simulated on the idealized fully-associative LRU
+ * hierarchy, for downscaled Table-1 operators and sampled
+ * configurations. Reports per-level Spearman rank correlation and the
+ * median model/sim ratio.
+ */
+
+#include <iostream>
+
+#include "baselines/grid_sampler.hh"
+#include "bench_common.hh"
+#include "cachesim/conv_trace.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Model vs simulated cache traffic",
+                "Sec. 9 (analytical DV vs per-level counters)");
+
+    // Downscaled operators keep element-granularity simulation cheap;
+    // the tiny machine's capacities are scaled in proportion.
+    const MachineSpec m = tinyTestMachine();
+    const int nconfigs = scaled(12, 60);
+    const std::int64_t max_hw = scaled<std::int64_t>(12, 28);
+    const std::int64_t max_ch = scaled<std::int64_t>(32, 64);
+
+    Rng rng(7);
+    Table t({"Workload", "configs", "rho(L1)", "rho(L2)", "rho(mem)",
+             "med model/sim (mem)"});
+
+    for (const char *name : {"Y2", "Y9", "R2", "R9", "M1", "M5"}) {
+        const ConvProblem p = workloadByName(name).downscaled(max_hw,
+                                                              max_ch);
+        SamplerOptions sopts;
+        sopts.count = nconfigs;
+        sopts.fit_capacity = true;
+        const auto configs = sampleConfigs(p, m, rng, sopts);
+
+        std::vector<double> model_l1, model_l2, model_mem;
+        std::vector<double> sim_l1, sim_l2, sim_mem, ratio;
+        for (const auto &cfg : configs) {
+            const CostBreakdown cb = evalMultiLevel(cfg, p, m, false);
+            const TraceStats ts = simulateConvTrace(p, cfg, m);
+            model_l1.push_back(cb.volume_words[LvlL1]);
+            model_l2.push_back(cb.volume_words[LvlL2]);
+            model_mem.push_back(cb.volume_words[LvlL3]);
+            sim_l1.push_back(static_cast<double>(ts.level_words[0]));
+            sim_l2.push_back(static_cast<double>(ts.level_words[1]));
+            sim_mem.push_back(static_cast<double>(ts.level_words[2]));
+            ratio.push_back(cb.volume_words[LvlL3] /
+                            std::max(1.0, sim_mem.back()));
+        }
+        t.row()
+            .add(p.name)
+            .add(static_cast<long long>(configs.size()))
+            .add(spearman(model_l1, sim_l1), 2)
+            .add(spearman(model_l2, sim_l2), 2)
+            .add(spearman(model_mem, sim_mem), 2)
+            .add(median(ratio), 2);
+    }
+    t.print(std::cout);
+    std::cout << "\nrho = Spearman rank correlation between the "
+                 "analytical DV and simulated traffic at each\n"
+                 "boundary (paper Fig. 6 shows the same monotone "
+                 "relationship on hardware counters).\n"
+                 "model/sim > 1 is expected: the model conservatively "
+                 "assumes no reuse survives a\npresent-index tile-loop "
+                 "boundary.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 1 reproduction: the 32 conv2d operator configurations of
+ * Yolo-9000, ResNet-18, and MobileNet, with derived output extents,
+ * MAC counts, and tensor sizes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/string_util.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Table 1: conv2d operator configurations",
+                "Table 1 (Yolo-9000 left, ResNet-18 middle, MobileNet "
+                "right)");
+
+    Table t({"Layer", "K", "C", "H/W(out)", "R/S", "stride", "GFLOP",
+             "In(MB)", "Ker(MB)", "Out(MB)"});
+    for (const auto &p : allWorkloads()) {
+        t.row()
+            .add(p.name)
+            .add(static_cast<long long>(p.k))
+            .add(static_cast<long long>(p.c))
+            .add(static_cast<long long>(p.h))
+            .add(static_cast<long long>(p.r))
+            .add(static_cast<long long>(p.stride))
+            .add(p.flops() / 1e9, 3)
+            .add(static_cast<double>(p.inSize()) * 4 / 1e6, 2)
+            .add(static_cast<double>(p.kerSize()) * 4 / 1e6, 2)
+            .add(static_cast<double>(p.outSize()) * 4 / 1e6, 2);
+    }
+    t.print(std::cout);
+
+    double total_flops = 0.0;
+    for (const auto &p : allWorkloads())
+        total_flops += p.flops();
+    std::cout << "\nTotal work across the 32 operators: "
+              << formatEng(total_flops) << "FLOP\n";
+    return 0;
+}

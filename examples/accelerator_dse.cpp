@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Portability demonstration (paper Sec. 12: "GPUs, FPGAs,
+ * distributed-memory systems, and accelerator arrays can be
+ * abstracted in a similar manner, as hierarchical systems with memory
+ * capacity at each level"): define a custom accelerator-like machine
+ * — a small per-PE register file, a modest scratchpad, a large
+ * on-chip SRAM, and an HBM-class memory interface — and watch the
+ * optimizer's chosen tilings shift as the memory bandwidth is swept
+ * from DDR-class to HBM-class.
+ *
+ *   ./accelerator_dse [--layer=Y12] [--pes=64]
+ */
+
+#include <iostream>
+
+#include "common/flags.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace {
+
+/**
+ * A spatial-accelerator-shaped hierarchy: the "cores" are PEs, the
+ * "caches" are software-managed buffers. Capacities follow typical
+ * NPU proportions (1 KB register file slice, 64 KB scratchpad per PE,
+ * 8 MB global SRAM).
+ */
+mopt::MachineSpec
+acceleratorMachine(int pes, double dram_gbps)
+{
+    mopt::MachineSpec m;
+    m.name = "npu-" + std::to_string(pes) + "pe@" +
+             std::to_string(static_cast<int>(dram_gbps)) + "GB/s";
+    m.cores = pes;
+    m.vec_lanes = 16; // one 16-wide MAC row per PE
+    m.fma_units = 1;
+    m.fma_latency = 4;
+    m.vec_registers = 32;
+    m.freq_ghz = 1.0;
+    m.levels[mopt::LvlReg] = {32 * 16 * 4, 512.0, 512.0};
+    m.levels[mopt::LvlL1] = {64 * 1024, 256.0, 256.0};   // scratchpad
+    m.levels[mopt::LvlL2] = {512 * 1024, 128.0, 64.0};   // cluster buf
+    m.levels[mopt::LvlL3] = {8 * 1024 * 1024, dram_gbps,
+                             dram_gbps * 2.0};           // SRAM<->DRAM
+    m.validate();
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    const ConvProblem p = workloadByName(flags.getString("layer", "Y12"));
+    const int pes = static_cast<int>(flags.getInt("pes", 64));
+
+    std::cout << "Operator: " << p.summary() << "\n";
+    std::cout << "Sweeping DRAM bandwidth on a " << pes
+              << "-PE accelerator model; the analytical machinery is\n"
+                 "machine-agnostic — only the MachineSpec changes.\n\n";
+
+    Table t({"DRAM GB/s", "class", "L2 tile", "L3 tile", "bottleneck",
+             "pred GFLOPS"});
+    for (const double gbps : {25.0, 100.0, 400.0, 1600.0}) {
+        const MachineSpec m = acceleratorMachine(pes, gbps);
+        OptimizerOptions opts;
+        opts.parallel = true;
+        opts.effort = OptimizerOptions::Effort::Fast;
+        const OptimizeOutput out = optimizeConv(p, m, opts);
+        const Candidate &best = out.candidates.front();
+        t.row()
+            .add(gbps, 0)
+            .add(best.perm_label)
+            .add(tilesToString(best.config.tiles[LvlL2]))
+            .add(tilesToString(best.config.tiles[LvlL3]))
+            .add(memLevelName(best.predicted.bottleneck))
+            .add(best.predicted.gflops, 1);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAt DDR-class bandwidth the memory boundary dominates "
+                 "and the optimizer grows outer\ntiles to maximize "
+                 "on-chip reuse; as bandwidth approaches HBM class the "
+                 "bottleneck\nmigrates inward (scratchpad or compute) "
+                 "and the tile shapes follow.\n";
+    return 0;
+}

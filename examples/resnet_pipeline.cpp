@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ResNet-18 pipeline: optimize and execute all twelve conv2d stages
+ * (the paper's primary benchmark suite), reporting per-stage and
+ * whole-pipeline GFLOPS — the workload a DNN-framework integration
+ * would run.
+ *
+ *   ./resnet_pipeline [--machine=i7] [--threads=8] [--reps=3]
+ *                     [--downscale=1]
+ */
+
+#include <iostream>
+#include <thread>
+
+#include "common/flags.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "conv/workloads.hh"
+#include "exec/measure.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    const int threads = static_cast<int>(flags.getInt(
+        "threads",
+        std::min<std::int64_t>(m.cores,
+                               std::thread::hardware_concurrency())));
+    const int reps = static_cast<int>(flags.getInt("reps", 3));
+    const bool downscale = flags.getBool("downscale", false);
+
+    std::cout << "ResNet-18 conv2d pipeline on " << m.name << ", "
+              << threads << " threads\n\n";
+
+    Table t({"Stage", "shape", "search(s)", "GFLOPS", "+-CI",
+             "ms/stage"});
+    double total_seconds = 0.0, total_flops = 0.0;
+    std::vector<double> per_stage_gflops;
+
+    for (const auto &orig : resnet18Workloads()) {
+        const ConvProblem p =
+            downscale ? orig.downscaled(28, 128) : orig;
+
+        OptimizerOptions opts;
+        opts.parallel = true;
+        opts.effort = OptimizerOptions::Effort::Fast;
+        const OptimizeOutput out = optimizeConv(p, m, opts);
+
+        MeasureOptions mo;
+        mo.reps = reps;
+        mo.threads = threads;
+        const Measurement meas =
+            measureConfig(p, out.candidates.front().config, mo);
+
+        total_seconds += meas.mean_seconds;
+        total_flops += p.flops();
+        per_stage_gflops.push_back(meas.mean_gflops);
+
+        t.row()
+            .add(p.name)
+            .add("K" + std::to_string(p.k) + " C" + std::to_string(p.c) +
+                 " H" + std::to_string(p.h) + " R" + std::to_string(p.r) +
+                 (p.stride == 2 ? "*" : ""))
+            .add(out.seconds, 1)
+            .add(meas.mean_gflops, 1)
+            .add(meas.ci95_gflops, 2)
+            .add(meas.mean_seconds * 1e3, 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPipeline: " << total_seconds * 1e3 << " ms total, "
+              << total_flops / total_seconds / 1e9
+              << " GFLOPS aggregate, geomean per-stage "
+              << geomean(per_stage_gflops) << " GFLOPS\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * AutoTVM-style baseline (Table 2: "limited design-space exploration
+ * with empirical auto-tuning"): a trial-budgeted search that measures
+ * candidate configurations by actually running them, guided by an
+ * online-learned surrogate cost model (ridge regression over
+ * log-features — our stand-in for TVM's XGBTuner) with epsilon-greedy
+ * exploration and perturbation of the incumbent.
+ */
+
+#ifndef MOPT_BASELINES_AUTOTUNER_HH
+#define MOPT_BASELINES_AUTOTUNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/** Options for autotune. */
+struct TunerOptions
+{
+    int trials = 64;         //!< Measured configurations (paper: 1000).
+    int pool_size = 64;      //!< Candidates scored per trial batch.
+    double epsilon = 0.15;   //!< Fraction of random (exploration) picks.
+    bool parallel = true;    //!< Search parallel configurations.
+    std::uint64_t seed = 99;
+    int threads = 0;         //!< Threads per measurement (0 = cfg.par).
+
+    /**
+     * Constrain proposals to a TVM-template-like subspace, mirroring
+     * "generic.schedule_conv2d_nchw" (the script the paper tunes
+     * with): a fixed loop order, divisor splits of the k / c / w
+     * extents at a single blocking level, no multi-level cache
+     * tiling, no permutation search, and no capacity model. This is
+     * Table 2's "limited design-space exploration"; set false for a
+     * full-space tuner searching MOpt's own space.
+     */
+    bool template_space = true;
+};
+
+/** A measurement function: seconds taken by a configuration. */
+using MeasureFn = std::function<double(const ExecConfig &)>;
+
+/** Result of a tuning session. */
+struct TunerResult
+{
+    ExecConfig best;
+    double best_seconds = 0.0;
+    std::vector<double> history; //!< best-so-far after each trial
+    double tuning_seconds = 0.0; //!< wall-clock of the whole search
+    int trials = 0;
+};
+
+/**
+ * Run the tuner: each trial proposes candidates (random samples and
+ * perturbations of the incumbent), ranks them with the surrogate,
+ * measures the top pick with @p measure, and updates the surrogate.
+ */
+TunerResult autotune(const ConvProblem &p, const MachineSpec &m,
+                     const MeasureFn &measure,
+                     const TunerOptions &opts = TunerOptions());
+
+/**
+ * Default measurement function: one warm + one timed execution on the
+ * host (exec/measure.hh).
+ */
+MeasureFn makeExecutionMeasure(const ConvProblem &p, int threads = 0);
+
+} // namespace mopt
+
+#endif // MOPT_BASELINES_AUTOTUNER_HH

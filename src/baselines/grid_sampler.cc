@@ -1,0 +1,169 @@
+#include "baselines/grid_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "model/footprint.hh"
+#include "model/parallel_model.hh"
+#include "model/pruned_classes.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+
+namespace {
+
+/** Log-uniform integer in [lo, hi]. */
+std::int64_t
+logUniform(Rng &rng, std::int64_t lo, std::int64_t hi)
+{
+    if (lo >= hi)
+        return lo;
+    const double x = rng.uniformReal(std::log(static_cast<double>(lo)),
+                                     std::log(static_cast<double>(hi) +
+                                              0.999));
+    return std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::exp(x)), lo, hi);
+}
+
+/** Shrink the largest contributor until the footprint fits @p cap. */
+void
+shrinkToFit(IntTileVec &tiles, const IntTileVec &floor_tiles,
+            const ConvProblem &p, double cap)
+{
+    int guard = 0;
+    while (totalFootprint(tiles, p) > cap && guard++ < 256) {
+        // Pick the dim with the largest ratio over its floor.
+        int best = -1;
+        double best_ratio = 1.0;
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            const double ratio =
+                static_cast<double>(tiles[sd]) /
+                static_cast<double>(floor_tiles[sd]);
+            if (ratio > best_ratio) {
+                best_ratio = ratio;
+                best = d;
+            }
+        }
+        if (best < 0)
+            break;
+        const auto sb = static_cast<std::size_t>(best);
+        tiles[sb] = std::max(floor_tiles[sb], tiles[sb] / 2);
+    }
+}
+
+/**
+ * Grow tiles (doubling the dim closest to its floor) until the
+ * footprint reaches @p target or no dim can grow without exceeding
+ * @p cap or the extents.
+ */
+void
+growToFill(IntTileVec &tiles, const IntTileVec &extents,
+           const ConvProblem &p, double target, double cap)
+{
+    int guard = 0;
+    while (totalFootprint(tiles, p) < target && guard++ < 256) {
+        int best = -1;
+        double best_ratio = std::numeric_limits<double>::infinity();
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            if (tiles[sd] >= extents[sd])
+                continue;
+            IntTileVec trial = tiles;
+            trial[sd] = std::min(extents[sd], tiles[sd] * 2);
+            if (totalFootprint(trial, p) > cap)
+                continue;
+            const double ratio = static_cast<double>(tiles[sd]) /
+                                 static_cast<double>(extents[sd]);
+            if (ratio < best_ratio) {
+                best_ratio = ratio;
+                best = d;
+            }
+        }
+        if (best < 0)
+            break;
+        const auto sb = static_cast<std::size_t>(best);
+        tiles[sb] = std::min(extents[sb], tiles[sb] * 2);
+    }
+}
+
+} // namespace
+
+ExecConfig
+sampleConfig(const ConvProblem &p, const MachineSpec &m, Rng &rng,
+             const SamplerOptions &opts)
+{
+    const IntTileVec extents = problemExtents(p);
+    const IntTileVec reg = microkernelTiles(p, m);
+    const auto reps = prunedRepresentatives();
+
+    ExecConfig cfg;
+    cfg.perm[LvlReg] = microkernelPermutation();
+    cfg.tiles[LvlReg] = reg;
+
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        // Three nested sizes: draw and sort.
+        std::array<std::int64_t, 3> t;
+        for (auto &x : t)
+            x = logUniform(rng, reg[sd], extents[sd]);
+        std::sort(t.begin(), t.end());
+        for (int l = 0; l < 3; ++l)
+            cfg.tiles[static_cast<std::size_t>(LvlL1 + l)][sd] =
+                t[static_cast<std::size_t>(l)];
+    }
+    // Snap k tiles to microkernel blocks so the executor's fast path
+    // stays representative.
+    const std::int64_t kblock = reg[DimK];
+    for (int l = LvlL1; l <= LvlL3; ++l) {
+        auto &tk = cfg.tiles[static_cast<std::size_t>(l)][DimK];
+        tk = std::max<std::int64_t>(
+            kblock,
+            std::min(extents[DimK], (tk / kblock) * kblock));
+    }
+
+    for (int l = LvlL1; l <= LvlL3; ++l)
+        cfg.perm[static_cast<std::size_t>(l)] = rng.choice(reps);
+
+    if (opts.fit_capacity) {
+        // Inner to outer, with the inner level's tiles as the floor:
+        // the worst shrink collapses onto the inner tile, whose
+        // footprint fits the (strictly smaller) inner capacity, so
+        // every level is guaranteed feasible and nesting holds by
+        // construction.
+        IntTileVec floor_tiles = reg;
+        for (int l = LvlL1; l <= LvlL3; ++l) {
+            const double cap =
+                static_cast<double>(m.capacityWords(l));
+            auto &tiles = cfg.tiles[static_cast<std::size_t>(l)];
+            for (int d = 0; d < NumDims; ++d) {
+                const auto sd = static_cast<std::size_t>(d);
+                tiles[sd] = std::max(tiles[sd], floor_tiles[sd]);
+            }
+            shrinkToFit(tiles, floor_tiles, p, cap);
+            if (opts.min_fill > 0.0)
+                growToFill(tiles, extents, p, opts.min_fill * cap, cap);
+            floor_tiles = tiles;
+        }
+    }
+
+    if (opts.parallel) {
+        const auto splits = parallelSplits(m.cores, cfg.tiles[LvlL3]);
+        cfg.par = splits[rng.index(splits.size())];
+    }
+    return cfg;
+}
+
+std::vector<ExecConfig>
+sampleConfigs(const ConvProblem &p, const MachineSpec &m, Rng &rng,
+              const SamplerOptions &opts)
+{
+    std::vector<ExecConfig> configs;
+    configs.reserve(static_cast<std::size_t>(opts.count));
+    for (int i = 0; i < opts.count; ++i)
+        configs.push_back(sampleConfig(p, m, rng, opts));
+    return configs;
+}
+
+} // namespace mopt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Uniform sampler over the tiling design space, used by the Sec. 9
+ * model-validation experiments: ~100 configurations per operator
+ * uniformly distributed over permutation classes and (log-scale) tile
+ * sizes, optionally constrained to fit the cache capacities.
+ */
+
+#ifndef MOPT_BASELINES_GRID_SAMPLER_HH
+#define MOPT_BASELINES_GRID_SAMPLER_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/** Options for sampleConfigs. */
+struct SamplerOptions
+{
+    int count = 100;
+    bool fit_capacity = true; //!< Shrink tiles until footprints fit.
+    bool parallel = false;    //!< Attach a parallel split per sample.
+
+    /**
+     * Grow each level's tiles until the footprint reaches this
+     * fraction of the level capacity (0 disables). The analytical
+     * model's validity condition (Sec. 2.2: two adjacent tiles exceed
+     * capacity) corresponds to 0.5 — validation experiments sample
+     * within that regime, since smaller tiles waste capacity and
+     * would never be chosen.
+     */
+    double min_fill = 0.0;
+};
+
+/**
+ * Draw tiling configurations: per level a random pruned-class
+ * representative permutation and log-uniform nested tile sizes
+ * (k snapped to microkernel blocks). Register tiling is pinned to the
+ * microkernel.
+ */
+std::vector<ExecConfig> sampleConfigs(const ConvProblem &p,
+                                      const MachineSpec &m, Rng &rng,
+                                      const SamplerOptions &opts =
+                                          SamplerOptions());
+
+/** Draw a single configuration (same distribution). */
+ExecConfig sampleConfig(const ConvProblem &p, const MachineSpec &m,
+                        Rng &rng, const SamplerOptions &opts =
+                                      SamplerOptions());
+
+} // namespace mopt
+
+#endif // MOPT_BASELINES_GRID_SAMPLER_HH

@@ -1,0 +1,156 @@
+#include "baselines/heuristic_lib.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/footprint.hh"
+#include "model/parallel_model.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+
+namespace {
+
+/** The three pre-determined code structures the library picks from. */
+enum class Rule { PointwiseConv, SpatialConv, DeepConv };
+
+Rule
+classify(const ConvProblem &p)
+{
+    if (p.r == 1 && p.s == 1)
+        return Rule::PointwiseConv;
+    if (p.h >= 56)
+        return Rule::SpatialConv;
+    return Rule::DeepConv;
+}
+
+std::int64_t
+fitC(const ConvProblem &p, IntTileVec tiles, double cap)
+{
+    // Largest c tile that keeps the footprint within cap.
+    std::int64_t lo = 1, hi = p.c;
+    while (lo < hi) {
+        const std::int64_t mid = (lo + hi + 1) / 2;
+        tiles[DimC] = mid;
+        if (totalFootprint(tiles, p) <= cap)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+} // namespace
+
+const char *
+heuristicRuleName(const ConvProblem &p)
+{
+    switch (classify(p)) {
+      case Rule::PointwiseConv:
+        return "pointwise";
+      case Rule::SpatialConv:
+        return "spatial";
+      case Rule::DeepConv:
+        return "deep";
+    }
+    return "?";
+}
+
+ExecConfig
+heuristicConfig(const ConvProblem &p, const MachineSpec &m, bool parallel)
+{
+    const IntTileVec extents = problemExtents(p);
+    const IntTileVec reg = microkernelTiles(p, m);
+
+    ExecConfig cfg;
+    cfg.perm[LvlReg] = microkernelPermutation();
+    cfg.tiles[LvlReg] = reg;
+    // The library always uses the same loop order: output channels and
+    // reduction outermost, spatial dims inner (a common direct-conv
+    // schedule).
+    const Permutation lib_perm = Permutation::parse("kcrsnhw");
+    for (int l = LvlL1; l <= LvlL3; ++l) {
+        cfg.perm[static_cast<std::size_t>(l)] = lib_perm;
+        cfg.tiles[static_cast<std::size_t>(l)] = extents;
+    }
+
+    const Rule rule = classify(p);
+
+    // L1 block: one k register block wide, a row of register tiles
+    // along w, c chosen to fill L1.
+    IntTileVec t1 = reg;
+    t1[DimK] = std::min<std::int64_t>(extents[DimK], reg[DimK]);
+    t1[DimW] = std::min<std::int64_t>(
+        extents[DimW],
+        rule == Rule::SpatialConv ? reg[DimW] * 4 : reg[DimW] * 2);
+    t1[DimH] = 1;
+    t1[DimR] = extents[DimR];
+    t1[DimS] = extents[DimS];
+    t1[DimC] = fitC(p, t1, 0.8 * static_cast<double>(m.capacityWords(LvlL1)));
+    cfg.tiles[LvlL1] = t1;
+
+    // L2 block: full w rows, more h, full reduction.
+    IntTileVec t2 = t1;
+    t2[DimW] = extents[DimW];
+    t2[DimC] = extents[DimC];
+    t2[DimH] = 1;
+    while (t2[DimH] < extents[DimH] &&
+           totalFootprint(t2, p) <
+               0.5 * static_cast<double>(m.capacityWords(LvlL2)))
+        ++t2[DimH];
+    t2[DimC] = fitC(p, t2, 0.8 * static_cast<double>(m.capacityWords(LvlL2)));
+    if (rule == Rule::PointwiseConv)
+        t2[DimK] = std::min<std::int64_t>(extents[DimK], 4 * reg[DimK]);
+    cfg.tiles[LvlL2] = t2;
+
+    // L3 block: grow k and h to fill the shared cache.
+    IntTileVec t3 = t2;
+    t3[DimC] = extents[DimC];
+    t3[DimK] = std::min<std::int64_t>(
+        extents[DimK],
+        std::max<std::int64_t>(t2[DimK], 8 * reg[DimK]));
+    t3[DimH] = extents[DimH];
+    while (totalFootprint(t3, p) >
+               0.8 * static_cast<double>(m.capacityWords(LvlL3)) &&
+           t3[DimK] > t2[DimK])
+        t3[DimK] = std::max(t2[DimK], t3[DimK] / 2);
+    while (totalFootprint(t3, p) >
+               0.8 * static_cast<double>(m.capacityWords(LvlL3)) &&
+           t3[DimH] > t2[DimH])
+        t3[DimH] = std::max(t2[DimH], t3[DimH] / 2);
+    cfg.tiles[LvlL3] = t3;
+
+    // Nesting repair.
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        cfg.tiles[LvlL2][sd] =
+            std::clamp(cfg.tiles[LvlL2][sd], cfg.tiles[LvlL1][sd],
+                       extents[sd]);
+        cfg.tiles[LvlL3][sd] =
+            std::clamp(cfg.tiles[LvlL3][sd], cfg.tiles[LvlL2][sd],
+                       extents[sd]);
+    }
+
+    if (parallel) {
+        // Static partitioning: prefer h, then k.
+        const auto splits = parallelSplits(m.cores, cfg.tiles[LvlL3]);
+        IntTileVec best = splits.front();
+        double best_score = -1.0;
+        for (const auto &s : splits) {
+            // Library rule of thumb: favor spatial parallelism.
+            const double score =
+                2.0 * static_cast<double>(s[DimH]) +
+                static_cast<double>(s[DimK]) +
+                0.5 * static_cast<double>(s[DimW]) +
+                0.25 * static_cast<double>(s[DimN]);
+            if (score > best_score) {
+                best_score = score;
+                best = s;
+            }
+        }
+        cfg.par = best;
+    }
+    return cfg;
+}
+
+} // namespace mopt

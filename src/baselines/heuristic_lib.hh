@@ -1,0 +1,31 @@
+/**
+ * @file
+ * oneDNN-style baseline (Table 2: "minimal design-space exploration"):
+ * a fixed, hand-tuned blocking strategy selected from a small rule
+ * table by layer shape — no search, no model. This reproduces the
+ * *policy* of a tuned vendor library: excellent microkernel (shared
+ * with MOpt here), pre-determined tiled code structures.
+ */
+
+#ifndef MOPT_BASELINES_HEURISTIC_LIB_HH
+#define MOPT_BASELINES_HEURISTIC_LIB_HH
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/**
+ * Produce the library's blocking for @p p on @p m.
+ * @param parallel attach the library's static core partitioning.
+ */
+ExecConfig heuristicConfig(const ConvProblem &p, const MachineSpec &m,
+                           bool parallel = true);
+
+/** Name of the rule the library picked (for logs/tables). */
+const char *heuristicRuleName(const ConvProblem &p);
+
+} // namespace mopt
+
+#endif // MOPT_BASELINES_HEURISTIC_LIB_HH

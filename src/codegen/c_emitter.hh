@@ -1,0 +1,46 @@
+/**
+ * @file
+ * C code emitter: renders a multi-level tiled convolution
+ * configuration as a standalone C function (tile loops with partial-
+ * tile clamping around an element-level inner kernel), the "custom
+ * code generator" component of the MOpt system (Fig. 1). A standalone
+ * self-checking program variant is provided for differential testing
+ * against the in-process reference.
+ */
+
+#ifndef MOPT_CODEGEN_C_EMITTER_HH
+#define MOPT_CODEGEN_C_EMITTER_HH
+
+#include <string>
+
+#include "conv/problem.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/**
+ * Emit a C99 function:
+ *   void <name>(const float *in, const float *ker, float *out);
+ * implementing @p p under the tiling of @p cfg (L3/L2/L1 tile loops in
+ * the configured permutations; the register level is rendered as the
+ * innermost element loops). The output is zeroed first.
+ */
+std::string emitConvC(const ConvProblem &p, const ExecConfig &cfg,
+                      const std::string &name);
+
+/**
+ * Emit a complete self-checking program: fills tensors with a
+ * deterministic LCG sequence, runs the generated function, and prints
+ * "checksum <value>\n" (sum of outputs weighted by a position hash)
+ * to stdout. lcgChecksumReference() computes the identical value
+ * in-process for comparison.
+ */
+std::string emitStandaloneProgram(const ConvProblem &p,
+                                  const ExecConfig &cfg);
+
+/** The checksum emitStandaloneProgram's output should match. */
+double lcgChecksumReference(const ConvProblem &p);
+
+} // namespace mopt
+
+#endif // MOPT_CODEGEN_C_EMITTER_HH

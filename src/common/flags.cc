@@ -1,0 +1,101 @@
+#include "common/flags.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace mopt {
+
+Flags::Flags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        checkUser(startsWith(arg, "--"),
+                  "unexpected positional argument: " + arg);
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            values_[arg] = "1";
+        else
+            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+}
+
+bool
+Flags::lookup(const std::string &name, std::string &out) const
+{
+    const auto it = values_.find(name);
+    if (it != values_.end()) {
+        out = it->second;
+        return true;
+    }
+    std::string env_name = "MOPT_";
+    for (char c : name) {
+        if (c == '-')
+            env_name.push_back('_');
+        else
+            env_name.push_back(
+                static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    if (const char *env = std::getenv(env_name.c_str())) {
+        out = env;
+        return true;
+    }
+    return false;
+}
+
+std::string
+Flags::getString(const std::string &name, const std::string &def) const
+{
+    std::string v;
+    return lookup(name, v) ? v : def;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name, std::int64_t def) const
+{
+    std::string v;
+    if (!lookup(name, v))
+        return def;
+    return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double
+Flags::getDouble(const std::string &name, double def) const
+{
+    std::string v;
+    if (!lookup(name, v))
+        return def;
+    return std::strtod(v.c_str(), nullptr);
+}
+
+bool
+Flags::getBool(const std::string &name, bool def) const
+{
+    std::string v;
+    if (!lookup(name, v))
+        return def;
+    const std::string s = toLower(trim(v));
+    return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    std::string v;
+    return lookup(name, v);
+}
+
+bool
+benchFullScale()
+{
+    static const bool full = [] {
+        const char *env = std::getenv("MOPT_BENCH_FULL");
+        return env && std::string(env) == "1";
+    }();
+    return full;
+}
+
+} // namespace mopt

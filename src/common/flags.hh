@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal flag/environment parsing for benchmark harnesses and
+ * examples: "--name=value" arguments plus MOPT_* environment fallback.
+ */
+
+#ifndef MOPT_COMMON_FLAGS_HH
+#define MOPT_COMMON_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mopt {
+
+/**
+ * Parsed command line of the form: prog --a=1 --b=foo --flag.
+ * Bare "--flag" is treated as "--flag=1". Environment variables of the
+ * form MOPT_<UPPERCASE_NAME> act as defaults (CLI wins).
+ */
+class Flags
+{
+  public:
+    /** Parse argv; unknown positional arguments are rejected. */
+    Flags(int argc, char **argv);
+
+    /** Construct empty (environment-only) flags. */
+    Flags() = default;
+
+    /** String value with default. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Integer value with default. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Double value with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean value ("1"/"true"/"yes" are true) with default. */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Whether the flag was given on the CLI or via the environment. */
+    bool has(const std::string &name) const;
+
+  private:
+    /** Raw lookup: CLI first, then MOPT_<NAME> env var. */
+    bool lookup(const std::string &name, std::string &out) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+/**
+ * True when MOPT_BENCH_FULL=1: benches use paper-scale repetition counts
+ * and problem sizes instead of the fast defaults.
+ */
+bool benchFullScale();
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_FLAGS_HH

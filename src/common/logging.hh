@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Logging and error-reporting utilities for the MOpt library.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, invalid arguments) and exits cleanly; panic() is for
+ * internal invariant violations and aborts.
+ */
+
+#ifndef MOPT_COMMON_LOGGING_HH
+#define MOPT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mopt {
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Silent = 4,
+};
+
+/**
+ * Global log-level threshold. Messages below this level are suppressed.
+ * Initialized from the MOPT_LOG environment variable
+ * (debug|info|warn|error|silent); defaults to Warn.
+ */
+LogLevel logLevel();
+
+/** Override the global log level programmatically. */
+void setLogLevel(LogLevel level);
+
+/** Emit a log line to stderr if @p level passes the global threshold. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Exception type thrown by fatal() so callers/tests can intercept it. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/**
+ * Report an unrecoverable *user* error (bad configuration, invalid
+ * argument) by throwing FatalError. Library code never calls exit().
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Report an internal invariant violation (a bug in MOpt itself).
+ * Aborts the process after printing @p msg.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+namespace detail {
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Stream-style convenience wrappers. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    logMessage(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    logMessage(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a user-facing precondition; throws FatalError with @p msg when
+ * @p cond is false.
+ */
+inline void
+checkUser(bool cond, const std::string &msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant; aborts with @p msg when @p cond is false. */
+inline void
+checkInvariant(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_LOGGING_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string helpers shared by the table printer, code emitter, and
+ * CLI parsing.
+ */
+
+#ifndef MOPT_COMMON_STRING_UTIL_HH
+#define MOPT_COMMON_STRING_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace mopt {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Fixed-precision formatting of a double (printf "%.*f"). */
+std::string formatDouble(double v, int precision);
+
+/**
+ * Human-readable engineering formatting: 1536 -> "1.5K", 2.5e9 -> "2.5G".
+ */
+std::string formatEng(double v);
+
+/** Left/right-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, std::size_t w);
+std::string padRight(const std::string &s, std::size_t w);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string s);
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_STRING_UTIL_HH

@@ -1,0 +1,140 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    checkUser(num_threads >= 1, "ThreadPool needs >= 1 thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    // All loop state is heap-allocated and shared with every queued task:
+    // parallelFor may return (all iterations claimed and finished) before a
+    // worker ever dequeues its copy of the task, so the task must not
+    // reference any caller-stack state. A stale task sees next >= count and
+    // exits without touching `body`.
+    struct State
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t count = 0;
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::exception_ptr first_error;
+        std::mutex mutex;
+        std::condition_variable done_cv;
+    };
+    auto state = std::make_shared<State>();
+    state->count = count;
+    state->body = &body;
+
+    auto run = [state]() {
+        for (;;) {
+            const std::size_t i = state->next.fetch_add(1);
+            if (i >= state->count)
+                break;
+            try {
+                (*state->body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->first_error)
+                    state->first_error = std::current_exception();
+            }
+            if (state->done.fetch_add(1) + 1 == state->count) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->done_cv.notify_all();
+            }
+        }
+    };
+
+    const std::size_t helpers = std::min(workers_.size(), count);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            tasks_.push(run);
+    }
+    cv_.notify_all();
+
+    // The caller participates too, then waits for stragglers. `body` is
+    // only dereferenced for claimed iterations, all of which complete
+    // before the wait below returns, so the caller's reference stays valid
+    // for exactly as long as any task can use it.
+    run();
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done_cv.wait(
+            lock, [&] { return state->done.load() >= state->count; });
+    }
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    const std::size_t nchunks = std::min(workers_.size() + 1, count);
+    const std::size_t chunk = (count + nchunks - 1) / nchunks;
+    parallelFor(nchunks, [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, count);
+        if (begin < end)
+            body(begin, end);
+    });
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+    return pool;
+}
+
+} // namespace mopt

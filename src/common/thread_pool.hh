@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A fixed-size thread pool with a blocking parallelFor, used by the
+ * parallel tiled executor (Sec. 7 of the paper) and by the benchmark
+ * harnesses to evaluate candidate configurations concurrently.
+ */
+
+#ifndef MOPT_COMMON_THREAD_POOL_HH
+#define MOPT_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mopt {
+
+/**
+ * Fixed-size worker pool. Tasks are std::function<void()>; parallelFor
+ * blocks until all iterations complete. Exceptions inside tasks
+ * propagate out of parallelFor (first one wins).
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (>= 1). */
+    explicit ThreadPool(std::size_t num_threads);
+
+    /** Joins all workers. Pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run body(i) for i in [0, count) across the pool and wait for all
+     * of them. The calling thread also executes work.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Static-chunked variant: splits [0, count) into one contiguous
+     * range per worker and calls body(begin, end). Useful when
+     * iterations are uniform and cheap.
+     */
+    void parallelForChunked(
+        std::size_t count,
+        const std::function<void(std::size_t, std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/** Process-wide pool sized to hardware_concurrency (lazily created). */
+ThreadPool &globalPool();
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_THREAD_POOL_HH

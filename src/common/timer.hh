@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing helper (steady clock) used by measurement code and
+ * the search-time benchmarks.
+ */
+
+#ifndef MOPT_COMMON_TIMER_HH
+#define MOPT_COMMON_TIMER_HH
+
+#include <chrono>
+
+namespace mopt {
+
+/** Steady-clock stopwatch, running from construction or reset(). */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Elapsed seconds since construction/reset. */
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_TIMER_HH

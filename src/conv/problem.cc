@@ -1,0 +1,64 @@
+#include "conv/problem.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+ConvProblem
+ConvProblem::fromImage(const std::string &name, std::int64_t k,
+                       std::int64_t c, std::int64_t image, std::int64_t rs,
+                       int stride, std::int64_t batch)
+{
+    ConvProblem p;
+    p.name = name;
+    p.n = batch;
+    p.k = k;
+    p.c = c;
+    p.r = rs;
+    p.s = rs;
+    p.stride = stride;
+    const std::int64_t pad = (rs - 1) / 2;
+    p.h = (image + 2 * pad - rs) / stride + 1;
+    p.w = p.h;
+    p.validate();
+    return p;
+}
+
+ConvProblem
+ConvProblem::downscaled(std::int64_t max_hw, std::int64_t max_ch) const
+{
+    ConvProblem p = *this;
+    p.h = std::min(h, max_hw);
+    p.w = std::min(w, max_hw);
+    p.c = std::min(c, max_ch);
+    p.k = std::min(k, max_ch);
+    if (p != *this)
+        p.name = name + "-ds";
+    return p;
+}
+
+std::string
+ConvProblem::summary() const
+{
+    std::ostringstream oss;
+    oss << name << ": N=" << n << " K=" << k << " C=" << c << " H=" << h
+        << " W=" << w << " R=" << r << " S=" << s << " stride=" << stride;
+    if (dilation != 1)
+        oss << " dilation=" << dilation;
+    return oss.str();
+}
+
+void
+ConvProblem::validate() const
+{
+    checkUser(n >= 1 && k >= 1 && c >= 1 && r >= 1 && s >= 1 && h >= 1 &&
+                  w >= 1,
+              "ConvProblem: extents must be >= 1 (" + summary() + ")");
+    checkUser(stride >= 1, "ConvProblem: stride must be >= 1");
+    checkUser(dilation >= 1, "ConvProblem: dilation must be >= 1");
+}
+
+} // namespace mopt

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ConvProblem: the shape of one conv2d operator (Eq. 1 of the paper):
+ *
+ *   Out[n,k,h,w] = sum_{c,r,s} In[n,c,h*stride+r,w*stride+s] * Ker[k,c,r,s]
+ *
+ * The problem is stored in terms of *output* spatial extents (Nh, Nw);
+ * the accessed input has extent (Nh-1)*stride + (R-1)*dilation + 1
+ * along h (the paper's Nh + R - 1 at stride = dilation = 1). Same-style
+ * padding is absorbed into the materialized input tensor, matching the
+ * paper's benchmarking setup where H/W in Table 1 are input image
+ * sizes. Dilation follows the paper's footnote 1: the methodology is
+ * applicable to the general strided/dilated case.
+ */
+
+#ifndef MOPT_CONV_PROBLEM_HH
+#define MOPT_CONV_PROBLEM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mopt {
+
+/** Shape of a single conv2d operator. All extents are >= 1. */
+struct ConvProblem
+{
+    std::string name;    //!< Layer label (e.g. "Y0", "R3", "M5").
+    std::int64_t n = 1;  //!< Batch size.
+    std::int64_t k = 1;  //!< Output channels.
+    std::int64_t c = 1;  //!< Input channels.
+    std::int64_t r = 1;  //!< Kernel height.
+    std::int64_t s = 1;  //!< Kernel width.
+    std::int64_t h = 1;  //!< Output height.
+    std::int64_t w = 1;  //!< Output width.
+    int stride = 1;      //!< Kernel stride (same in both spatial dims).
+    int dilation = 1;    //!< Kernel dilation (same in both spatial dims).
+
+    /**
+     * Build a problem from an input image size with "same" padding
+     * (pad = (r-1)/2), the convention of the paper's Table 1.
+     *
+     * @param name     layer label
+     * @param k        output channels
+     * @param c        input channels
+     * @param image    input image height == width
+     * @param rs       kernel height == width
+     * @param stride   kernel stride
+     * @param batch    batch size
+     */
+    static ConvProblem fromImage(const std::string &name, std::int64_t k,
+                                 std::int64_t c, std::int64_t image,
+                                 std::int64_t rs, int stride = 1,
+                                 std::int64_t batch = 1);
+
+    /** Accessed (padded) input extent along h:
+     *  (h-1)*stride + (r-1)*dilation + 1. */
+    std::int64_t inH() const
+    {
+        return (h - 1) * stride + (r - 1) * dilation + 1;
+    }
+
+    /** Accessed (padded) input extent along w:
+     *  (w-1)*stride + (s-1)*dilation + 1. */
+    std::int64_t inW() const
+    {
+        return (w - 1) * stride + (s - 1) * dilation + 1;
+    }
+
+    /** Total multiply-add count: n*k*c*r*s*h*w. */
+    std::int64_t macs() const { return n * k * c * r * s * h * w; }
+
+    /** Floating point operations (2 per MAC). */
+    double flops() const { return 2.0 * static_cast<double>(macs()); }
+
+    /** Elements of In / Ker / Out. */
+    std::int64_t inSize() const { return n * c * inH() * inW(); }
+    std::int64_t kerSize() const { return k * c * r * s; }
+    std::int64_t outSize() const { return n * k * h * w; }
+
+    /**
+     * A proportionally downscaled copy for trace-driven cache
+     * simulation: spatial extents capped at @p max_hw and channels at
+     * @p max_ch (keeping kernel extents and stride). Returns *this
+     * when already small enough.
+     */
+    ConvProblem downscaled(std::int64_t max_hw, std::int64_t max_ch) const;
+
+    /** Human-readable "K=64 C=32 H/W=56 R/S=3 s=1" summary. */
+    std::string summary() const;
+
+    /** Validate all extents; throws FatalError on nonsense. */
+    void validate() const;
+
+    bool operator==(const ConvProblem &o) const = default;
+};
+
+} // namespace mopt
+
+#endif // MOPT_CONV_PROBLEM_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reference (naive 7-loop) conv2d used as the correctness oracle for
+ * the tiled executor and the generated C code.
+ */
+
+#ifndef MOPT_CONV_REFERENCE_HH
+#define MOPT_CONV_REFERENCE_HH
+
+#include "conv/problem.hh"
+#include "tensor/tensor.hh"
+
+namespace mopt {
+
+/**
+ * Allocate the input tensor for @p p: [n][c][inH][inW] (pre-padded
+ * layout; see problem.hh).
+ */
+Tensor4 makeInput(const ConvProblem &p);
+
+/** Allocate the kernel tensor for @p p: [k][c][r][s]. */
+Tensor4 makeKernel(const ConvProblem &p);
+
+/** Allocate the output tensor for @p p: [n][k][h][w]. */
+Tensor4 makeOutput(const ConvProblem &p);
+
+/**
+ * Naive direct convolution:
+ *   out[n,k,h,w] += sum_{c,r,s} in[n,c,h*stride+r,w*stride+s]*ker[k,c,r,s]
+ * The output is overwritten (initialized to zero first).
+ */
+void referenceConv(const ConvProblem &p, const Tensor4 &in,
+                   const Tensor4 &ker, Tensor4 &out);
+
+} // namespace mopt
+
+#endif // MOPT_CONV_REFERENCE_HH

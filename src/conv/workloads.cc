@@ -1,0 +1,83 @@
+#include "conv/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+std::vector<ConvProblem>
+yolo9000Workloads()
+{
+    // Layer, K, C, H/W (input), R/S, stride (Table 1 left; stride 1 all).
+    return {
+        ConvProblem::fromImage("Y0", 32, 3, 544, 3),
+        ConvProblem::fromImage("Y2", 64, 32, 272, 3),
+        ConvProblem::fromImage("Y4", 128, 64, 136, 3),
+        ConvProblem::fromImage("Y5", 64, 128, 136, 1),
+        ConvProblem::fromImage("Y8", 256, 128, 68, 3),
+        ConvProblem::fromImage("Y9", 128, 256, 68, 1),
+        ConvProblem::fromImage("Y12", 512, 256, 34, 3),
+        ConvProblem::fromImage("Y13", 256, 512, 34, 1),
+        ConvProblem::fromImage("Y18", 1024, 512, 17, 3),
+        ConvProblem::fromImage("Y19", 512, 1024, 17, 1),
+        ConvProblem::fromImage("Y23", 28269, 1024, 17, 1),
+    };
+}
+
+std::vector<ConvProblem>
+resnet18Workloads()
+{
+    // Table 1 middle; '*' layers use stride 2.
+    return {
+        ConvProblem::fromImage("R1", 64, 3, 224, 7, 2),
+        ConvProblem::fromImage("R2", 64, 64, 56, 3),
+        ConvProblem::fromImage("R3", 64, 64, 56, 1),
+        ConvProblem::fromImage("R4", 128, 64, 56, 3, 2),
+        ConvProblem::fromImage("R5", 128, 64, 56, 1, 2),
+        ConvProblem::fromImage("R6", 128, 128, 28, 3),
+        ConvProblem::fromImage("R7", 256, 128, 28, 3, 2),
+        ConvProblem::fromImage("R8", 256, 128, 28, 3),
+        ConvProblem::fromImage("R9", 256, 256, 14, 3),
+        ConvProblem::fromImage("R10", 512, 256, 14, 3, 2),
+        ConvProblem::fromImage("R11", 512, 256, 14, 1, 2),
+        ConvProblem::fromImage("R12", 512, 512, 7, 3),
+    };
+}
+
+std::vector<ConvProblem>
+mobilenetWorkloads()
+{
+    // Table 1 right; '*' layers use stride 2.
+    return {
+        ConvProblem::fromImage("M1", 32, 32, 112, 3),
+        ConvProblem::fromImage("M2", 64, 64, 112, 3, 2),
+        ConvProblem::fromImage("M3", 128, 128, 56, 3),
+        ConvProblem::fromImage("M4", 128, 128, 56, 3, 2),
+        ConvProblem::fromImage("M5", 256, 256, 28, 3),
+        ConvProblem::fromImage("M6", 256, 256, 28, 3, 2),
+        ConvProblem::fromImage("M7", 512, 512, 14, 3),
+        ConvProblem::fromImage("M8", 512, 512, 14, 3, 2),
+        ConvProblem::fromImage("M9", 1024, 1024, 7, 3),
+    };
+}
+
+std::vector<ConvProblem>
+allWorkloads()
+{
+    std::vector<ConvProblem> all = yolo9000Workloads();
+    const auto resnet = resnet18Workloads();
+    const auto mobilenet = mobilenetWorkloads();
+    all.insert(all.end(), resnet.begin(), resnet.end());
+    all.insert(all.end(), mobilenet.begin(), mobilenet.end());
+    return all;
+}
+
+ConvProblem
+workloadByName(const std::string &name)
+{
+    for (const auto &p : allWorkloads())
+        if (p.name == name)
+            return p;
+    fatal("unknown workload: " + name);
+}
+
+} // namespace mopt

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The 32 conv2d operator shapes of the paper's Table 1: 11 from
+ * Yolo-9000, 12 from ResNet-18, 9 from MobileNet. Batch size 1;
+ * stride 2 for layers marked '*' in the paper, stride 1 otherwise.
+ * H/W in Table 1 are *input* image sizes; output extents follow the
+ * same-padding convention (see conv/problem.hh).
+ */
+
+#ifndef MOPT_CONV_WORKLOADS_HH
+#define MOPT_CONV_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "conv/problem.hh"
+
+namespace mopt {
+
+/** The eleven conv2d operators of Yolo-9000 (Table 1, left). */
+std::vector<ConvProblem> yolo9000Workloads();
+
+/** The twelve conv2d operators of ResNet-18 (Table 1, middle). */
+std::vector<ConvProblem> resnet18Workloads();
+
+/** The nine conv2d operators of MobileNet (Table 1, right). */
+std::vector<ConvProblem> mobilenetWorkloads();
+
+/** All 32 operators, Yolo then ResNet then MobileNet. */
+std::vector<ConvProblem> allWorkloads();
+
+/** Look up a single operator by name (e.g. "Y5", "R9", "M2"). */
+ConvProblem workloadByName(const std::string &name);
+
+} // namespace mopt
+
+#endif // MOPT_CONV_WORKLOADS_HH

@@ -1,0 +1,111 @@
+#include "exec/conv_exec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "common/timer.hh"
+#include "exec/loop_nest.hh"
+#include "exec/microkernel.hh"
+#include "tensor/packing.hh"
+
+namespace mopt {
+
+namespace {
+
+/** Execute every register tile of one L2-and-inward region. */
+void
+runRegion(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
+          Tensor4 &out, const ExecConfig &cfg, const TileBounds &region)
+{
+    walkTilesAtLevel(cfg, LvlL2, region, [&](const TileBounds &l2) {
+        walkTilesAtLevel(cfg, LvlL1, l2, [&](const TileBounds &l1) {
+            walkRegisterTiles(
+                cfg, l1,
+                [&](std::int64_t n, std::int64_t h, std::int64_t w0,
+                    std::int64_t wb, std::int64_t k0, std::int64_t kb) {
+                    computeRegisterTile(p, in, pk, out, n, h, w0, wb, k0,
+                                        kb, l1.lo[DimC], l1.hi[DimC],
+                                        l1.lo[DimR], l1.hi[DimR],
+                                        l1.lo[DimS], l1.hi[DimS]);
+                });
+        });
+    });
+}
+
+} // namespace
+
+ExecStats
+runConv(const ConvProblem &p, const Tensor4 &in, const Tensor4 &ker,
+        Tensor4 &out, const ExecConfig &cfg, int threads)
+{
+    checkUser(out.dim(0) == p.n && out.dim(1) == p.k && out.dim(2) == p.h &&
+                  out.dim(3) == p.w,
+              "runConv: output shape mismatch");
+
+    Timer total;
+    out.fill(0.0f);
+
+    Timer pack_timer;
+    const PackedKernel pk(ker, MicroKernelShape::kVecLen);
+    const double pack_seconds = pack_timer.seconds();
+
+    std::int64_t want = 1;
+    for (std::int64_t f : cfg.par)
+        want *= f;
+    const int nthreads = threads > 0 ? threads : static_cast<int>(want);
+
+    const TileBounds full = fullRegion(p);
+    if (nthreads <= 1) {
+        walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
+            runRegion(p, in, pk, out, cfg, l3);
+        });
+    } else {
+        ThreadPool pool(static_cast<std::size_t>(nthreads));
+        walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
+            // Sec. 7: parallelize within the L3 tile; chunks along
+            // non-reduction dims write disjoint output regions, so no
+            // synchronization is needed.
+            const std::vector<TileBounds> chunks =
+                splitRegion(l3, cfg.par);
+            pool.parallelFor(chunks.size(), [&](std::size_t i) {
+                runRegion(p, in, pk, out, cfg, chunks[i]);
+            });
+        });
+    }
+
+    ExecStats stats;
+    stats.seconds = total.seconds();
+    stats.pack_seconds = pack_seconds;
+    stats.gflops = p.flops() / stats.seconds / 1e9;
+    return stats;
+}
+
+ExecConfig
+defaultConfig(const ConvProblem &p)
+{
+    const IntTileVec extents = problemExtents(p);
+    ExecConfig cfg;
+    IntTileVec reg{1, 1, 1, 1, 1, 1, 1};
+    reg[DimK] = std::min<std::int64_t>(MicroKernelShape::kKU, p.k);
+    reg[DimW] = std::min<std::int64_t>(MicroKernelShape::kWU, p.w);
+    cfg.perm[LvlReg] = Permutation::parse("nhwkcrs");
+    cfg.tiles[LvlReg] = reg;
+    for (int l = LvlL1; l <= LvlL3; ++l) {
+        cfg.perm[static_cast<std::size_t>(l)] = Permutation();
+        cfg.tiles[static_cast<std::size_t>(l)] = extents;
+    }
+    // Keep the L1 tile modest so the default is not pathological.
+    cfg.tiles[LvlL1][DimC] = std::min<std::int64_t>(p.c, 64);
+    cfg.tiles[LvlL1][DimH] = std::min<std::int64_t>(p.h, 8);
+    cfg.tiles[LvlL1][DimW] = std::min<std::int64_t>(p.w, 48);
+    cfg.tiles[LvlL1][DimK] = std::min<std::int64_t>(
+        p.k, MicroKernelShape::kKU);
+    for (int d = 0; d < NumDims; ++d)
+        cfg.tiles[LvlL2][static_cast<std::size_t>(d)] = std::min(
+            extents[static_cast<std::size_t>(d)],
+            cfg.tiles[LvlL1][static_cast<std::size_t>(d)] * 4);
+    return cfg;
+}
+
+} // namespace mopt

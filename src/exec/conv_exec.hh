@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The tiled convolution executor: runs a conv2d operator under an
+ * arbitrary multi-level tiling configuration (L3/L2/L1 tile loops in
+ * the configured permutations, register tiles computed by the
+ * microkernel), sequentially or with the L3 tile partitioned across
+ * threads along the parallel split dims (Sec. 7). Kernel packing
+ * (Sec. 6) happens inside and its cost is attributed to the run, as
+ * in the paper's measurements.
+ */
+
+#ifndef MOPT_EXEC_CONV_EXEC_HH
+#define MOPT_EXEC_CONV_EXEC_HH
+
+#include "conv/problem.hh"
+#include "model/tile_config.hh"
+#include "tensor/tensor.hh"
+
+namespace mopt {
+
+/** Timing breakdown of one execution. */
+struct ExecStats
+{
+    double seconds = 0.0;      //!< Total (packing + compute).
+    double pack_seconds = 0.0; //!< Kernel packing portion.
+    double gflops = 0.0;       //!< Based on total seconds.
+};
+
+/**
+ * Execute the convolution: out is zeroed, then accumulated.
+ *
+ * @param p        problem shape
+ * @param in       input [n][c][inH][inW]
+ * @param ker      kernel [k][c][r][s] (packed internally)
+ * @param out      output [n][k][h][w]
+ * @param cfg      tiling configuration; cfg.par controls threading
+ * @param threads  worker threads; 0 = product of cfg.par
+ */
+ExecStats runConv(const ConvProblem &p, const Tensor4 &in,
+                  const Tensor4 &ker, Tensor4 &out, const ExecConfig &cfg,
+                  int threads = 0);
+
+/**
+ * A safe default configuration for @p p (register tiles +
+ * whole-problem outer tiles, sequential); handy as a baseline and in
+ * tests.
+ */
+ExecConfig defaultConfig(const ConvProblem &p);
+
+} // namespace mopt
+
+#endif // MOPT_EXEC_CONV_EXEC_HH

@@ -1,0 +1,59 @@
+#include "exec/loop_nest.hh"
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+TileBounds
+fullRegion(const ConvProblem &p)
+{
+    TileBounds b;
+    b.lo = {0, 0, 0, 0, 0, 0, 0};
+    b.hi = problemExtents(p);
+    return b;
+}
+
+std::vector<TileBounds>
+splitRegion(const TileBounds &region, const IntTileVec &par)
+{
+    // Per-dimension cut points: par[d] nearly equal pieces.
+    std::array<std::vector<std::int64_t>, NumDims> cuts;
+    std::int64_t total = 1;
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        const std::int64_t extent = region.hi[sd] - region.lo[sd];
+        const std::int64_t pieces =
+            std::max<std::int64_t>(1, std::min(par[sd], extent));
+        cuts[sd].push_back(region.lo[sd]);
+        for (std::int64_t i = 1; i <= pieces; ++i)
+            cuts[sd].push_back(region.lo[sd] +
+                               extent * i / pieces);
+        total *= pieces;
+    }
+
+    std::vector<TileBounds> chunks;
+    chunks.reserve(static_cast<std::size_t>(total));
+    IntTileVec idx{0, 0, 0, 0, 0, 0, 0};
+    for (;;) {
+        TileBounds c;
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            c.lo[sd] = cuts[sd][static_cast<std::size_t>(idx[sd])];
+            c.hi[sd] = cuts[sd][static_cast<std::size_t>(idx[sd]) + 1];
+        }
+        chunks.push_back(c);
+        int d = NumDims - 1;
+        for (; d >= 0; --d) {
+            const auto sd = static_cast<std::size_t>(d);
+            if (++idx[sd] <
+                static_cast<std::int64_t>(cuts[sd].size()) - 1)
+                break;
+            idx[sd] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+    return chunks;
+}
+
+} // namespace mopt

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tiled loop-nest walker: iterates the tile loops of one memory level
+ * over a region of the 7-D iteration space in the order given by the
+ * level's permutation, handling partial tiles. Both the executor
+ * (exec/conv_exec.hh) and the trace generator (cachesim/conv_trace.hh)
+ * are built from these walkers, so the simulated and executed loop
+ * structures cannot diverge.
+ */
+
+#ifndef MOPT_EXEC_LOOP_NEST_HH
+#define MOPT_EXEC_LOOP_NEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "conv/problem.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/** A hyper-rectangular region of the iteration space: [lo, hi). */
+struct TileBounds
+{
+    IntTileVec lo{0, 0, 0, 0, 0, 0, 0};
+    IntTileVec hi{0, 0, 0, 0, 0, 0, 0};
+
+    std::int64_t extent(Dim d) const
+    {
+        return hi[static_cast<std::size_t>(d)] -
+               lo[static_cast<std::size_t>(d)];
+    }
+};
+
+/** The whole iteration space of @p p as a TileBounds. */
+TileBounds fullRegion(const ConvProblem &p);
+
+/**
+ * Iterate the tiles of @p level over @p region in the level's
+ * permutation order (outermost dim first, innermost fastest),
+ * invoking v(tile_bounds) per tile. Partial tiles at region edges
+ * are clipped.
+ */
+template <typename Visitor>
+void
+walkTilesAtLevel(const ExecConfig &cfg, int level, const TileBounds &region,
+                 Visitor &&v)
+{
+    const Permutation &perm = cfg.perm[static_cast<std::size_t>(level)];
+    const IntTileVec &tiles = cfg.tiles[static_cast<std::size_t>(level)];
+
+    // Iterative odometer over the 7 tile loops, outermost first.
+    IntTileVec cur = region.lo;
+    TileBounds tile;
+    for (;;) {
+        for (int i = 0; i < NumDims; ++i) {
+            const auto d = static_cast<std::size_t>(perm.at(i));
+            tile.lo[d] = cur[d];
+            tile.hi[d] = std::min(region.hi[d], cur[d] + tiles[d]);
+        }
+        v(static_cast<const TileBounds &>(tile));
+
+        // Advance the innermost loop; carry outward.
+        int i = NumDims - 1;
+        for (; i >= 0; --i) {
+            const auto d = static_cast<std::size_t>(perm.at(i));
+            cur[d] += tiles[d];
+            if (cur[d] < region.hi[d])
+                break;
+            cur[d] = region.lo[d];
+        }
+        if (i < 0)
+            return;
+    }
+}
+
+/**
+ * Partition @p region into per-core chunks along the parallel split
+ * factors @p par (Sec. 7): dimension d is cut into par[d] nearly
+ * equal pieces; the result is the cross product, ordered so chunk
+ * index = flattened (n, k, h, w) split coordinates.
+ */
+std::vector<TileBounds> splitRegion(const TileBounds &region,
+                                    const IntTileVec &par);
+
+/**
+ * Iterate register tiles inside an L1 tile in the microkernel order
+ * (n, h, w, k), invoking
+ *   v(n, h, w0, wb, k0, kb)
+ * with the reduction ranges left to the caller (the microkernel
+ * itself loops over the L1 tile's full c, r, s extents; Sec. 6).
+ */
+template <typename Visitor>
+void
+walkRegisterTiles(const ExecConfig &cfg, const TileBounds &l1, Visitor &&v)
+{
+    const IntTileVec &t0 = cfg.tiles[LvlReg];
+    // The microkernel computes one (n, h) point per invocation, so n
+    // and h always step by 1 regardless of the register tile entry.
+    for (std::int64_t n = l1.lo[DimN]; n < l1.hi[DimN]; ++n)
+        for (std::int64_t h = l1.lo[DimH]; h < l1.hi[DimH]; ++h)
+            for (std::int64_t w = l1.lo[DimW]; w < l1.hi[DimW];
+                 w += t0[DimW]) {
+                const std::int64_t wb =
+                    std::min(t0[DimW], l1.hi[DimW] - w);
+                for (std::int64_t k = l1.lo[DimK]; k < l1.hi[DimK];
+                     k += t0[DimK]) {
+                    const std::int64_t kb =
+                        std::min(t0[DimK], l1.hi[DimK] - k);
+                    v(n, h, w, wb, k, kb);
+                }
+            }
+}
+
+} // namespace mopt
+
+#endif // MOPT_EXEC_LOOP_NEST_HH

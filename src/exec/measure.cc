@@ -1,0 +1,76 @@
+#include "exec/measure.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/timer.hh"
+#include "conv/reference.hh"
+#include "exec/conv_exec.hh"
+
+namespace mopt {
+
+void
+flushCaches(std::int64_t bytes)
+{
+    static std::vector<float> buffer;
+    const std::size_t n =
+        static_cast<std::size_t>(bytes / static_cast<std::int64_t>(
+                                              sizeof(float)));
+    if (buffer.size() < n)
+        buffer.assign(n, 1.0f);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; i += 16)
+        acc += buffer[i];
+    volatile float sink = acc;
+    (void)sink;
+}
+
+Measurement
+measureConfig(const ConvProblem &p, const ExecConfig &cfg,
+              const MeasureOptions &opts)
+{
+    Rng rng(opts.seed);
+    Tensor4 in = makeInput(p);
+    Tensor4 ker = makeKernel(p);
+    Tensor4 out = makeOutput(p);
+    in.fillRandom(rng);
+    ker.fillRandom(rng);
+
+    Measurement m;
+    std::vector<double> pack;
+    for (int rep = 0; rep < opts.warmups + opts.reps; ++rep) {
+        if (opts.flush_cache)
+            flushCaches(opts.flush_bytes);
+        const ExecStats st = runConv(p, in, ker, out, cfg, opts.threads);
+        if (rep < opts.warmups)
+            continue;
+        m.seconds.push_back(st.seconds);
+        pack.push_back(st.pack_seconds);
+    }
+    m.mean_seconds = mean(m.seconds);
+    m.pack_seconds = mean(pack);
+    std::vector<double> gflops;
+    gflops.reserve(m.seconds.size());
+    for (double s : m.seconds)
+        gflops.push_back(p.flops() / s / 1e9);
+    m.mean_gflops = mean(gflops);
+    m.ci95_gflops = confidence95(gflops);
+    return m;
+}
+
+double
+quickMeasureSeconds(const ConvProblem &p, const ExecConfig &cfg,
+                    int threads)
+{
+    MeasureOptions opts;
+    opts.reps = 1;
+    opts.warmups = 1;
+    opts.flush_cache = true;
+    opts.flush_bytes = 16ll << 20;
+    opts.threads = threads;
+    return measureConfig(p, cfg, opts).mean_seconds;
+}
+
+} // namespace mopt

@@ -1,0 +1,143 @@
+#include "exec/microkernel.hh"
+
+#include "common/logging.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace mopt {
+
+namespace {
+
+constexpr int VL = MicroKernelShape::kVecLen;
+constexpr int KU = MicroKernelShape::kKU;
+constexpr int WU = MicroKernelShape::kWU;
+
+/**
+ * Fast path: full 16-channel block starting at an 8-aligned k0, up to
+ * 6 output points. Accumulators live in registers for the whole
+ * (c, r, s) reduction, exactly the outer-product scheme of Fig. 4.
+ */
+void
+fastTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
+         Tensor4 &out, std::int64_t n, std::int64_t h, std::int64_t w0,
+         std::int64_t wb, std::int64_t k0, std::int64_t c0, std::int64_t c1,
+         std::int64_t r0, std::int64_t r1, std::int64_t s0, std::int64_t s1)
+{
+    const std::int64_t kb0 = k0 / VL;
+    const std::int64_t stride = p.stride;
+    const std::int64_t dil = p.dilation;
+
+#if defined(__AVX2__)
+    __m256 acc[WU][2];
+    for (int wi = 0; wi < WU; ++wi) {
+        acc[wi][0] = _mm256_setzero_ps();
+        acc[wi][1] = _mm256_setzero_ps();
+    }
+    for (std::int64_t c = c0; c < c1; ++c) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float *in_row =
+                in.data() + in.offset(n, c, h * stride + r * dil, 0);
+            for (std::int64_t s = s0; s < s1; ++s) {
+                const __m256 ker0 =
+                    _mm256_loadu_ps(pk.lanes(kb0, c, r, s));
+                const __m256 ker1 =
+                    _mm256_loadu_ps(pk.lanes(kb0 + 1, c, r, s));
+                for (std::int64_t wi = 0; wi < wb; ++wi) {
+                    const __m256 iv = _mm256_set1_ps(
+                        in_row[(w0 + wi) * stride + s * dil]);
+                    acc[wi][0] =
+                        _mm256_fmadd_ps(iv, ker0, acc[wi][0]);
+                    acc[wi][1] =
+                        _mm256_fmadd_ps(iv, ker1, acc[wi][1]);
+                }
+            }
+        }
+    }
+    for (std::int64_t wi = 0; wi < wb; ++wi) {
+        float *o = out.data() + out.offset(n, k0, h, w0 + wi);
+        const std::int64_t kstride = out.dim(2) * out.dim(3);
+        // Out layout is NKHW: channel k is strided by H*W, so the
+        // accumulator lanes scatter with stride kstride.
+        alignas(32) float lanes[KU];
+        _mm256_store_ps(lanes, acc[wi][0]);
+        _mm256_store_ps(lanes + VL, acc[wi][1]);
+        for (int ki = 0; ki < KU; ++ki)
+            o[ki * kstride] += lanes[ki];
+    }
+#else
+    float acc[WU][KU] = {};
+    for (std::int64_t c = c0; c < c1; ++c) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float *in_row =
+                in.data() + in.offset(n, c, h * stride + r * dil, 0);
+            for (std::int64_t s = s0; s < s1; ++s) {
+                const float *ker0 = pk.lanes(kb0, c, r, s);
+                const float *ker1 = pk.lanes(kb0 + 1, c, r, s);
+                for (std::int64_t wi = 0; wi < wb; ++wi) {
+                    const float iv = in_row[(w0 + wi) * stride + s * dil];
+                    for (int l = 0; l < VL; ++l) {
+                        acc[wi][l] += iv * ker0[l];
+                        acc[wi][VL + l] += iv * ker1[l];
+                    }
+                }
+            }
+        }
+    }
+    for (std::int64_t wi = 0; wi < wb; ++wi) {
+        float *o = out.data() + out.offset(n, k0, h, w0 + wi);
+        const std::int64_t kstride = out.dim(2) * out.dim(3);
+        for (int ki = 0; ki < KU; ++ki)
+            o[ki * kstride] += acc[wi][ki];
+    }
+#endif
+}
+
+/** Scalar fallback for edge blocks (unaligned k0 or short kb/wb). */
+void
+scalarTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
+           Tensor4 &out, std::int64_t n, std::int64_t h, std::int64_t w0,
+           std::int64_t wb, std::int64_t k0, std::int64_t kb,
+           std::int64_t c0, std::int64_t c1, std::int64_t r0,
+           std::int64_t r1, std::int64_t s0, std::int64_t s1)
+{
+    const std::int64_t stride = p.stride;
+    const std::int64_t dil = p.dilation;
+    for (std::int64_t k = k0; k < k0 + kb; ++k) {
+        for (std::int64_t wi = 0; wi < wb; ++wi) {
+            float acc = 0.0f;
+            for (std::int64_t c = c0; c < c1; ++c)
+                for (std::int64_t r = r0; r < r1; ++r)
+                    for (std::int64_t s = s0; s < s1; ++s)
+                        acc += in.at(n, c, h * stride + r * dil,
+                                     (w0 + wi) * stride + s * dil) *
+                               pk.at(k, c, r, s);
+            out.at(n, k, h, w0 + wi) += acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+computeRegisterTile(const ConvProblem &p, const Tensor4 &in,
+                    const PackedKernel &pk, Tensor4 &out, std::int64_t n,
+                    std::int64_t h, std::int64_t w0, std::int64_t wb,
+                    std::int64_t k0, std::int64_t kb, std::int64_t c0,
+                    std::int64_t c1, std::int64_t r0, std::int64_t r1,
+                    std::int64_t s0, std::int64_t s1)
+{
+    checkInvariant(pk.vecLen() == VL,
+                   "computeRegisterTile: packed kernel vector length");
+    if (kb == KU && k0 % VL == 0 && wb <= WU && wb >= 1 &&
+        k0 + kb <= out.dim(1)) {
+        fastTile(p, in, pk, out, n, h, w0, wb, k0, c0, c1, r0, r1, s0,
+                 s1);
+    } else {
+        scalarTile(p, in, pk, out, n, h, w0, wb, k0, kb, c0, c1, r0, r1,
+                   s0, s1);
+    }
+}
+
+} // namespace mopt

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The register-tiled convolution microkernel (Sec. 6 of the paper):
+ * an outer-product scheme holding a block of up to 6 output points x
+ * 16 output channels in accumulator registers, reused across the
+ * whole (c, r, s) reduction of the enclosing L1 tile. Output channels
+ * are vectorized via the packed kernel layout (tensor/packing.hh).
+ */
+
+#ifndef MOPT_EXEC_MICROKERNEL_HH
+#define MOPT_EXEC_MICROKERNEL_HH
+
+#include <cstdint>
+
+#include "conv/problem.hh"
+#include "tensor/packing.hh"
+#include "tensor/tensor.hh"
+
+namespace mopt {
+
+/** Compile-time shape of the fast-path register block. */
+struct MicroKernelShape
+{
+    static constexpr int kVecLen = 8; //!< fp32 lanes (matches packing).
+    static constexpr int kKU = 16;    //!< Output channels per block.
+    static constexpr int kWU = 6;     //!< Output points per block.
+};
+
+/**
+ * Accumulate one register tile:
+ *
+ *   out[n, k0..k0+kb, h, w0..w0+wb] +=
+ *     sum over c in [c0,c1), r in [r0,r1), s in [s0,s1) of
+ *       in[n, c, h*stride+r, (w0+wi)*stride+s] * ker[k, c, r, s]
+ *
+ * A vectorizable fast path handles the aligned full-size block
+ * (kb == 16, k0 % 8 == 0, wb <= 6); other shapes fall back to a
+ * scalar loop. The packed kernel must use vector length 8.
+ */
+void computeRegisterTile(const ConvProblem &p, const Tensor4 &in,
+                         const PackedKernel &pk, Tensor4 &out,
+                         std::int64_t n, std::int64_t h, std::int64_t w0,
+                         std::int64_t wb, std::int64_t k0, std::int64_t kb,
+                         std::int64_t c0, std::int64_t c1, std::int64_t r0,
+                         std::int64_t r1, std::int64_t s0, std::int64_t s1);
+
+} // namespace mopt
+
+#endif // MOPT_EXEC_MICROKERNEL_HH

@@ -1,0 +1,120 @@
+#include "machine/bandwidth_probe.hh"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/timer.hh"
+
+namespace mopt {
+
+namespace {
+
+/**
+ * Sum a float array; the result is accumulated into a volatile sink so
+ * the loop cannot be optimized away. Returns the number of bytes read.
+ */
+std::int64_t
+streamOnce(const float *data, std::int64_t n)
+{
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    std::int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += data[i];
+        acc1 += data[i + 1];
+        acc2 += data[i + 2];
+        acc3 += data[i + 3];
+    }
+    for (; i < n; ++i)
+        acc0 += data[i];
+    volatile float sink = acc0 + acc1 + acc2 + acc3;
+    (void)sink;
+    return n * static_cast<std::int64_t>(sizeof(float));
+}
+
+} // namespace
+
+ProbeResult
+probeBandwidth(std::int64_t bytes, int threads, double min_seconds)
+{
+    checkUser(bytes >= 4096, "probeBandwidth: working set too small");
+    checkUser(threads >= 1, "probeBandwidth: threads must be >= 1");
+
+    const std::int64_t n = bytes / static_cast<std::int64_t>(sizeof(float));
+    std::vector<std::vector<float>> sets(static_cast<std::size_t>(threads));
+    for (auto &s : sets)
+        s.assign(static_cast<std::size_t>(n), 1.0f);
+
+    std::atomic<bool> go{false};
+    std::vector<double> per_thread_gbps(static_cast<std::size_t>(threads),
+                                        0.0);
+    std::vector<std::thread> workers;
+    double elapsed_main = 0.0;
+
+    auto body = [&](int tid) {
+        // Warm the working set into the target level.
+        streamOnce(sets[static_cast<std::size_t>(tid)].data(), n);
+        while (!go.load(std::memory_order_acquire)) {}
+        Timer t;
+        std::int64_t moved = 0;
+        do {
+            moved += streamOnce(sets[static_cast<std::size_t>(tid)].data(), n);
+        } while (t.seconds() < min_seconds);
+        const double secs = t.seconds();
+        per_thread_gbps[static_cast<std::size_t>(tid)] =
+            static_cast<double>(moved) / secs / 1e9;
+        if (tid == 0)
+            elapsed_main = secs;
+    };
+
+    for (int t = 1; t < threads; ++t)
+        workers.emplace_back(body, t);
+    go.store(true, std::memory_order_release);
+    body(0);
+    for (auto &w : workers)
+        w.join();
+
+    double total = 0.0;
+    for (double g : per_thread_gbps)
+        total += g;
+
+    ProbeResult res;
+    res.gbps = total / threads;
+    res.bytes = bytes;
+    res.seconds = elapsed_main;
+    return res;
+}
+
+void
+calibrateToHost(MachineSpec &spec, double min_seconds)
+{
+    // levels[l].bw describes transfers from level l+1 into level l, so
+    // the probe streams a working set resident in the *outer* level:
+    // half its capacity for caches, 4x L3 for DRAM.
+    const int par_threads = std::max(
+        1, std::min<int>(spec.cores,
+                         static_cast<int>(
+                             std::thread::hardware_concurrency())));
+    for (int lvl = LvlReg; lvl <= LvlL3; ++lvl) {
+        const std::int64_t ws =
+            lvl < LvlL3
+                ? std::max<std::int64_t>(
+                      4096,
+                      spec.levels[static_cast<std::size_t>(lvl + 1)]
+                              .capacity_bytes /
+                          2)
+                : 4 * spec.levels[LvlL3].capacity_bytes;
+        MemLevel &l = spec.levels[static_cast<std::size_t>(lvl)];
+        l.bw_seq_gbps = probeBandwidth(ws, 1, min_seconds).gbps;
+        const double par_per_core =
+            probeBandwidth(ws, par_threads, min_seconds).gbps;
+        // Private caches keep the per-core figure; the shared DRAM<->L3
+        // link reports the aggregate (Sec. 7).
+        l.bw_par_gbps =
+            lvl == LvlL3 ? par_per_core * par_threads : par_per_core;
+    }
+    spec.validate();
+}
+
+} // namespace mopt

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic bandwidth probe (Sec. 7): the paper measures the parallel
+ * memory-to-L3 bandwidth and the per-core L3-to-L2 bandwidth with
+ * synthetic benchmarks and feeds them into the cost model. This probe
+ * runs a read-dominant streaming kernel over a working set sized for a
+ * target level and reports GB/s, sequentially or with all cores active.
+ */
+
+#ifndef MOPT_MACHINE_BANDWIDTH_PROBE_HH
+#define MOPT_MACHINE_BANDWIDTH_PROBE_HH
+
+#include <cstdint>
+
+#include "machine/machine.hh"
+
+namespace mopt {
+
+/** Result of one probe run. */
+struct ProbeResult
+{
+    double gbps = 0.0;          //!< Measured bandwidth, GB/s (per core).
+    std::int64_t bytes = 0;     //!< Working-set size used.
+    double seconds = 0.0;       //!< Wall time of the timed phase.
+};
+
+/**
+ * Stream a working set of @p bytes repeatedly and measure read
+ * bandwidth. @p threads > 1 runs the probe on that many threads over
+ * private working sets and reports the *per-thread* average.
+ */
+ProbeResult probeBandwidth(std::int64_t bytes, int threads,
+                           double min_seconds = 0.05);
+
+/**
+ * Calibrate the cache-to-cache bandwidths of @p spec in place using
+ * the host machine: for each level, stream a working set that fits
+ * that level (half capacity) to estimate the level-to-inner bandwidth.
+ * Intended for examples that want host-realistic cost models.
+ */
+void calibrateToHost(MachineSpec &spec, double min_seconds = 0.05);
+
+} // namespace mopt
+
+#endif // MOPT_MACHINE_BANDWIDTH_PROBE_HH

@@ -1,0 +1,115 @@
+#include "model/dims.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "conv/problem.hh"
+
+namespace mopt {
+
+const char *
+dimName(Dim d)
+{
+    static const char *names[NumDims] = {"n", "k", "c", "r", "s", "h", "w"};
+    checkInvariant(d >= 0 && d < NumDims, "dimName: bad dim");
+    return names[d];
+}
+
+const char *
+tensorName(TensorId t)
+{
+    switch (t) {
+      case TenIn:
+        return "In";
+      case TenKer:
+        return "Ker";
+      case TenOut:
+        return "Out";
+      default:
+        panic("tensorName: bad tensor");
+    }
+}
+
+bool
+dimPresent(TensorId t, Dim d)
+{
+    switch (t) {
+      case TenIn:
+        return d != DimK;
+      case TenKer:
+        return d == DimK || d == DimC || d == DimR || d == DimS;
+      case TenOut:
+        return d == DimN || d == DimK || d == DimH || d == DimW;
+      default:
+        panic("dimPresent: bad tensor");
+    }
+}
+
+bool
+isReductionDim(Dim d)
+{
+    return d == DimC || d == DimR || d == DimS;
+}
+
+IntTileVec
+problemExtents(const ConvProblem &p)
+{
+    return {p.n, p.k, p.c, p.r, p.s, p.h, p.w};
+}
+
+TileVec
+toTileVec(const IntTileVec &t)
+{
+    TileVec v;
+    for (int d = 0; d < NumDims; ++d)
+        v[static_cast<std::size_t>(d)] =
+            static_cast<double>(t[static_cast<std::size_t>(d)]);
+    return v;
+}
+
+IntTileVec
+floorTiles(const TileVec &t)
+{
+    IntTileVec v;
+    for (int d = 0; d < NumDims; ++d) {
+        const double x = std::floor(t[static_cast<std::size_t>(d)]);
+        v[static_cast<std::size_t>(d)] =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(x));
+    }
+    return v;
+}
+
+namespace {
+
+template <typename Vec>
+std::string
+tilesToStringImpl(const Vec &t)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (int d = 0; d < NumDims; ++d) {
+        if (d)
+            oss << " ";
+        oss << dimName(static_cast<Dim>(d)) << "="
+            << t[static_cast<std::size_t>(d)];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+tilesToString(const IntTileVec &t)
+{
+    return tilesToStringImpl(t);
+}
+
+std::string
+tilesToString(const TileVec &t)
+{
+    return tilesToStringImpl(t);
+}
+
+} // namespace mopt

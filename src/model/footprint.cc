@@ -1,0 +1,67 @@
+#include "model/footprint.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+double
+tileFootprint(TensorId t, const TileVec &tiles, const ConvProblem &p)
+{
+    const double tn = tiles[DimN], tk = tiles[DimK], tc = tiles[DimC];
+    const double tr = tiles[DimR], ts = tiles[DimS];
+    const double th = tiles[DimH], tw = tiles[DimW];
+    switch (t) {
+      case TenOut:
+        return tn * tk * th * tw;
+      case TenKer:
+        return tk * tc * tr * ts;
+      case TenIn:
+        return tn * tc * inputExtent(th, tr, p.stride, p.dilation) *
+               inputExtent(tw, ts, p.stride, p.dilation);
+      default:
+        panic("tileFootprint: bad tensor");
+    }
+}
+
+double
+totalFootprint(const TileVec &tiles, const ConvProblem &p)
+{
+    return tileFootprint(TenIn, tiles, p) + tileFootprint(TenKer, tiles, p) +
+           tileFootprint(TenOut, tiles, p);
+}
+
+double
+tileFootprint(TensorId t, const IntTileVec &tiles, const ConvProblem &p)
+{
+    return tileFootprint(t, toTileVec(tiles), p);
+}
+
+double
+totalFootprint(const IntTileVec &tiles, const ConvProblem &p)
+{
+    return totalFootprint(toTileVec(tiles), p);
+}
+
+double
+registerFootprint(const TileVec &reg_tiles, const ConvProblem &p,
+                  int vec_lanes)
+{
+    // Accumulator block: the whole Out register tile. Operand
+    // registers: one vector register worth of Ker lanes per k-chunk,
+    // plus the live broadcast registers. Broadcasts of input points are
+    // consumed immediately by the FMA sweep over the kernel registers,
+    // so only kLiveBroadcastRegs of them are alive at any moment
+    // (12 accumulators + 2 kernel + 2 broadcast = 16 ymm for the 6x16
+    // AVX2 kernel of Sec. 6).
+    const double out_words = tileFootprint(TenOut, reg_tiles, p);
+    const double k_chunks =
+        std::ceil(reg_tiles[DimK] / static_cast<double>(vec_lanes));
+    const double points = std::min(
+        reg_tiles[DimN] * reg_tiles[DimH] * reg_tiles[DimW],
+        static_cast<double>(kLiveBroadcastRegs));
+    return out_words + (k_chunks + points) * vec_lanes;
+}
+
+} // namespace mopt

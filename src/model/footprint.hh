@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-tensor data footprints of one tile (Sec. 3 of the paper),
+ * generalized to arbitrary kernel stride:
+ *
+ *   Out: Tn*Tk*Th*Tw
+ *   Ker: Tk*Tc*Tr*Ts
+ *   In:  Tn*Tc * ((Th-1)*stride + (Tr-1)*dilation + 1)
+ *              * ((Tw-1)*stride + (Ts-1)*dilation + 1)
+ *
+ * (at stride = dilation = 1 the input extents reduce to the paper's
+ * Th+Tr-1 and Tw+Ts-1). The capacity constraint Eq. 4 is the sum of
+ * the three.
+ */
+
+#ifndef MOPT_MODEL_FOOTPRINT_HH
+#define MOPT_MODEL_FOOTPRINT_HH
+
+#include "conv/problem.hh"
+#include "model/dims.hh"
+
+namespace mopt {
+
+/** Input-space extent covered by @p tiles outputs with kernel extent
+ *  @p ker under @p stride and @p dilation:
+ *  (tiles-1)*stride + (ker-1)*dilation + 1 (the paper's tiles + ker - 1
+ *  at stride = dilation = 1). */
+inline double
+inputExtent(double tiles, double ker, int stride, int dilation = 1)
+{
+    return (tiles - 1.0) * stride + (ker - 1.0) * dilation + 1.0;
+}
+
+/** Data footprint (in fp32 words) of one tile of tensor @p t. */
+double tileFootprint(TensorId t, const TileVec &tiles,
+                     const ConvProblem &p);
+
+/** Sum of the three tensor footprints (left side of Eq. 4). */
+double totalFootprint(const TileVec &tiles, const ConvProblem &p);
+
+/** Integer-tile convenience overloads. */
+double tileFootprint(TensorId t, const IntTileVec &tiles,
+                     const ConvProblem &p);
+double totalFootprint(const IntTileVec &tiles, const ConvProblem &p);
+
+/**
+ * Words of register storage the microkernel needs for a register tile:
+ * the Out accumulator block, the kernel vector registers, and the
+ * broadcast registers that are *live* at once. The outer-product
+ * scheme (Sec. 6, Fig. 4) broadcasts one input point, feeds it to the
+ * FMAs against every kernel register, and then the broadcast is dead;
+ * kLiveBroadcastRegs registers suffice regardless of the spatial tile
+ * extent. With this accounting the paper's 6 x 16 AVX2 kernel (12
+ * accumulators + 2 kernel + 2 broadcast) exactly fills 16 ymm
+ * registers.
+ */
+double registerFootprint(const TileVec &reg_tiles, const ConvProblem &p,
+                         int vec_lanes);
+
+/** Broadcast registers concurrently live in the outer-product kernel. */
+constexpr int kLiveBroadcastRegs = 2;
+
+} // namespace mopt
+
+#endif // MOPT_MODEL_FOOTPRINT_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Parallel split enumeration (Sec. 7): cores partition the L3 tile
+ * along the non-reduction dimensions (n, k, h, w); the product of the
+ * per-dimension split factors must equal the core count. Reduction
+ * dimensions (c, r, s) are never parallelized (write conflicts).
+ */
+
+#ifndef MOPT_MODEL_PARALLEL_MODEL_HH
+#define MOPT_MODEL_PARALLEL_MODEL_HH
+
+#include <vector>
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/**
+ * All parallel split vectors (1 on c/r/s) whose factors multiply to
+ * exactly @p cores and do not exceed the corresponding extent of
+ * @p l3_tiles. If no exact factorization fits, falls back to the
+ * splits with the largest achievable product (< cores), so the result
+ * is never empty for cores >= 1.
+ */
+std::vector<IntTileVec> parallelSplits(int cores,
+                                       const IntTileVec &l3_tiles);
+
+/**
+ * Choose the split minimizing the parallel model cost for @p cfg
+ * (cfg.par is ignored on input). Returns the best split and leaves
+ * cfg unchanged.
+ */
+IntTileVec bestParallelSplit(const MultiLevelConfig &cfg,
+                             const ConvProblem &p, const MachineSpec &m,
+                             DivMode mode = DivMode::Ceil);
+
+} // namespace mopt
+
+#endif // MOPT_MODEL_PARALLEL_MODEL_HH

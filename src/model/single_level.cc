@@ -1,0 +1,117 @@
+#include "model/single_level.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "model/footprint.hh"
+
+namespace mopt {
+
+namespace {
+
+/** Trip count of one tile loop. */
+double
+trips(double outer, double tile, DivMode mode)
+{
+    checkInvariant(tile > 0.0 && outer > 0.0,
+                   "trips: non-positive tile/outer extent");
+    const double q = outer / tile;
+    return mode == DivMode::Ceil ? std::ceil(q - 1e-12) : q;
+}
+
+/**
+ * Product of trip counts of the tile loops at innermost-based
+ * positions [from, 7].
+ */
+double
+tripProductFrom(int from, const Permutation &perm, const TileVec &tiles,
+                const TileVec &outer, DivMode mode)
+{
+    double prod = 1.0;
+    for (int pos = from; pos <= NumDims; ++pos) {
+        const Dim d = perm.dimAtPosition(pos);
+        prod *= trips(outer[static_cast<std::size_t>(d)],
+                      tiles[static_cast<std::size_t>(d)], mode);
+    }
+    return prod;
+}
+
+} // namespace
+
+double
+tileCount(const TileVec &tiles, const TileVec &outer, DivMode mode)
+{
+    double prod = 1.0;
+    for (int d = 0; d < NumDims; ++d)
+        prod *= trips(outer[static_cast<std::size_t>(d)],
+                      tiles[static_cast<std::size_t>(d)], mode);
+    return prod;
+}
+
+double
+tensorDataVolume(TensorId t, const Permutation &perm, const TileVec &tiles,
+                 const TileVec &outer, const ConvProblem &p, DivMode mode)
+{
+    const int r_pos = perm.innermostPresentPosition(t);
+    const Dim r_dim = perm.dimAtPosition(r_pos);
+
+    // Case 2 (Sec. 3.2): the In tensor when the innermost present
+    // iterator is one of wt/ht/st/rt. Consecutive tiles along that
+    // loop overlap partially in the input; the combined cost of the
+    // first full-footprint load plus the incremental loads equals the
+    // tile footprint with the swept dimension's extent widened to the
+    // full sweep extent.
+    if (t == TenIn && (r_dim == DimW || r_dim == DimH || r_dim == DimS ||
+                       r_dim == DimR)) {
+        const double tn = tiles[DimN], tc = tiles[DimC];
+        const double tr = tiles[DimR], ts = tiles[DimS];
+        const double th = tiles[DimH], tw = tiles[DimW];
+        double ext_h = inputExtent(th, tr, p.stride, p.dilation);
+        double ext_w = inputExtent(tw, ts, p.stride, p.dilation);
+        switch (r_dim) {
+          case DimW:
+            ext_w = inputExtent(outer[DimW], ts, p.stride, p.dilation);
+            break;
+          case DimS:
+            ext_w = inputExtent(tw, outer[DimS], p.stride, p.dilation);
+            break;
+          case DimH:
+            ext_h = inputExtent(outer[DimH], tr, p.stride, p.dilation);
+            break;
+          case DimR:
+            ext_h = inputExtent(th, outer[DimR], p.stride, p.dilation);
+            break;
+          default:
+            panic("unreachable");
+        }
+        const double swept = tn * tc * ext_h * ext_w;
+        return tripProductFrom(r_pos + 1, perm, tiles, outer, mode) * swept;
+    }
+
+    // Case 1: every change of the loop at position R_A replaces the
+    // whole slice, so the volume is the tile footprint times the trip
+    // product of the loop at R_A and everything surrounding it.
+    const double footprint = tileFootprint(t, tiles, p);
+    const double factor = t == TenOut ? 2.0 : 1.0; // read + write back
+    return factor * tripProductFrom(r_pos, perm, tiles, outer, mode) *
+           footprint;
+}
+
+double
+totalDataVolume(const Permutation &perm, const TileVec &tiles,
+                const TileVec &outer, const ConvProblem &p, DivMode mode)
+{
+    return tensorDataVolume(TenIn, perm, tiles, outer, p, mode) +
+           tensorDataVolume(TenKer, perm, tiles, outer, p, mode) +
+           tensorDataVolume(TenOut, perm, tiles, outer, p, mode);
+}
+
+double
+totalDataVolume(const Permutation &perm, const TileVec &tiles,
+                const ConvProblem &p, DivMode mode)
+{
+    return totalDataVolume(perm, tiles, toTileVec(problemExtents(p)), p,
+                           mode);
+}
+
+} // namespace mopt

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The general analytical data-movement evaluator of Sec. 3: for ANY
+ * permutation of the seven tile loops and any (real-valued) tile
+ * sizes, the volume of data moved between a cache of the hierarchy and
+ * the next outer level during execution of one enclosing tile.
+ *
+ * The "problem" extents are the enclosing tile's sizes (the true
+ * problem sizes for the outermost tiling level), which is what makes
+ * the single-level expressions compose into the multi-level model of
+ * Sec. 5.
+ *
+ * Modeling assumptions (paper Sec. 2.2/3.1): idealized fully
+ * associative LRU cache, unit line size, only cold + capacity misses,
+ * and tile sizes large enough that two adjacent tiles exceed capacity
+ * (so no reuse survives a present-index loop boundary).
+ */
+
+#ifndef MOPT_MODEL_SINGLE_LEVEL_HH
+#define MOPT_MODEL_SINGLE_LEVEL_HH
+
+#include "conv/problem.hh"
+#include "model/dims.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/** How loop trip counts outer/tile are computed. */
+enum class DivMode {
+    Continuous, //!< outer / tile as a real (solver domain).
+    Ceil,       //!< ceil(outer / tile) (integer configurations).
+};
+
+/**
+ * Data volume (fp32 words) moved for tensor @p t between this cache
+ * level and the next outer one, over the execution of one tile of
+ * extents @p outer swept by tiles of extents @p tiles under tile-loop
+ * order @p perm.
+ *
+ * Out is counted twice (read + write back), as in the paper.
+ *
+ * @param t      tensor
+ * @param perm   tile-loop permutation (outermost first)
+ * @param tiles  tile sizes at this level
+ * @param outer  enclosing-tile extents ("problem sizes" N for the
+ *               outermost level)
+ * @param p      convolution shape (kernel extents and stride)
+ * @param mode   trip-count arithmetic
+ */
+double tensorDataVolume(TensorId t, const Permutation &perm,
+                        const TileVec &tiles, const TileVec &outer,
+                        const ConvProblem &p,
+                        DivMode mode = DivMode::Continuous);
+
+/** Sum of the three per-tensor volumes. */
+double totalDataVolume(const Permutation &perm, const TileVec &tiles,
+                       const TileVec &outer, const ConvProblem &p,
+                       DivMode mode = DivMode::Continuous);
+
+/**
+ * Convenience: single-level tiling of the full problem (outer extents
+ * = problem extents).
+ */
+double totalDataVolume(const Permutation &perm, const TileVec &tiles,
+                       const ConvProblem &p,
+                       DivMode mode = DivMode::Continuous);
+
+/** Number of tiles: product over dims of outer/tile (per @p mode). */
+double tileCount(const TileVec &tiles, const TileVec &outer, DivMode mode);
+
+} // namespace mopt
+
+#endif // MOPT_MODEL_SINGLE_LEVEL_HH

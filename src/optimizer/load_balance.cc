@@ -1,0 +1,83 @@
+#include "optimizer/load_balance.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "model/multi_level.hh"
+#include "model/parallel_model.hh"
+
+namespace mopt {
+
+void
+loadBalance(ExecConfig &cfg, const ConvProblem &p, const MachineSpec &m)
+{
+    MultiLevelConfig model = cfg.toModel();
+    cfg.par = bestParallelSplit(model, p, m);
+
+    // Snap parallelized L3 tile extents to multiples of their split
+    // factor so each core's chunk is equal. Snapping goes *down* when
+    // the up-multiple would exceed the problem extent (the leftover
+    // runs as a partial L3 tile), and the per-core chunk never shrinks
+    // below the register tile so nesting Reg <= L1 <= L2 <= chunk
+    // stays intact.
+    const IntTileVec extents = problemExtents(p);
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        const std::int64_t f = cfg.par[sd];
+        if (f <= 1)
+            continue;
+        auto &t3 = cfg.tiles[LvlL3][sd];
+        const std::int64_t reg = cfg.tiles[LvlReg][sd];
+        std::int64_t per = std::max(reg, t3 / f);
+        if (per * f > extents[sd])
+            per = std::max(reg, extents[sd] / f);
+        if (per * f > extents[sd]) {
+            // Even a register-tile chunk per core does not fit: this
+            // split was a relaxed fallback; keep the largest even
+            // chunking that fits and accept core idling.
+            per = std::max<std::int64_t>(1, extents[sd] / f);
+        }
+        t3 = per * f;
+        // Keep nesting: L2 tile must not exceed the per-core chunk.
+        auto &t2 = cfg.tiles[LvlL2][sd];
+        t2 = std::clamp(t2, std::min(reg, per), per);
+        auto &t1 = cfg.tiles[LvlL1][sd];
+        t1 = std::clamp(t1, std::min(reg, t2), t2);
+    }
+}
+
+double
+idleFraction(const ExecConfig &cfg, const ConvProblem &p,
+             const MachineSpec &m)
+{
+    // Work is proportional to the per-core share of every L3 tile.
+    // With an uneven split the makespan is set by the largest chunk;
+    // the trailing partial L3 tile only costs its own (smaller) chunk.
+    const IntTileVec extents = problemExtents(p);
+    double total_work = 1.0;
+    double makespan_work = 1.0;
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        const std::int64_t n = extents[sd];
+        const std::int64_t t3 = std::min<std::int64_t>(
+            n, cfg.tiles[LvlL3][sd]);
+        const std::int64_t f = cfg.par[sd];
+        const std::int64_t full = n / t3;
+        const std::int64_t rem = n - full * t3;
+        // Per full L3 tile every core processes ceil(t3/f); the
+        // remainder tile costs ceil(rem/f).
+        const std::int64_t span =
+            full * ((t3 + f - 1) / f) + (rem + f - 1) / f;
+        total_work *= static_cast<double>(n);
+        makespan_work *=
+            static_cast<double>(span) * static_cast<double>(f);
+    }
+    const double cores = static_cast<double>(
+        std::min<std::int64_t>(m.cores, cfg.toModel().totalParallelism()));
+    (void)cores;
+    if (makespan_work <= 0.0)
+        return 0.0;
+    return std::max(0.0, 1.0 - total_work / makespan_work);
+}
+
+} // namespace mopt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Load balancing (Algorithm 1, line 24): pick the parallel split of
+ * the L3 tile across cores and adjust the parallelized tile extents
+ * so per-core chunks are even, minimizing core idling.
+ */
+
+#ifndef MOPT_OPTIMIZER_LOAD_BALANCE_HH
+#define MOPT_OPTIMIZER_LOAD_BALANCE_HH
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/**
+ * Choose cfg.par by enumerating exact factorizations of the core
+ * count over the non-reduction dims (parallel_model.hh), then snap
+ * the parallelized L3 tile extents to multiples of their split
+ * factors so every core receives an equal chunk.
+ */
+void loadBalance(ExecConfig &cfg, const ConvProblem &p,
+                 const MachineSpec &m);
+
+/**
+ * Fraction of core-steps idle under @p cfg: 1 - (useful work) /
+ * (cores x makespan), using per-chunk MAC counts as the work
+ * estimate. 0 means perfectly balanced.
+ */
+double idleFraction(const ExecConfig &cfg, const ConvProblem &p,
+                    const MachineSpec &m);
+
+} // namespace mopt
+
+#endif // MOPT_OPTIMIZER_LOAD_BALANCE_HH

@@ -1,0 +1,417 @@
+#include "optimizer/mopt_optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "common/timer.hh"
+#include "model/footprint.hh"
+#include "model/parallel_model.hh"
+#include "model/pruned_classes.hh"
+#include "optimizer/integerize.hh"
+#include "optimizer/load_balance.hh"
+#include "solver/multistart.hh"
+
+namespace mopt {
+
+namespace {
+
+/** One permutation assignment for all four levels. */
+struct PermCombo
+{
+    std::array<Permutation, NumMemLevels> perm;
+    std::string label;
+};
+
+std::vector<PermCombo>
+buildCombos(OptimizerOptions::PermMode mode)
+{
+    const auto &classes = prunedClasses();
+    const Permutation reg = microkernelPermutation();
+    std::vector<PermCombo> combos;
+    if (mode == OptimizerOptions::PermMode::Uniform) {
+        for (const auto &cls : classes) {
+            PermCombo c;
+            c.perm = {reg, cls.representative(), cls.representative(),
+                      cls.representative()};
+            c.label = cls.name();
+            combos.push_back(std::move(c));
+        }
+    } else {
+        for (const auto &c1 : classes)
+            for (const auto &c2 : classes)
+                for (const auto &c3 : classes) {
+                    PermCombo c;
+                    c.perm = {reg, c1.representative(),
+                              c2.representative(), c3.representative()};
+                    c.label = "L1:" + c1.name() + " L2:" + c2.name() +
+                              " L3:" + c3.name();
+                    combos.push_back(std::move(c));
+                }
+    }
+    return combos;
+}
+
+/** Variable index of (cache level l in {L1,L2,L3}, dim d). */
+inline std::size_t
+varIdx(int lvl, int d)
+{
+    return static_cast<std::size_t>((lvl - LvlL1) * NumDims + d);
+}
+
+constexpr int kNumVars = 3 * NumDims;
+
+/**
+ * Greedy capacity-filling seed: starting from the inner level's tile,
+ * double the dimension with the largest remaining trip count while
+ * the footprint stays within the level capacity.
+ */
+TileVec
+greedySeed(const TileVec &base, const IntTileVec &extents,
+           const ConvProblem &p, double capacity_words)
+{
+    TileVec t = base;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        int best_d = -1;
+        double best_ratio = 1.0;
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            const double ratio =
+                static_cast<double>(extents[sd]) / t[sd];
+            if (ratio > best_ratio + 1e-9) {
+                // Try doubling this dim; accept only if it still fits.
+                TileVec trial = t;
+                trial[sd] = std::min(t[sd] * 2.0,
+                                     static_cast<double>(extents[sd]));
+                if (totalFootprint(trial, p) <= capacity_words &&
+                    ratio > best_ratio) {
+                    best_ratio = ratio;
+                    best_d = d;
+                }
+            }
+        }
+        if (best_d >= 0) {
+            const auto sd = static_cast<std::size_t>(best_d);
+            t[sd] = std::min(t[sd] * 2.0,
+                             static_cast<double>(extents[sd]));
+            progress = true;
+        }
+    }
+    return t;
+}
+
+/** Greedy prime-factor parallel split used during continuous solves. */
+IntTileVec
+greedySplit(int cores, const IntTileVec &extents)
+{
+    IntTileVec par{1, 1, 1, 1, 1, 1, 1};
+    // Prime factors of the core count, largest first.
+    std::vector<int> factors;
+    int c = cores;
+    for (int f = 2; f * f <= c; ++f)
+        while (c % f == 0) {
+            factors.push_back(f);
+            c /= f;
+        }
+    if (c > 1)
+        factors.push_back(c);
+    std::sort(factors.rbegin(), factors.rend());
+
+    const Dim cand[] = {DimK, DimH, DimW, DimN};
+    for (int f : factors) {
+        // Assign to the dim with the largest per-chunk extent that can
+        // still absorb the factor.
+        int best = -1;
+        double best_extent = 0.0;
+        for (Dim d : cand) {
+            const auto sd = static_cast<std::size_t>(d);
+            const double per =
+                static_cast<double>(extents[sd]) /
+                static_cast<double>(par[sd]);
+            if (per >= f && per > best_extent) {
+                best_extent = per;
+                best = d;
+            }
+        }
+        if (best >= 0)
+            par[static_cast<std::size_t>(best)] *= f;
+    }
+    return par;
+}
+
+MultiStartOptions
+effortOptions(OptimizerOptions::Effort effort, std::uint64_t seed)
+{
+    MultiStartOptions ms;
+    ms.seed = seed;
+    switch (effort) {
+      case OptimizerOptions::Effort::Fast:
+        ms.random_starts = 1;
+        ms.auglag.outer_iters = 4;
+        ms.auglag.inner.max_steps = 60;
+        ms.auglag.inner.lr = 0.15;
+        break;
+      case OptimizerOptions::Effort::Standard:
+        ms.random_starts = 2;
+        ms.auglag.outer_iters = 6;
+        ms.auglag.inner.max_steps = 120;
+        break;
+      case OptimizerOptions::Effort::Thorough:
+        ms.random_starts = 4;
+        ms.auglag.outer_iters = 8;
+        ms.auglag.inner.max_steps = 250;
+        break;
+    }
+    return ms;
+}
+
+/** State of one Algorithm-1 run for a fixed permutation combo. */
+class ComboSolver
+{
+  public:
+    ComboSolver(const PermCombo &combo, const ConvProblem &p,
+                const MachineSpec &m, const OptimizerOptions &opts)
+        : combo_(combo), p_(p), m_(m), opts_(opts),
+          extents_(problemExtents(p)),
+          reg_tiles_(toTileVec(microkernelTiles(p, m)))
+    {
+        par_ = opts_.parallel ? greedySplit(m.cores, extents_)
+                              : IntTileVec{1, 1, 1, 1, 1, 1, 1};
+        for (int l = 0; l < 3; ++l)
+            for (int d = 0; d < NumDims; ++d) {
+                const auto sd = static_cast<std::size_t>(d);
+                lo_[varIdx(LvlL1 + l, d)] = std::log(reg_tiles_[sd]);
+                hi_[varIdx(LvlL1 + l, d)] =
+                    std::log(static_cast<double>(extents_[sd]));
+            }
+    }
+
+    /** Run Algorithm 1 for this combo. */
+    Candidate run(long &evals);
+
+  private:
+    MultiLevelConfig decode(const std::vector<double> &x) const;
+    NlpResult argMinSolve(int obj_lvl, long &evals) const;
+    std::vector<std::vector<double>> seeds() const;
+
+    const PermCombo &combo_;
+    const ConvProblem &p_;
+    const MachineSpec &m_;
+    const OptimizerOptions &opts_;
+    IntTileVec extents_;
+    TileVec reg_tiles_;
+    IntTileVec par_;
+
+    /** Box bounds; fixing a level collapses its interval. */
+    std::vector<double> lo_ = std::vector<double>(kNumVars, 0.0);
+    std::vector<double> hi_ = std::vector<double>(kNumVars, 0.0);
+};
+
+MultiLevelConfig
+ComboSolver::decode(const std::vector<double> &x) const
+{
+    MultiLevelConfig cfg;
+    for (int l = 0; l < NumMemLevels; ++l)
+        cfg.level[static_cast<std::size_t>(l)].perm =
+            combo_.perm[static_cast<std::size_t>(l)];
+    cfg.level[LvlReg].tiles = reg_tiles_;
+    for (int l = 0; l < 3; ++l)
+        for (int d = 0; d < NumDims; ++d)
+            cfg.level[static_cast<std::size_t>(LvlL1 + l)].tiles
+                [static_cast<std::size_t>(d)] =
+                std::exp(x[varIdx(LvlL1 + l, d)]);
+    cfg.par = par_;
+    return cfg;
+}
+
+std::vector<std::vector<double>>
+ComboSolver::seeds() const
+{
+    // Seed 1: greedily fill each level's capacity from the inside out.
+    std::vector<double> s1(kNumVars);
+    TileVec inner = reg_tiles_;
+    for (int l = 0; l < 3; ++l) {
+        const double cap =
+            static_cast<double>(m_.capacityWords(LvlL1 + l));
+        TileVec t = greedySeed(inner, extents_, p_, cap);
+        for (int d = 0; d < NumDims; ++d)
+            s1[varIdx(LvlL1 + l, d)] =
+                std::log(t[static_cast<std::size_t>(d)]);
+        inner = t;
+    }
+    // Seed 2: geometric interpolation between the register tile and
+    // the problem extents.
+    std::vector<double> s2(kNumVars);
+    for (int l = 0; l < 3; ++l) {
+        const double frac = (l + 1) / 3.0;
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            const double lo = std::log(reg_tiles_[sd]);
+            const double hi =
+                std::log(static_cast<double>(extents_[sd]));
+            s2[varIdx(LvlL1 + l, d)] = lo + frac * (hi - lo);
+        }
+    }
+    // Respect any collapsed (fixed) intervals.
+    for (auto *s : {&s1, &s2})
+        for (int i = 0; i < kNumVars; ++i)
+            (*s)[static_cast<std::size_t>(i)] = std::clamp(
+                (*s)[static_cast<std::size_t>(i)],
+                lo_[static_cast<std::size_t>(i)],
+                hi_[static_cast<std::size_t>(i)]);
+    return {s1, s2};
+}
+
+NlpResult
+ComboSolver::argMinSolve(int obj_lvl, long &evals) const
+{
+    // Constraints: 3 capacity, 14 nesting (L1<=L2<=L3), 3 dominance.
+    const int num_g = 3 + 2 * NumDims + (NumMemLevels - 1);
+    FunctionalNlp nlp(
+        kNumVars, num_g, lo_, hi_,
+        [this, obj_lvl](const std::vector<double> &x,
+                        std::vector<double> &g) {
+            const MultiLevelConfig cfg = decode(x);
+            const CostBreakdown cb = evalMultiLevel(
+                cfg, p_, m_, opts_.parallel, DivMode::Continuous);
+            std::size_t gi = 0;
+            for (int l = LvlL1; l <= LvlL3; ++l) {
+                const double fp = totalFootprint(
+                    cfg.level[static_cast<std::size_t>(l)].tiles, p_);
+                g[gi++] = std::log(
+                    fp / static_cast<double>(m_.capacityWords(l)));
+            }
+            for (int l = 0; l < 2; ++l)
+                for (int d = 0; d < NumDims; ++d)
+                    g[gi++] = x[varIdx(LvlL1 + l, d)] -
+                              x[varIdx(LvlL1 + l + 1, d)];
+            const double obj = std::log(std::max(
+                cb.seconds[static_cast<std::size_t>(obj_lvl)], 1e-300));
+            for (int k = 0; k < NumMemLevels; ++k) {
+                if (k == obj_lvl)
+                    continue;
+                g[gi++] = std::log(std::max(
+                              cb.seconds[static_cast<std::size_t>(k)],
+                              1e-300)) -
+                          obj;
+            }
+            return obj;
+        });
+
+    const MultiStartOptions ms = effortOptions(
+        opts_.effort, opts_.seed + static_cast<std::uint64_t>(obj_lvl));
+    NlpResult r = solveMultiStart(nlp, seeds(), ms);
+    evals += r.evals;
+    return r;
+}
+
+Candidate
+ComboSolver::run(long &evals)
+{
+    std::vector<int> not_visited = {LvlReg, LvlL1, LvlL2, LvlL3};
+
+    while (!not_visited.empty()) {
+        double min_score = std::numeric_limits<double>::infinity();
+        int min_lvl = not_visited.front();
+        NlpResult min_result;
+        for (int obj : not_visited) {
+            const NlpResult r = argMinSolve(obj, evals);
+            const double score =
+                r.feasible ? r.objective : 1e6 + r.max_violation;
+            if (score < min_score) {
+                min_score = score;
+                min_lvl = obj;
+                min_result = r;
+            }
+        }
+        // Fix the most-constrained level's tile sizes (the register
+        // level's tiles are already pinned by the microkernel).
+        if (min_lvl != LvlReg && !min_result.x.empty()) {
+            for (int d = 0; d < NumDims; ++d) {
+                const std::size_t i = varIdx(min_lvl, d);
+                lo_[i] = hi_[i] = min_result.x[i];
+            }
+        }
+        not_visited.erase(
+            std::find(not_visited.begin(), not_visited.end(), min_lvl));
+    }
+
+    // All levels fixed: decode the final continuous configuration.
+    std::vector<double> x(kNumVars);
+    for (int i = 0; i < kNumVars; ++i)
+        x[static_cast<std::size_t>(i)] = lo_[static_cast<std::size_t>(i)];
+    MultiLevelConfig final_cfg = decode(x);
+    final_cfg.clampNesting(extents_);
+
+    Candidate cand;
+    cand.config = integerize(final_cfg, p_, m_, opts_.parallel);
+    if (opts_.parallel)
+        loadBalance(cand.config, p_, m_);
+    else
+        cand.config.par = {1, 1, 1, 1, 1, 1, 1};
+    cand.predicted = evalMultiLevel(cand.config, p_, m_, opts_.parallel);
+    cand.perm_label = combo_.label;
+    return cand;
+}
+
+} // namespace
+
+IntTileVec
+microkernelTiles(const ConvProblem &p, const MachineSpec &m)
+{
+    IntTileVec t{1, 1, 1, 1, 1, 1, 1};
+    t[DimK] = std::min<std::int64_t>(2 * m.vec_lanes, p.k);
+    t[DimW] = std::min<std::int64_t>(6, p.w);
+    return t;
+}
+
+Permutation
+microkernelPermutation()
+{
+    return Permutation::parse("nhwkcrs");
+}
+
+OptimizeOutput
+optimizeConv(const ConvProblem &p, const MachineSpec &m,
+             const OptimizerOptions &opts)
+{
+    p.validate();
+    m.validate();
+    Timer timer;
+
+    const std::vector<PermCombo> combos = buildCombos(opts.perm_mode);
+    OptimizeOutput out;
+    out.candidates.resize(combos.size());
+    std::vector<long> eval_counts(combos.size(), 0);
+
+    const std::size_t workers = std::min<std::size_t>(
+        combos.size(),
+        opts.threads > 0
+            ? static_cast<std::size_t>(opts.threads)
+            : std::max(1u, std::thread::hardware_concurrency()));
+    ThreadPool pool(workers);
+    pool.parallelFor(combos.size(), [&](std::size_t i) {
+        ComboSolver solver(combos[i], p, m, opts);
+        out.candidates[i] = solver.run(eval_counts[i]);
+    });
+
+    for (long e : eval_counts)
+        out.solver_evals += e;
+
+    std::sort(out.candidates.begin(), out.candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.predicted.total_seconds <
+                         b.predicted.total_seconds;
+              });
+    if (static_cast<int>(out.candidates.size()) > opts.top_k)
+        out.candidates.resize(static_cast<std::size_t>(opts.top_k));
+    out.seconds = timer.seconds();
+    return out;
+}
+
+} // namespace mopt

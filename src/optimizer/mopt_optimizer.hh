@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The MOpt optimizer (Sec. 8, Algorithm 1 of the paper): sweep the
+ * pruned permutation classes; for each, repeatedly solve constrained
+ * NLPs to find the most-constrained memory level, fix its tile sizes,
+ * and recurse on the remaining levels; finally integerize (floor),
+ * load-balance, and rank candidates by predicted bandwidth-scaled
+ * bottleneck time.
+ */
+
+#ifndef MOPT_OPTIMIZER_MOPT_OPTIMIZER_HH
+#define MOPT_OPTIMIZER_MOPT_OPTIMIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/** Options controlling the optimizer. */
+struct OptimizerOptions
+{
+    /** How many ranked candidates to return (paper's MOpt-5 uses 5). */
+    int top_k = 5;
+
+    /** Optimize for parallel execution on all cores (Sec. 7). */
+    bool parallel = true;
+
+    /** Permutation sweep mode. */
+    enum class PermMode {
+        Uniform,     //!< Same pruned class at L1/L2/L3 (8 cases).
+        Independent, //!< Free class choice per level (8^3 cases).
+    };
+    PermMode perm_mode = PermMode::Uniform;
+
+    /** Solver effort preset (inner iterations / starts). */
+    enum class Effort { Fast, Standard, Thorough };
+    Effort effort = Effort::Standard;
+
+    std::uint64_t seed = 7;
+
+    /** Worker threads for the permutation sweep (0 = hardware). */
+    int threads = 0;
+};
+
+/** One ranked configuration. */
+struct Candidate
+{
+    ExecConfig config;
+    CostBreakdown predicted; //!< Ceil-mode model evaluation.
+    std::string perm_label;  //!< Pruned-class names per level.
+};
+
+/** Output of optimizeConv. */
+struct OptimizeOutput
+{
+    std::vector<Candidate> candidates; //!< Sorted, best first.
+    double seconds = 0.0;              //!< Wall-clock search time.
+    long solver_evals = 0;             //!< Total model evaluations.
+};
+
+/**
+ * Register-tile sizes pinned by the microkernel (Sec. 8: machine-
+ * dependent, problem-independent up to clamping): k = 2 vector
+ * registers wide, 6 spatial points along w, 1 elsewhere.
+ */
+IntTileVec microkernelTiles(const ConvProblem &p, const MachineSpec &m);
+
+/** The fixed register-level tile-loop order (n,h,w,k outer; c,r,s
+ *  innermost so the Out accumulators are reused across the whole
+ *  reduction, Sec. 6). */
+Permutation microkernelPermutation();
+
+/** Run the full optimizer for one conv2d operator. */
+OptimizeOutput optimizeConv(const ConvProblem &p, const MachineSpec &m,
+                            const OptimizerOptions &opts =
+                                OptimizerOptions());
+
+} // namespace mopt
+
+#endif // MOPT_OPTIMIZER_MOPT_OPTIMIZER_HH

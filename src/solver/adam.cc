@@ -1,0 +1,75 @@
+#include "solver/adam.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+std::vector<double>
+adamMinimize(const std::function<double(const std::vector<double> &)> &f,
+             std::vector<double> x0, const std::vector<double> &lo,
+             const std::vector<double> &hi, const AdamOptions &opts,
+             long &evals)
+{
+    const std::size_t n = x0.size();
+    checkUser(lo.size() == n && hi.size() == n, "adamMinimize: size mismatch");
+
+    auto clamp = [&](std::vector<double> &x) {
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = std::clamp(x[i], lo[i], hi[i]);
+    };
+    clamp(x0);
+
+    std::vector<double> x = x0;
+    std::vector<double> best = x;
+    double best_f = f(x);
+    ++evals;
+
+    std::vector<double> m(n, 0.0), v(n, 0.0), grad(n, 0.0);
+    double lr = opts.lr;
+
+    for (int step = 1; step <= opts.max_steps; ++step) {
+        // Central-difference gradient, projected onto the box.
+        for (std::size_t i = 0; i < n; ++i) {
+            const double h =
+                opts.grad_h * std::max(1.0, std::fabs(x[i]));
+            std::vector<double> xp = x, xm = x;
+            xp[i] = std::min(hi[i], x[i] + h);
+            xm[i] = std::max(lo[i], x[i] - h);
+            const double denom = xp[i] - xm[i];
+            if (denom <= 0.0) {
+                grad[i] = 0.0;
+                continue;
+            }
+            grad[i] = (f(xp) - f(xm)) / denom;
+            evals += 2;
+        }
+
+        double step_norm = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            m[i] = opts.beta1 * m[i] + (1.0 - opts.beta1) * grad[i];
+            v[i] = opts.beta2 * v[i] + (1.0 - opts.beta2) * grad[i] * grad[i];
+            const double mh = m[i] / (1.0 - std::pow(opts.beta1, step));
+            const double vh = v[i] / (1.0 - std::pow(opts.beta2, step));
+            const double delta = lr * mh / (std::sqrt(vh) + opts.eps);
+            x[i] -= delta;
+            step_norm += delta * delta;
+        }
+        clamp(x);
+        lr *= opts.lr_decay;
+
+        const double fx = f(x);
+        ++evals;
+        if (fx < best_f) {
+            best_f = fx;
+            best = x;
+        }
+        if (std::sqrt(step_norm) < opts.tol)
+            break;
+    }
+    return best;
+}
+
+} // namespace mopt

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Box-constrained first-order minimizer (Adam with numeric central
+ * differences) used as the inner solver of the augmented-Lagrangian
+ * method. Dimensions are tiny (<= 21), so numeric gradients are cheap
+ * and robust.
+ */
+
+#ifndef MOPT_SOLVER_ADAM_HH
+#define MOPT_SOLVER_ADAM_HH
+
+#include <functional>
+#include <vector>
+
+namespace mopt {
+
+/** Options for adamMinimize. */
+struct AdamOptions
+{
+    int max_steps = 200;
+    double lr = 0.1;          //!< Initial learning rate.
+    double lr_decay = 0.995;  //!< Multiplicative decay per step.
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double grad_h = 1e-5;     //!< Relative finite-difference step.
+    double tol = 1e-10;       //!< Stop when step size drops below this.
+};
+
+/**
+ * Minimize @p f over the box [lo, hi] starting from @p x0 (clamped).
+ *
+ * @param f       scalar function of a dim-sized vector
+ * @param x0      starting point
+ * @param lo,hi   box bounds
+ * @param opts    algorithm options
+ * @param evals   incremented by the number of f evaluations
+ * @return        the best point visited
+ */
+std::vector<double> adamMinimize(
+    const std::function<double(const std::vector<double> &)> &f,
+    std::vector<double> x0, const std::vector<double> &lo,
+    const std::vector<double> &hi, const AdamOptions &opts, long &evals);
+
+} // namespace mopt
+
+#endif // MOPT_SOLVER_ADAM_HH

@@ -1,0 +1,96 @@
+#include "solver/augmented_lagrangian.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+NlpResult
+solveAugLag(const NlpProblem &prob, std::vector<double> x0,
+            const AugLagOptions &opts)
+{
+    const int n = prob.dim();
+    const int m = prob.numConstraints();
+    checkUser(static_cast<int>(x0.size()) == n,
+              "solveAugLag: start point size mismatch");
+
+    const std::vector<double> &lo = prob.lowerBounds();
+    const std::vector<double> &hi = prob.upperBounds();
+    for (int i = 0; i < n; ++i)
+        x0[static_cast<std::size_t>(i)] =
+            std::clamp(x0[static_cast<std::size_t>(i)],
+                       lo[static_cast<std::size_t>(i)],
+                       hi[static_cast<std::size_t>(i)]);
+
+    std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
+    double mu = opts.mu0;
+    long evals = 0;
+
+    NlpResult best;
+    best.objective = std::numeric_limits<double>::infinity();
+    best.max_violation = std::numeric_limits<double>::infinity();
+
+    auto consider = [&](const std::vector<double> &x) {
+        std::vector<double> g;
+        const double f = prob.evalAll(x, g);
+        ++evals;
+        double viol = 0.0;
+        for (double gi : g)
+            viol = std::max(viol, gi);
+        const bool feas = viol <= opts.feas_tol;
+        // Prefer feasible; among feasible, lower objective; among
+        // infeasible, lower violation.
+        const bool better =
+            (feas && !best.feasible) ||
+            (feas && best.feasible && f < best.objective) ||
+            (!feas && !best.feasible && viol < best.max_violation);
+        if (better) {
+            best.x = x;
+            best.objective = f;
+            best.max_violation = viol;
+            best.feasible = feas;
+        }
+        return g;
+    };
+
+    std::vector<double> x = x0;
+    consider(x);
+
+    for (int outer = 0; outer < opts.outer_iters; ++outer) {
+        auto penalized = [&](const std::vector<double> &xx) {
+            std::vector<double> g;
+            const double f = prob.evalAll(xx, g);
+            double pen = 0.0;
+            for (int i = 0; i < m; ++i) {
+                const double li = lambda[static_cast<std::size_t>(i)];
+                const double t =
+                    std::max(0.0, li + mu * g[static_cast<std::size_t>(i)]);
+                pen += (t * t - li * li) / (2.0 * mu);
+            }
+            return f + pen;
+        };
+
+        x = adamMinimize(penalized, x, lo, hi, opts.inner, evals);
+        const std::vector<double> g = consider(x);
+
+        // Multiplier and penalty updates.
+        double viol = 0.0;
+        for (int i = 0; i < m; ++i) {
+            const double gi = g[static_cast<std::size_t>(i)];
+            lambda[static_cast<std::size_t>(i)] = std::max(
+                0.0, lambda[static_cast<std::size_t>(i)] + mu * gi);
+            viol = std::max(viol, gi);
+        }
+        if (viol <= opts.feas_tol && outer >= 1)
+            break; // converged to a feasible stationary point
+        mu = std::min(opts.mu_max, mu * opts.mu_growth);
+    }
+
+    best.evals = evals;
+    return best;
+}
+
+} // namespace mopt

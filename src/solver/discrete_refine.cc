@@ -1,0 +1,75 @@
+#include "solver/discrete_refine.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+std::int64_t
+balancedTile(std::int64_t n, std::int64_t t)
+{
+    checkUser(n >= 1 && t >= 1, "balancedTile: bad arguments");
+    t = std::min(t, n);
+    const std::int64_t tiles = (n + t - 1) / t;
+    return (n + tiles - 1) / tiles;
+}
+
+std::vector<std::int64_t>
+hillClimb(const DiscreteProblem &prob, std::vector<std::int64_t> start,
+          const HillClimbOptions &opts)
+{
+    const std::size_t n = start.size();
+    checkUser(prob.lo.size() == n && prob.hi.size() == n,
+              "hillClimb: bound size mismatch");
+    for (std::size_t i = 0; i < n; ++i)
+        start[i] = std::clamp(start[i], prob.lo[i], prob.hi[i]);
+
+    std::vector<std::int64_t> x = start;
+    double best = prob.cost(x);
+
+    for (int round = 0; round < opts.max_rounds; ++round) {
+        bool improved = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::set<std::int64_t> cands = {
+                x[i] - 1, x[i] + 1, x[i] * 2, x[i] / 2, prob.lo[i],
+                prob.hi[i]};
+            if (!prob.extents.empty()) {
+                cands.insert(balancedTile(prob.extents[i], x[i]));
+                if (x[i] > 1)
+                    cands.insert(balancedTile(prob.extents[i], x[i] - 1));
+                cands.insert(balancedTile(prob.extents[i], x[i] + 1));
+            }
+            std::int64_t best_v = x[i];
+            for (std::int64_t cand : cands) {
+                if (cand == x[i] || cand < prob.lo[i] || cand > prob.hi[i])
+                    continue;
+                const std::int64_t saved = x[i];
+                x[i] = cand;
+                const double c = prob.cost(x);
+                if (c < best) {
+                    best = c;
+                    best_v = cand;
+                }
+                x[i] = saved;
+            }
+            if (best_v != x[i]) {
+                x[i] = best_v;
+                improved = true;
+            }
+        }
+        if (!improved)
+            break;
+    }
+
+    // If the start itself was infeasible and nothing feasible was
+    // found, x still carries the least-cost point visited per sweep;
+    // callers treat +inf cost as "no feasible refinement".
+    if (best == std::numeric_limits<double>::infinity())
+        return start;
+    return x;
+}
+
+} // namespace mopt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Divisor-aware discrete refinement: the continuous solver returns
+ * real tile sizes; after flooring (Algorithm 1 line 23), a local hill
+ * climb over integer neighbours recovers the loss from rounding and
+ * snaps sizes onto balanced partitions of the problem extents.
+ */
+
+#ifndef MOPT_SOLVER_DISCRETE_REFINE_HH
+#define MOPT_SOLVER_DISCRETE_REFINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mopt {
+
+/** An unconstrained-but-penalized integer minimization problem. */
+struct DiscreteProblem
+{
+    /**
+     * Cost of a point; return +infinity for infeasible points.
+     * Lower is better.
+     */
+    std::function<double(const std::vector<std::int64_t> &)> cost;
+
+    /** Per-coordinate inclusive bounds. */
+    std::vector<std::int64_t> lo, hi;
+
+    /**
+     * Optional per-coordinate "extent" used to generate balanced-
+     * partition candidate moves (ceil(extent / ceil(extent / x))).
+     * Empty to disable.
+     */
+    std::vector<std::int64_t> extents;
+};
+
+/** Options for hillClimb. */
+struct HillClimbOptions
+{
+    int max_rounds = 12;  //!< Full coordinate sweeps.
+};
+
+/**
+ * Greedy coordinate hill climb from @p start: each round tries, for
+ * every coordinate, the moves {x-1, x+1, 2x, x/2, balanced-partition
+ * snap, lo, hi} and keeps the best improvement. Stops when a full
+ * round yields no improvement.
+ */
+std::vector<std::int64_t> hillClimb(const DiscreteProblem &prob,
+                                    std::vector<std::int64_t> start,
+                                    const HillClimbOptions &opts =
+                                        HillClimbOptions());
+
+/**
+ * The balanced partition size for extent @p n and target tile @p t:
+ * the smallest tile size that still needs the same number of tiles,
+ * ceil(n / ceil(n / t)). Minimizes partial-tile waste.
+ */
+std::int64_t balancedTile(std::int64_t n, std::int64_t t);
+
+} // namespace mopt
+
+#endif // MOPT_SOLVER_DISCRETE_REFINE_HH

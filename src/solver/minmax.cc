@@ -1,0 +1,75 @@
+#include "solver/minmax.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+MinMaxResult
+solveMinMax(const MinMaxProblem &prob,
+            const std::vector<std::vector<double>> &seeds,
+            const MultiStartOptions &opts)
+{
+    checkUser(prob.dim >= 1 && prob.num_components >= 1,
+              "solveMinMax: bad problem");
+
+    MinMaxResult result;
+    result.per_component.resize(
+        static_cast<std::size_t>(prob.num_components));
+    result.best_max = std::numeric_limits<double>::infinity();
+
+    for (int l = 0; l < prob.num_components; ++l) {
+        // Sub-problem: minimize log f_l subject to shared constraints
+        // and log f_k - log f_l <= 0 for all k != l.
+        const int m = prob.num_shared + prob.num_components - 1;
+        FunctionalNlp nlp(
+            prob.dim, m, prob.lo, prob.hi,
+            [&prob, l](const std::vector<double> &x,
+                       std::vector<double> &g) {
+                std::vector<double> comps, shared;
+                prob.eval(x, comps, shared);
+                const double fl =
+                    std::log(std::max(comps[static_cast<std::size_t>(l)],
+                                      1e-300));
+                std::size_t gi = 0;
+                for (double s : shared)
+                    g[gi++] = s;
+                for (int k = 0; k < prob.num_components; ++k) {
+                    if (k == l)
+                        continue;
+                    g[gi++] =
+                        std::log(std::max(
+                            comps[static_cast<std::size_t>(k)], 1e-300)) -
+                        fl;
+                }
+                return fl;
+            });
+
+        NlpResult r = solveMultiStart(nlp, seeds, opts);
+        result.per_component[static_cast<std::size_t>(l)] = r;
+        if (r.x.empty())
+            continue;
+
+        // Score by the true max component (robust even when the
+        // dominance constraints are slightly violated).
+        std::vector<double> comps, shared;
+        prob.eval(r.x, comps, shared);
+        double shared_viol = 0.0;
+        for (double s : shared)
+            shared_viol = std::max(shared_viol, s);
+        if (shared_viol > opts.auglag.feas_tol)
+            continue;
+        const double fmax = *std::max_element(comps.begin(), comps.end());
+        if (fmax < result.best_max) {
+            result.best_max = fmax;
+            result.best = r;
+            result.best_component = l;
+        }
+    }
+    return result;
+}
+
+} // namespace mopt

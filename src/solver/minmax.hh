@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Min-max driver (Sec. 5 of the paper): nonlinear solvers cannot
+ * minimize max(f_1..f_L) directly, so we solve L constrained problems
+ * — for each l, minimize f_l subject to f_l >= f_k for all k — and
+ * take the best. Component functions must be strictly positive
+ * (bandwidth-scaled data-movement times); the implementation works
+ * with log(f) for well-scaled constraints.
+ */
+
+#ifndef MOPT_SOLVER_MINMAX_HH
+#define MOPT_SOLVER_MINMAX_HH
+
+#include <functional>
+#include <vector>
+
+#include "solver/multistart.hh"
+
+namespace mopt {
+
+/** A min(max(f_1..f_L)) problem with shared constraints g_i <= 0. */
+struct MinMaxProblem
+{
+    int dim = 0;
+    std::vector<double> lo, hi;
+    int num_components = 0; //!< L
+    int num_shared = 0;     //!< Shared inequality constraints.
+
+    /**
+     * Evaluate everything at @p x: fill @p comps (size L, strictly
+     * positive) and @p shared (size num_shared, feasible iff <= 0).
+     */
+    std::function<void(const std::vector<double> &, std::vector<double> &,
+                       std::vector<double> &)>
+        eval;
+};
+
+/** Result of solveMinMax. */
+struct MinMaxResult
+{
+    /** Which component was binding at the best solution. */
+    int best_component = -1;
+
+    /** Best solution across the L sub-problems. */
+    NlpResult best;
+
+    /** max_k f_k at the best solution. */
+    double best_max = 0.0;
+
+    /** Per-sub-problem results (index = objective component). */
+    std::vector<NlpResult> per_component;
+};
+
+/**
+ * Solve the min-max problem via L constrained minimizations.
+ * @p seeds are starting points shared by all sub-problems.
+ */
+MinMaxResult solveMinMax(const MinMaxProblem &prob,
+                         const std::vector<std::vector<double>> &seeds,
+                         const MultiStartOptions &opts = MultiStartOptions());
+
+} // namespace mopt
+
+#endif // MOPT_SOLVER_MINMAX_HH

@@ -1,0 +1,51 @@
+#include "solver/multistart.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+NlpResult
+solveMultiStart(const NlpProblem &prob,
+                const std::vector<std::vector<double>> &seeds,
+                const MultiStartOptions &opts)
+{
+    Rng rng(opts.seed);
+    const std::vector<double> &lo = prob.lowerBounds();
+    const std::vector<double> &hi = prob.upperBounds();
+    const int n = prob.dim();
+
+    std::vector<std::vector<double>> starts = seeds;
+    for (int s = 0; s < opts.random_starts; ++s) {
+        std::vector<double> x(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i)
+            x[static_cast<std::size_t>(i)] =
+                rng.uniformReal(lo[static_cast<std::size_t>(i)],
+                                hi[static_cast<std::size_t>(i)]);
+        starts.push_back(std::move(x));
+    }
+    checkUser(!starts.empty(), "solveMultiStart: no starting points");
+
+    NlpResult best;
+    best.objective = std::numeric_limits<double>::infinity();
+    best.max_violation = std::numeric_limits<double>::infinity();
+    best.feasible = false;
+    long total_evals = 0;
+
+    for (const auto &x0 : starts) {
+        NlpResult r = solveAugLag(prob, x0, opts.auglag);
+        total_evals += r.evals;
+        const bool better =
+            (r.feasible && !best.feasible) ||
+            (r.feasible && best.feasible && r.objective < best.objective) ||
+            (!r.feasible && !best.feasible &&
+             r.max_violation < best.max_violation);
+        if (better)
+            best = r;
+    }
+    best.evals = total_evals;
+    return best;
+}
+
+} // namespace mopt

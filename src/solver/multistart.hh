@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Multi-start wrapper around the augmented-Lagrangian solver: runs
+ * from caller-provided seeds plus uniform random points in the box
+ * and keeps the best feasible result. The tile-size programs are
+ * mildly non-convex (products of ratios), so a handful of starts
+ * reliably finds the global basin.
+ */
+
+#ifndef MOPT_SOLVER_MULTISTART_HH
+#define MOPT_SOLVER_MULTISTART_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "solver/augmented_lagrangian.hh"
+
+namespace mopt {
+
+/** Options for solveMultiStart. */
+struct MultiStartOptions
+{
+    int random_starts = 4;     //!< Random points in addition to seeds.
+    AugLagOptions auglag;
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Solve @p prob from every point in @p seeds plus random starts.
+ * Returns the best result (feasible preferred, then objective,
+ * then violation).
+ */
+NlpResult solveMultiStart(const NlpProblem &prob,
+                          const std::vector<std::vector<double>> &seeds,
+                          const MultiStartOptions &opts = MultiStartOptions());
+
+} // namespace mopt
+
+#endif // MOPT_SOLVER_MULTISTART_HH

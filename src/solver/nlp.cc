@@ -1,0 +1,51 @@
+#include "solver/nlp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+double
+NlpProblem::objective(const std::vector<double> &x) const
+{
+    std::vector<double> g;
+    return evalAll(x, g);
+}
+
+double
+NlpProblem::maxViolation(const std::vector<double> &x) const
+{
+    std::vector<double> g;
+    evalAll(x, g);
+    double worst = 0.0;
+    for (double gi : g)
+        worst = std::max(worst, gi);
+    return worst;
+}
+
+FunctionalNlp::FunctionalNlp(int dim, int num_constraints,
+                             std::vector<double> lo, std::vector<double> hi,
+                             BatchFn fn)
+    : dim_(dim), num_constraints_(num_constraints), lo_(std::move(lo)),
+      hi_(std::move(hi)), fn_(std::move(fn))
+{
+    checkUser(dim_ >= 1, "FunctionalNlp: dim must be >= 1");
+    checkUser(static_cast<int>(lo_.size()) == dim_ &&
+                  static_cast<int>(hi_.size()) == dim_,
+              "FunctionalNlp: bound size mismatch");
+    for (int i = 0; i < dim_; ++i)
+        checkUser(lo_[static_cast<std::size_t>(i)] <=
+                      hi_[static_cast<std::size_t>(i)],
+                  "FunctionalNlp: lo > hi");
+}
+
+double
+FunctionalNlp::evalAll(const std::vector<double> &x,
+                       std::vector<double> &g) const
+{
+    g.resize(static_cast<std::size_t>(num_constraints_));
+    return fn_(x, g);
+}
+
+} // namespace mopt

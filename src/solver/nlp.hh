@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Constrained nonlinear program interface. This is the repo's
+ * substitute for the paper's AMPL + Ipopt stack: the tile-size
+ * problems of Secs. 5/7 are smooth, posynomial-like programs in at
+ * most 21 variables, solved here by an augmented-Lagrangian method
+ * (augmented_lagrangian.hh) with multi-start (multistart.hh).
+ */
+
+#ifndef MOPT_SOLVER_NLP_HH
+#define MOPT_SOLVER_NLP_HH
+
+#include <functional>
+#include <vector>
+
+namespace mopt {
+
+/**
+ * minimize    f(x)
+ * subject to  g_i(x) <= 0   (i = 0..numConstraints-1)
+ *             lo <= x <= hi (box, enforced by clamping)
+ *
+ * evalAll() computes the objective and every constraint in one call;
+ * problems whose constraints share work (like the bandwidth-scaled
+ * level times, which all come from one model evaluation) should
+ * override it.
+ */
+class NlpProblem
+{
+  public:
+    virtual ~NlpProblem() = default;
+
+    virtual int dim() const = 0;
+    virtual int numConstraints() const = 0;
+    virtual const std::vector<double> &lowerBounds() const = 0;
+    virtual const std::vector<double> &upperBounds() const = 0;
+
+    /**
+     * Evaluate objective and constraints at @p x.
+     * @param x  point of size dim()
+     * @param g  output, resized to numConstraints()
+     * @return objective value
+     */
+    virtual double evalAll(const std::vector<double> &x,
+                           std::vector<double> &g) const = 0;
+
+    /** Objective only (default: evalAll and discard constraints). */
+    virtual double objective(const std::vector<double> &x) const;
+
+    /** Largest constraint value at @p x (<= 0 means feasible). */
+    double maxViolation(const std::vector<double> &x) const;
+};
+
+/** NlpProblem assembled from std::functions. */
+class FunctionalNlp : public NlpProblem
+{
+  public:
+    using BatchFn =
+        std::function<double(const std::vector<double> &,
+                             std::vector<double> &)>;
+
+    /**
+     * @param dim             number of variables
+     * @param num_constraints number of inequality constraints
+     * @param fn              batch evaluator (returns objective, fills
+     *                        the constraint vector)
+     */
+    FunctionalNlp(int dim, int num_constraints, std::vector<double> lo,
+                  std::vector<double> hi, BatchFn fn);
+
+    int dim() const override { return dim_; }
+    int numConstraints() const override { return num_constraints_; }
+    const std::vector<double> &lowerBounds() const override { return lo_; }
+    const std::vector<double> &upperBounds() const override { return hi_; }
+    double evalAll(const std::vector<double> &x,
+                   std::vector<double> &g) const override;
+
+  private:
+    int dim_;
+    int num_constraints_;
+    std::vector<double> lo_, hi_;
+    BatchFn fn_;
+};
+
+/** Result of a solve. */
+struct NlpResult
+{
+    std::vector<double> x;       //!< Best point found.
+    double objective = 0.0;      //!< Objective at x.
+    double max_violation = 0.0;  //!< max_i g_i(x) (clamped at 0 from below).
+    bool feasible = false;       //!< max_violation <= tolerance.
+    long evals = 0;              //!< Total evalAll() calls.
+};
+
+} // namespace mopt
+
+#endif // MOPT_SOLVER_NLP_HH

@@ -1,0 +1,50 @@
+#include "tensor/packing.hh"
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+PackedKernel::PackedKernel(const Tensor4 &ker, int vec_len)
+    : vec_len_(vec_len), k_(ker.dim(0)), c_(ker.dim(1)), r_(ker.dim(2)),
+      s_(ker.dim(3))
+{
+    checkUser(vec_len >= 1, "PackedKernel: vec_len must be >= 1");
+    kb_ = (k_ + vec_len_ - 1) / vec_len_;
+    data_.assign(static_cast<std::size_t>(kb_ * c_ * r_ * s_ * vec_len_),
+                 0.0f);
+    for (std::int64_t k = 0; k < k_; ++k) {
+        const std::int64_t kb = k / vec_len_;
+        const std::int64_t lane = k % vec_len_;
+        for (std::int64_t c = 0; c < c_; ++c)
+            for (std::int64_t r = 0; r < r_; ++r)
+                for (std::int64_t s = 0; s < s_; ++s) {
+                    const std::size_t idx = static_cast<std::size_t>(
+                        (((kb * c_ + c) * r_ + r) * s_ + s) * vec_len_ +
+                        lane);
+                    data_[idx] = ker.at(k, c, r, s);
+                }
+    }
+}
+
+float
+PackedKernel::at(std::int64_t k, std::int64_t c, std::int64_t r,
+                 std::int64_t s) const
+{
+    const std::int64_t kb = k / vec_len_;
+    const std::int64_t lane = k % vec_len_;
+    return lanes(kb, c, r, s)[lane];
+}
+
+Tensor4
+PackedKernel::unpack() const
+{
+    Tensor4 out(k_, c_, r_, s_);
+    for (std::int64_t k = 0; k < k_; ++k)
+        for (std::int64_t c = 0; c < c_; ++c)
+            for (std::int64_t r = 0; r < r_; ++r)
+                for (std::int64_t s = 0; s < s_; ++s)
+                    out.at(k, c, r, s) = at(k, c, r, s);
+    return out;
+}
+
+} // namespace mopt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Kernel packing (Sec. 6 of the paper): the output-channel dimension K
+ * is split into vector-length chunks laid out innermost,
+ * [K, C, R, S] -> [K/vl, C, R, S, vl], so the microkernel gets stride-1
+ * access along the vectorized K dimension. The packing cost is part of
+ * every measured execution, as in the paper.
+ */
+
+#ifndef MOPT_TENSOR_PACKING_HH
+#define MOPT_TENSOR_PACKING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace mopt {
+
+/**
+ * Kernel tensor packed as [ceil(K/vl)][C][R][S][vl]. The K tail (when K
+ * is not a multiple of vl) is zero-padded, which is safe because the
+ * extra lanes multiply into output channels that are never stored.
+ */
+class PackedKernel
+{
+  public:
+    /** Pack @p ker (KCRS layout) with vector length @p vec_len. */
+    PackedKernel(const Tensor4 &ker, int vec_len);
+
+    int vecLen() const { return vec_len_; }
+    std::int64_t numChannels() const { return c_; }
+    std::int64_t numOutChannels() const { return k_; }
+    std::int64_t kernelH() const { return r_; }
+    std::int64_t kernelW() const { return s_; }
+    std::int64_t numKBlocks() const { return kb_; }
+
+    /** Pointer to the vl-length lane block for (kb, c, r, s). */
+    const float *
+    lanes(std::int64_t kb, std::int64_t c, std::int64_t r,
+          std::int64_t s) const
+    {
+        return data_.data() +
+               static_cast<std::size_t>(
+                   (((kb * c_ + c) * r_ + r) * s_ + s) * vec_len_);
+    }
+
+    /** Element accessor (k is an original output-channel index). */
+    float at(std::int64_t k, std::int64_t c, std::int64_t r,
+             std::int64_t s) const;
+
+    /** Unpack to KCRS (for round-trip testing). */
+    Tensor4 unpack() const;
+
+    /** Flat size in floats (including padding). */
+    std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  private:
+    int vec_len_;
+    std::int64_t k_, c_, r_, s_, kb_;
+    std::vector<float> data_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_TENSOR_PACKING_HH

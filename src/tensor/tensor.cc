@@ -1,0 +1,50 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mopt {
+
+Tensor4::Tensor4(std::int64_t d0, std::int64_t d1, std::int64_t d2,
+                 std::int64_t d3)
+    : dims_{d0, d1, d2, d3}
+{
+    checkUser(d0 >= 0 && d1 >= 0 && d2 >= 0 && d3 >= 0,
+              "Tensor4: negative dimension");
+    data_.assign(static_cast<std::size_t>(d0 * d1 * d2 * d3), 0.0f);
+}
+
+void
+Tensor4::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor4::fillRandom(Rng &rng)
+{
+    for (auto &x : data_)
+        x = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+}
+
+double
+Tensor4::maxAbsDiff(const Tensor4 &a, const Tensor4 &b)
+{
+    checkUser(sameShape(a, b), "maxAbsDiff: shape mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data_.size(); ++i)
+        m = std::max(m, std::fabs(static_cast<double>(a.data_[i]) -
+                                  static_cast<double>(b.data_[i])));
+    return m;
+}
+
+bool
+Tensor4::sameShape(const Tensor4 &a, const Tensor4 &b)
+{
+    return a.dims_ == b.dims_;
+}
+
+} // namespace mopt

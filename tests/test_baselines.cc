@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests of the comparison baselines: the grid sampler (Sec. 9), the
+ * oneDNN-style heuristic library, and the TVM-style auto-tuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/autotuner.hh"
+#include "baselines/grid_sampler.hh"
+#include "baselines/heuristic_lib.hh"
+#include "common/rng.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "model/footprint.hh"
+#include "model/multi_level.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+prob()
+{
+    ConvProblem p;
+    p.name = "base";
+    p.n = 1;
+    p.k = 64;
+    p.c = 32;
+    p.r = 3;
+    p.s = 3;
+    p.h = 28;
+    p.w = 28;
+    return p;
+}
+
+void
+expectValidConfig(const ExecConfig &cfg, const ConvProblem &p)
+{
+    const IntTileVec extents = problemExtents(p);
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        std::int64_t prev = cfg.tiles[LvlReg][sd];
+        EXPECT_GE(prev, 1);
+        for (int l = LvlL1; l <= LvlL3; ++l) {
+            const std::int64_t t =
+                cfg.tiles[static_cast<std::size_t>(l)][sd];
+            EXPECT_GE(t, prev) << memLevelName(l);
+            EXPECT_LE(t, extents[sd]) << memLevelName(l);
+            prev = t;
+        }
+    }
+}
+
+TEST(GridSampler, ProducesRequestedCountOfValidConfigs)
+{
+    Rng rng(3);
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    SamplerOptions opts;
+    opts.count = 50;
+    const auto configs = sampleConfigs(p, m, rng, opts);
+    ASSERT_EQ(configs.size(), 50u);
+    for (const auto &cfg : configs) {
+        expectValidConfig(cfg, p);
+        EXPECT_DOUBLE_EQ(capacityViolation(cfg, p, m), 0.0);
+        EXPECT_EQ(cfg.tiles[LvlL1][DimK] % 16, 0);
+    }
+}
+
+TEST(GridSampler, CoversMultiplePermutationClasses)
+{
+    Rng rng(4);
+    const auto configs =
+        sampleConfigs(prob(), i7_9700k(), rng, SamplerOptions());
+    std::set<std::string> perms;
+    for (const auto &cfg : configs)
+        perms.insert(cfg.perm[LvlL1].str());
+    EXPECT_GE(perms.size(), 3u);
+}
+
+TEST(GridSampler, ParallelSamplesHaveValidSplits)
+{
+    Rng rng(5);
+    const MachineSpec m = i7_9700k();
+    SamplerOptions opts;
+    opts.parallel = true;
+    opts.count = 20;
+    for (const auto &cfg : sampleConfigs(prob(), m, rng, opts)) {
+        std::int64_t par = 1;
+        for (std::int64_t f : cfg.par)
+            par *= f;
+        EXPECT_LE(par, m.cores);
+        EXPECT_EQ(cfg.par[DimC], 1);
+    }
+}
+
+TEST(HeuristicLib, ProducesValidFeasibleConfigs)
+{
+    const MachineSpec m = i7_9700k();
+    for (const char *name : {"Y0", "Y5", "R1", "R9", "M2", "M9"}) {
+        const ConvProblem p = workloadByName(name);
+        const ExecConfig cfg = heuristicConfig(p, m);
+        expectValidConfig(cfg, p);
+        // The library's blocks target cache fractions; allow headroom
+        // but catch gross overflow.
+        EXPECT_LT(capacityViolation(cfg, p, m), 0.5) << name;
+    }
+}
+
+TEST(HeuristicLib, RuleSelectionByShape)
+{
+    EXPECT_STREQ(heuristicRuleName(workloadByName("Y5")), "pointwise");
+    EXPECT_STREQ(heuristicRuleName(workloadByName("Y0")), "spatial");
+    EXPECT_STREQ(heuristicRuleName(workloadByName("M9")), "deep");
+}
+
+TEST(HeuristicLib, IsDeterministic)
+{
+    const MachineSpec m = i7_9700k();
+    const ConvProblem p = prob();
+    EXPECT_TRUE(heuristicConfig(p, m) == heuristicConfig(p, m));
+}
+
+TEST(Autotuner, ImprovesUnderModelCost)
+{
+    // Use the analytic model as a fast deterministic "measurement" so
+    // the test exercises the search loop without wall-clock noise.
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const MeasureFn measure = [&](const ExecConfig &cfg) {
+        return evalMultiLevel(cfg, p, m, true).total_seconds;
+    };
+
+    TunerOptions opts;
+    opts.trials = 40;
+    opts.seed = 17;
+    const TunerResult r = autotune(p, m, measure, opts);
+    EXPECT_EQ(r.trials, 40);
+    ASSERT_EQ(r.history.size(), 40u);
+    // best-so-far is monotone non-increasing.
+    for (std::size_t i = 1; i < r.history.size(); ++i)
+        EXPECT_LE(r.history[i], r.history[i - 1]);
+    // The tuner should improve over its first measured config.
+    EXPECT_LT(r.best_seconds, r.history.front() * 1.0 + 1e-12);
+    EXPECT_GT(r.tuning_seconds, 0.0);
+    expectValidConfig(r.best, p);
+}
+
+TEST(Autotuner, MoreTrialsNeverWorse)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const MeasureFn measure = [&](const ExecConfig &cfg) {
+        return evalMultiLevel(cfg, p, m, true).total_seconds;
+    };
+    TunerOptions a;
+    a.trials = 10;
+    a.seed = 21;
+    TunerOptions b = a;
+    b.trials = 60;
+    const double few = autotune(p, m, measure, a).best_seconds;
+    const double many = autotune(p, m, measure, b).best_seconds;
+    EXPECT_LE(many, few + 1e-12);
+}
+
+TEST(GridSampler, MinFillKeepsFootprintsInValidityRegime)
+{
+    // min_fill = 0.5 is the Sec. 2.2 condition (two adjacent tiles
+    // exceed capacity); sampled footprints must reach it wherever the
+    // problem itself is large enough.
+    Rng rng(6);
+    const ConvProblem p = prob();
+    const MachineSpec m = tinyTestMachine();
+    SamplerOptions opts;
+    opts.count = 30;
+    opts.min_fill = 0.5;
+    for (const auto &cfg : sampleConfigs(p, m, rng, opts)) {
+        EXPECT_DOUBLE_EQ(capacityViolation(cfg, p, m), 0.0);
+        for (int l = LvlL1; l <= LvlL3; ++l) {
+            const double fp = totalFootprint(
+                cfg.tiles[static_cast<std::size_t>(l)], p);
+            EXPECT_GE(fp,
+                      0.5 * static_cast<double>(m.capacityWords(l)) *
+                          0.99)
+                << memLevelName(l);
+        }
+    }
+}
+
+TEST(Autotuner, TemplateSpaceStaysInTemplate)
+{
+    // Table 2's "limited DSE": template proposals keep the fixed
+    // nkhwcrs order, block only k/c/w with divisor splits at L1, keep
+    // h row-by-row, and never introduce L2/L3 cache tiling.
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const IntTileVec extents = problemExtents(p);
+    const MeasureFn measure = [&](const ExecConfig &cfg) {
+        return evalMultiLevel(cfg, p, m, true).total_seconds;
+    };
+    TunerOptions opts;
+    opts.trials = 25;
+    opts.seed = 33;
+    opts.template_space = true;
+    const TunerResult r = autotune(p, m, measure, opts);
+
+    const ExecConfig &b = r.best;
+    for (int l = LvlL1; l <= LvlL3; ++l)
+        EXPECT_EQ(b.perm[static_cast<std::size_t>(l)].str(), "nkhwcrs");
+    EXPECT_EQ(b.tiles[LvlL1][DimH], 1);
+    EXPECT_EQ(extents[DimK] % b.tiles[LvlL1][DimK], 0);
+    EXPECT_EQ(extents[DimC] % b.tiles[LvlL1][DimC], 0);
+    EXPECT_EQ(extents[DimW] % b.tiles[LvlL1][DimW], 0);
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        EXPECT_EQ(b.tiles[LvlL2][sd], extents[sd]);
+        EXPECT_EQ(b.tiles[LvlL3][sd], extents[sd]);
+    }
+}
+
+TEST(Autotuner, FullSpaceExploresPermutations)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const MeasureFn measure = [&](const ExecConfig &cfg) {
+        return evalMultiLevel(cfg, p, m, true).total_seconds;
+    };
+    TunerOptions opts;
+    opts.trials = 30;
+    opts.seed = 34;
+    opts.template_space = false;
+    const TunerResult r = autotune(p, m, measure, opts);
+    expectValidConfig(r.best, p);
+    // Full space can (and with enough trials does) reach tilings the
+    // template cannot express — at minimum it must remain feasible.
+    EXPECT_DOUBLE_EQ(capacityViolation(r.best, p, m), 0.0);
+}
+
+} // namespace
+} // namespace mopt

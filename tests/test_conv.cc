@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests of the convolution problem descriptor, the reference
+ * implementation, and the Table-1 workload database.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "conv/problem.hh"
+#include "conv/reference.hh"
+#include "conv/workloads.hh"
+
+namespace mopt {
+namespace {
+
+TEST(ConvProblem, FromImageSamePadding)
+{
+    // 3x3 stride-1 "same": output equals the image size.
+    const ConvProblem p = ConvProblem::fromImage("x", 32, 3, 544, 3);
+    EXPECT_EQ(p.h, 544);
+    EXPECT_EQ(p.w, 544);
+    EXPECT_EQ(p.inH(), 546);
+
+    // 7x7 stride-2 on 224 (ResNet first layer): 112 outputs.
+    const ConvProblem r1 = ConvProblem::fromImage("r1", 64, 3, 224, 7, 2);
+    EXPECT_EQ(r1.h, 112);
+    EXPECT_EQ(r1.inH(), (112 - 1) * 2 + 7);
+
+    // 3x3 stride-2 on 112: 56 outputs.
+    const ConvProblem m2 = ConvProblem::fromImage("m2", 64, 64, 112, 3, 2);
+    EXPECT_EQ(m2.h, 56);
+
+    // 1x1 stride-1: identity spatial size.
+    const ConvProblem y5 = ConvProblem::fromImage("y5", 64, 128, 136, 1);
+    EXPECT_EQ(y5.h, 136);
+    EXPECT_EQ(y5.inH(), 136);
+}
+
+TEST(ConvProblem, SizesAndFlops)
+{
+    ConvProblem p;
+    p.n = 2;
+    p.k = 4;
+    p.c = 3;
+    p.r = 3;
+    p.s = 3;
+    p.h = 5;
+    p.w = 6;
+    p.stride = 1;
+    EXPECT_EQ(p.macs(), 2 * 4 * 3 * 3 * 3 * 5 * 6);
+    EXPECT_DOUBLE_EQ(p.flops(), 2.0 * p.macs());
+    EXPECT_EQ(p.inSize(), 2 * 3 * 7 * 8);
+    EXPECT_EQ(p.kerSize(), 4 * 3 * 3 * 3);
+    EXPECT_EQ(p.outSize(), 2 * 4 * 5 * 6);
+}
+
+TEST(ConvProblem, DownscaledCapsExtents)
+{
+    const ConvProblem y0 = workloadByName("Y0");
+    const ConvProblem d = y0.downscaled(28, 16);
+    EXPECT_EQ(d.h, 28);
+    EXPECT_EQ(d.w, 28);
+    EXPECT_LE(d.c, 16);
+    EXPECT_LE(d.k, 16);
+    EXPECT_EQ(d.r, y0.r);
+    EXPECT_EQ(d.stride, y0.stride);
+    EXPECT_NE(d.name, y0.name);
+}
+
+TEST(ConvProblem, ValidateRejectsNonsense)
+{
+    ConvProblem p;
+    p.k = 0;
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(ReferenceConv, HandComputedIdentityKernel)
+{
+    // 1x1 kernel with weight 2: output = 2 * input.
+    ConvProblem p;
+    p.n = 1;
+    p.k = 1;
+    p.c = 1;
+    p.r = 1;
+    p.s = 1;
+    p.h = 3;
+    p.w = 3;
+    Tensor4 in = makeInput(p), ker = makeKernel(p), out = makeOutput(p);
+    for (std::int64_t i = 0; i < 9; ++i)
+        in.data()[i] = static_cast<float>(i);
+    ker.at(0, 0, 0, 0) = 2.0f;
+    referenceConv(p, in, ker, out);
+    for (std::int64_t i = 0; i < 9; ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], 2.0f * static_cast<float>(i));
+}
+
+TEST(ReferenceConv, HandComputedBoxFilter)
+{
+    // 2x2 all-ones kernel over a 3x3 input (2x2 valid outputs).
+    ConvProblem p;
+    p.n = 1;
+    p.k = 1;
+    p.c = 1;
+    p.r = 2;
+    p.s = 2;
+    p.h = 2;
+    p.w = 2;
+    Tensor4 in = makeInput(p), ker = makeKernel(p), out = makeOutput(p);
+    float v = 1.0f;
+    for (std::int64_t i = 0; i < in.size(); ++i)
+        in.data()[i] = v++;
+    ker.fill(1.0f);
+    referenceConv(p, in, ker, out);
+    // in = [1 2 3; 4 5 6; 7 8 9]
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 + 2 + 4 + 5);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 2 + 3 + 5 + 6);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 4 + 5 + 7 + 8);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(ReferenceConv, StrideTwoSkipsInputs)
+{
+    ConvProblem p;
+    p.n = 1;
+    p.k = 1;
+    p.c = 1;
+    p.r = 1;
+    p.s = 1;
+    p.h = 2;
+    p.w = 2;
+    p.stride = 2;
+    Tensor4 in = makeInput(p), ker = makeKernel(p), out = makeOutput(p);
+    EXPECT_EQ(in.dim(2), 3);
+    float v = 0.0f;
+    for (std::int64_t i = 0; i < in.size(); ++i)
+        in.data()[i] = v++;
+    ker.at(0, 0, 0, 0) = 1.0f;
+    referenceConv(p, in, ker, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), in.at(0, 0, 0, 0));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), in.at(0, 0, 0, 2));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), in.at(0, 0, 2, 0));
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), in.at(0, 0, 2, 2));
+}
+
+TEST(ReferenceConv, ChannelSummation)
+{
+    ConvProblem p;
+    p.n = 1;
+    p.k = 2;
+    p.c = 3;
+    p.r = 1;
+    p.s = 1;
+    p.h = 1;
+    p.w = 1;
+    Tensor4 in = makeInput(p), ker = makeKernel(p), out = makeOutput(p);
+    for (std::int64_t c = 0; c < 3; ++c)
+        in.at(0, c, 0, 0) = static_cast<float>(c + 1);
+    for (std::int64_t k = 0; k < 2; ++k)
+        for (std::int64_t c = 0; c < 3; ++c)
+            ker.at(k, c, 0, 0) = static_cast<float>(k + 1);
+    referenceConv(p, in, ker, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1.0f * (1 + 2 + 3));
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), 2.0f * (1 + 2 + 3));
+}
+
+TEST(Workloads, Table1Counts)
+{
+    EXPECT_EQ(yolo9000Workloads().size(), 11u);
+    EXPECT_EQ(resnet18Workloads().size(), 12u);
+    EXPECT_EQ(mobilenetWorkloads().size(), 9u);
+    EXPECT_EQ(allWorkloads().size(), 32u);
+}
+
+TEST(Workloads, Table1SpotChecks)
+{
+    const ConvProblem y23 = workloadByName("Y23");
+    EXPECT_EQ(y23.k, 28269);
+    EXPECT_EQ(y23.c, 1024);
+    EXPECT_EQ(y23.h, 17);
+    EXPECT_EQ(y23.r, 1);
+    EXPECT_EQ(y23.stride, 1);
+
+    const ConvProblem r10 = workloadByName("R10");
+    EXPECT_EQ(r10.k, 512);
+    EXPECT_EQ(r10.c, 256);
+    EXPECT_EQ(r10.stride, 2);
+    EXPECT_EQ(r10.h, 7); // 14 input, stride 2
+
+    const ConvProblem m9 = workloadByName("M9");
+    EXPECT_EQ(m9.k, 1024);
+    EXPECT_EQ(m9.h, 7);
+    EXPECT_EQ(m9.stride, 1);
+}
+
+TEST(Workloads, AllHaveBatchOneAndValidate)
+{
+    for (const auto &p : allWorkloads()) {
+        EXPECT_EQ(p.n, 1) << p.name;
+        EXPECT_NO_THROW(p.validate()) << p.name;
+        EXPECT_TRUE(p.stride == 1 || p.stride == 2) << p.name;
+    }
+}
+
+TEST(Workloads, NamesAreUnique)
+{
+    const auto all = allWorkloads();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            EXPECT_NE(all[i].name, all[j].name);
+}
+
+TEST(Workloads, UnknownNameThrows)
+{
+    EXPECT_THROW(workloadByName("Z99"), FatalError);
+}
+
+} // namespace
+} // namespace mopt

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Correctness tests of the tiled executor against the naive reference:
+ * the microkernel fast/fallback paths, arbitrary sampled tilings
+ * (property test), strides, partial tiles, and parallel execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/grid_sampler.hh"
+#include "common/rng.hh"
+#include "conv/reference.hh"
+#include "conv/workloads.hh"
+#include "exec/conv_exec.hh"
+#include "exec/loop_nest.hh"
+#include "exec/measure.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+namespace {
+
+/** Tolerance for float accumulation-order differences. */
+constexpr double kTol = 2e-3;
+
+void
+expectMatchesReference(const ConvProblem &p, const ExecConfig &cfg,
+                       int threads = 1, std::uint64_t seed = 5)
+{
+    Rng rng(seed);
+    Tensor4 in = makeInput(p), ker = makeKernel(p);
+    in.fillRandom(rng);
+    ker.fillRandom(rng);
+
+    Tensor4 expected = makeOutput(p);
+    referenceConv(p, in, ker, expected);
+
+    Tensor4 got = makeOutput(p);
+    const ExecStats st = runConv(p, in, ker, got, cfg, threads);
+    EXPECT_GT(st.seconds, 0.0);
+    EXPECT_LT(Tensor4::maxAbsDiff(expected, got), kTol)
+        << p.summary() << "\n"
+        << cfg.str();
+}
+
+TEST(LoopNest, WalkerCoversRegionExactlyOnce)
+{
+    ConvProblem p;
+    p.n = 2;
+    p.k = 5;
+    p.c = 3;
+    p.r = 1;
+    p.s = 1;
+    p.h = 4;
+    p.w = 7;
+    ExecConfig cfg = defaultConfig(p);
+    cfg.tiles[LvlL3] = {1, 2, 2, 1, 1, 3, 4}; // partial tiles everywhere
+
+    std::vector<int> seen(static_cast<std::size_t>(
+                              p.n * p.k * p.c * p.h * p.w),
+                          0);
+    walkTilesAtLevel(cfg, LvlL3, fullRegion(p), [&](const TileBounds &t) {
+        for (std::int64_t n = t.lo[DimN]; n < t.hi[DimN]; ++n)
+            for (std::int64_t k = t.lo[DimK]; k < t.hi[DimK]; ++k)
+                for (std::int64_t c = t.lo[DimC]; c < t.hi[DimC]; ++c)
+                    for (std::int64_t h = t.lo[DimH]; h < t.hi[DimH];
+                         ++h)
+                        for (std::int64_t w = t.lo[DimW];
+                             w < t.hi[DimW]; ++w)
+                            seen[static_cast<std::size_t>(
+                                ((((n * p.k) + k) * p.c + c) * p.h + h) *
+                                    p.w +
+                                w)]++;
+    });
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(LoopNest, SplitRegionPartitionsExactly)
+{
+    TileBounds region;
+    region.lo = {0, 0, 0, 0, 0, 0, 0};
+    region.hi = {1, 64, 8, 3, 3, 14, 28};
+    const IntTileVec par{1, 4, 1, 1, 1, 2, 1};
+    const auto chunks = splitRegion(region, par);
+    ASSERT_EQ(chunks.size(), 8u);
+    std::int64_t total = 0;
+    for (const auto &c : chunks) {
+        std::int64_t vol = 1;
+        for (int d = 0; d < NumDims; ++d)
+            vol *= c.extent(static_cast<Dim>(d));
+        total += vol;
+    }
+    std::int64_t expect = 1;
+    for (int d = 0; d < NumDims; ++d)
+        expect *= region.extent(static_cast<Dim>(d));
+    EXPECT_EQ(total, expect);
+}
+
+TEST(LoopNest, SplitClampsToExtent)
+{
+    TileBounds region;
+    region.lo = {0, 0, 0, 0, 0, 0, 0};
+    region.hi = {1, 2, 1, 1, 1, 1, 1};
+    const IntTileVec par{1, 8, 1, 1, 1, 1, 1}; // only 2 fit
+    EXPECT_EQ(splitRegion(region, par).size(), 2u);
+}
+
+TEST(ConvExec, DefaultConfigMatchesReference)
+{
+    ConvProblem p;
+    p.name = "dflt";
+    p.n = 2;
+    p.k = 20; // forces a scalar edge block (20 = 16 + 4)
+    p.c = 5;
+    p.r = 3;
+    p.s = 3;
+    p.h = 9;
+    p.w = 11;
+    expectMatchesReference(p, defaultConfig(p));
+}
+
+TEST(ConvExec, StrideTwoMatchesReference)
+{
+    ConvProblem p;
+    p.name = "s2";
+    p.n = 1;
+    p.k = 16;
+    p.c = 4;
+    p.r = 3;
+    p.s = 3;
+    p.h = 8;
+    p.w = 8;
+    p.stride = 2;
+    expectMatchesReference(p, defaultConfig(p));
+}
+
+TEST(ConvExec, OneByOneKernelMatchesReference)
+{
+    ConvProblem p;
+    p.name = "1x1";
+    p.n = 1;
+    p.k = 32;
+    p.c = 16;
+    p.r = 1;
+    p.s = 1;
+    p.h = 10;
+    p.w = 10;
+    expectMatchesReference(p, defaultConfig(p));
+}
+
+TEST(ConvExec, ParallelMatchesSequential)
+{
+    ConvProblem p;
+    p.name = "par";
+    p.n = 1;
+    p.k = 32;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 12;
+    p.w = 12;
+    ExecConfig cfg = defaultConfig(p);
+    cfg.par = {1, 2, 1, 1, 1, 2, 1};
+
+    Rng rng(6);
+    Tensor4 in = makeInput(p), ker = makeKernel(p);
+    in.fillRandom(rng);
+    ker.fillRandom(rng);
+    Tensor4 seq = makeOutput(p), par = makeOutput(p);
+    runConv(p, in, ker, seq, cfg, 1);
+    runConv(p, in, ker, par, cfg, 4);
+    // Same per-element accumulation order: results are bit-identical.
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(seq, par), 0.0);
+}
+
+/** Property: arbitrary sampled tilings compute the same result. */
+class SampledConfigCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SampledConfigCorrectness, MatchesReference)
+{
+    Rng rng(500 + static_cast<std::uint64_t>(GetParam()));
+    ConvProblem p;
+    p.name = "prop";
+    p.n = static_cast<std::int64_t>(rng.uniformInt(1, 2));
+    p.k = rng.uniformInt(3, 40);
+    p.c = rng.uniformInt(1, 12);
+    p.r = rng.uniformInt(1, 3);
+    p.s = rng.uniformInt(1, 3);
+    p.h = rng.uniformInt(2, 14);
+    p.w = rng.uniformInt(2, 14);
+    p.stride = rng.uniform01() < 0.3 ? 2 : 1;
+
+    const MachineSpec m = tinyTestMachine();
+    SamplerOptions sopts;
+    sopts.fit_capacity = false; // exercise wild tilings too
+    const ExecConfig cfg = sampleConfig(p, m, rng, sopts);
+    expectMatchesReference(p, cfg, 1,
+                           600 + static_cast<std::uint64_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTilings, SampledConfigCorrectness,
+                         ::testing::Range(0, 16));
+
+/** Downscaled Table-1 operators end to end. */
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WorkloadCorrectness, DownscaledMatchesReference)
+{
+    const ConvProblem p = workloadByName(GetParam()).downscaled(14, 32);
+    Rng rng(9);
+    const ExecConfig cfg =
+        sampleConfig(p, tinyTestMachine(), rng, SamplerOptions());
+    expectMatchesReference(p, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, WorkloadCorrectness,
+                         ::testing::Values("Y0", "Y5", "Y12", "R1", "R3",
+                                           "R10", "M1", "M2", "M9"));
+
+TEST(Measure, ReportsStatistics)
+{
+    ConvProblem p;
+    p.name = "meas";
+    p.n = 1;
+    p.k = 16;
+    p.c = 4;
+    p.r = 3;
+    p.s = 3;
+    p.h = 8;
+    p.w = 8;
+    MeasureOptions opts;
+    opts.reps = 3;
+    opts.warmups = 1;
+    opts.flush_bytes = 1 << 20;
+    const Measurement m = measureConfig(p, defaultConfig(p), opts);
+    EXPECT_EQ(m.seconds.size(), 3u);
+    EXPECT_GT(m.mean_gflops, 0.0);
+    EXPECT_GE(m.ci95_gflops, 0.0);
+    EXPECT_GT(m.mean_seconds, 0.0);
+}
+
+TEST(Measure, QuickMeasureIsPositive)
+{
+    ConvProblem p;
+    p.name = "quick";
+    p.n = 1;
+    p.k = 16;
+    p.c = 2;
+    p.r = 1;
+    p.s = 1;
+    p.h = 6;
+    p.w = 6;
+    EXPECT_GT(quickMeasureSeconds(p, defaultConfig(p)), 0.0);
+}
+
+/** MOpt's chosen configuration also computes correctly. */
+TEST(ConvExec, OptimizerOutputMatchesReference)
+{
+    ConvProblem p;
+    p.name = "optx";
+    p.n = 1;
+    p.k = 32;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 12;
+    p.w = 12;
+    OptimizerOptions o;
+    o.effort = OptimizerOptions::Effort::Fast;
+    o.parallel = true;
+    o.threads = 4;
+    const OptimizeOutput out = optimizeConv(p, i7_9700k(), o);
+    ASSERT_FALSE(out.candidates.empty());
+    expectMatchesReference(p, out.candidates.front().config, 4);
+}
+
+} // namespace
+} // namespace mopt

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the per-tensor tile footprints (Eq. 4 of the paper),
+ * including stride generalization and the register budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/footprint.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+prob(int stride = 1)
+{
+    ConvProblem p;
+    p.n = 2;
+    p.k = 16;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 12;
+    p.w = 12;
+    p.stride = stride;
+    return p;
+}
+
+TEST(Footprint, MatchesEq4AtStrideOne)
+{
+    const ConvProblem p = prob();
+    const TileVec t{1, 8, 4, 3, 3, 4, 6};
+    EXPECT_DOUBLE_EQ(tileFootprint(TenOut, t, p), 1 * 8 * 4 * 6);
+    EXPECT_DOUBLE_EQ(tileFootprint(TenKer, t, p), 8 * 4 * 3 * 3);
+    // In: Tn*Tc*(Th+Tr-1)*(Tw+Ts-1).
+    EXPECT_DOUBLE_EQ(tileFootprint(TenIn, t, p),
+                     1.0 * 4 * (4 + 3 - 1) * (6 + 3 - 1));
+    EXPECT_DOUBLE_EQ(totalFootprint(t, p),
+                     1 * 8 * 4 * 6 + 8 * 4 * 9 + 4 * 6 * 8.0);
+}
+
+TEST(Footprint, StrideTwoWidensInputSlice)
+{
+    const ConvProblem p = prob(2);
+    const TileVec t{1, 8, 4, 3, 3, 4, 6};
+    // In: Tn*Tc*((Th-1)*2+Tr)*((Tw-1)*2+Ts).
+    EXPECT_DOUBLE_EQ(tileFootprint(TenIn, t, p),
+                     1.0 * 4 * ((4 - 1) * 2 + 3) * ((6 - 1) * 2 + 3));
+    // Out and Ker are unaffected by stride.
+    EXPECT_DOUBLE_EQ(tileFootprint(TenOut, t, p), 1 * 8 * 4 * 6);
+    EXPECT_DOUBLE_EQ(tileFootprint(TenKer, t, p), 8 * 4 * 3 * 3);
+}
+
+TEST(Footprint, InputExtentHelper)
+{
+    EXPECT_DOUBLE_EQ(inputExtent(4, 3, 1), 6.0);
+    EXPECT_DOUBLE_EQ(inputExtent(4, 3, 2), 9.0);
+    EXPECT_DOUBLE_EQ(inputExtent(1, 7, 2), 7.0);
+}
+
+TEST(Footprint, IntegerOverloadMatches)
+{
+    const ConvProblem p = prob();
+    const IntTileVec ti{1, 8, 4, 3, 3, 4, 6};
+    const TileVec td = toTileVec(ti);
+    EXPECT_DOUBLE_EQ(totalFootprint(ti, p), totalFootprint(td, p));
+}
+
+TEST(Footprint, RegisterBudgetMatchesMicrokernelScheme)
+{
+    const ConvProblem p = prob();
+    // The paper's 6x16 AVX2 block: 12 accumulators + 2 kernel + 2 live
+    // broadcast registers = 16 ymm = 128 words, exactly filling the
+    // AVX2 register file.
+    const TileVec reg{1, 16, 1, 1, 1, 1, 6};
+    EXPECT_DOUBLE_EQ(registerFootprint(reg, p, 8),
+                     96.0 + (2 + kLiveBroadcastRegs) * 8.0);
+
+    // A single-point tile needs only its own broadcast register.
+    const TileVec tiny{1, 8, 1, 1, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(registerFootprint(tiny, p, 8), 8.0 + (1 + 1) * 8.0);
+}
+
+TEST(Footprint, MonotoneInTileSizes)
+{
+    const ConvProblem p = prob();
+    TileVec t{1, 8, 4, 3, 3, 4, 6};
+    const double base = totalFootprint(t, p);
+    for (int d = 0; d < NumDims; ++d) {
+        TileVec grown = t;
+        grown[static_cast<std::size_t>(d)] += 1.0;
+        EXPECT_GT(totalFootprint(grown, p), base) << d;
+    }
+}
+
+} // namespace
+} // namespace mopt

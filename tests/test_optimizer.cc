@@ -1,0 +1,229 @@
+/**
+ * @file
+ * End-to-end tests of the MOpt optimizer (Algorithm 1): feasibility
+ * and nesting of its output, ranking, superiority over random
+ * configurations under the model, integerization, and load balancing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/grid_sampler.hh"
+#include "common/rng.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "optimizer/integerize.hh"
+#include "optimizer/load_balance.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+prob()
+{
+    ConvProblem p;
+    p.name = "opt";
+    p.n = 1;
+    p.k = 64;
+    p.c = 32;
+    p.r = 3;
+    p.s = 3;
+    p.h = 28;
+    p.w = 28;
+    return p;
+}
+
+OptimizerOptions
+fastOpts(bool parallel)
+{
+    OptimizerOptions o;
+    o.effort = OptimizerOptions::Effort::Fast;
+    o.parallel = parallel;
+    o.threads = 4;
+    return o;
+}
+
+TEST(MicrokernelTiles, ShapeFollowsMachine)
+{
+    const MachineSpec m = i7_9700k();
+    const IntTileVec t = microkernelTiles(prob(), m);
+    EXPECT_EQ(t[DimK], 16); // 2 AVX2 registers
+    EXPECT_EQ(t[DimW], 6);
+    EXPECT_EQ(t[DimN], 1);
+    EXPECT_EQ(t[DimC], 1);
+
+    ConvProblem small = prob();
+    small.k = 4;
+    small.w = 3;
+    const IntTileVec ts = microkernelTiles(small, m);
+    EXPECT_EQ(ts[DimK], 4);
+    EXPECT_EQ(ts[DimW], 3);
+}
+
+TEST(MicrokernelPermutation, ReductionInnermost)
+{
+    const Permutation p = microkernelPermutation();
+    EXPECT_EQ(p.dimAtPosition(1), DimS);
+    EXPECT_EQ(p.dimAtPosition(2), DimR);
+    EXPECT_EQ(p.dimAtPosition(3), DimC);
+    // Out is reused across the whole reduction.
+    EXPECT_EQ(p.innermostPresentPosition(TenOut), 4);
+}
+
+TEST(Optimizer, ProducesFeasibleNestedCandidates)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const OptimizeOutput out = optimizeConv(p, m, fastOpts(true));
+    ASSERT_FALSE(out.candidates.empty());
+    const IntTileVec extents = problemExtents(p);
+
+    for (const auto &cand : out.candidates) {
+        EXPECT_DOUBLE_EQ(capacityViolation(cand.config, p, m), 0.0)
+            << cand.config.str();
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            std::int64_t prev = cand.config.tiles[LvlReg][sd];
+            for (int l = LvlL1; l <= LvlL3; ++l) {
+                const std::int64_t t =
+                    cand.config.tiles[static_cast<std::size_t>(l)][sd];
+                EXPECT_GE(t, prev);
+                EXPECT_LE(t, extents[sd]);
+                prev = t;
+            }
+        }
+        // Parallel split only on non-reduction dims, within cores.
+        EXPECT_EQ(cand.config.par[DimC], 1);
+        EXPECT_EQ(cand.config.par[DimR], 1);
+        EXPECT_EQ(cand.config.par[DimS], 1);
+        std::int64_t par = 1;
+        for (std::int64_t f : cand.config.par)
+            par *= f;
+        EXPECT_LE(par, m.cores);
+    }
+}
+
+TEST(Optimizer, CandidatesSortedByPredictedTime)
+{
+    const OptimizeOutput out =
+        optimizeConv(prob(), i7_9700k(), fastOpts(true));
+    for (std::size_t i = 1; i < out.candidates.size(); ++i)
+        EXPECT_LE(out.candidates[i - 1].predicted.total_seconds,
+                  out.candidates[i].predicted.total_seconds);
+    EXPECT_GT(out.seconds, 0.0);
+    EXPECT_GT(out.solver_evals, 0);
+}
+
+TEST(Optimizer, BeatsRandomConfigurationsUnderModel)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    const OptimizeOutput out = optimizeConv(p, m, fastOpts(false));
+    ASSERT_FALSE(out.candidates.empty());
+    const double best =
+        out.candidates.front().predicted.total_seconds;
+
+    Rng rng(31);
+    SamplerOptions sopts;
+    sopts.count = 40;
+    double best_random = std::numeric_limits<double>::infinity();
+    for (const auto &cfg : sampleConfigs(p, m, rng, sopts))
+        best_random = std::min(
+            best_random,
+            evalMultiLevel(cfg, p, m, false).total_seconds);
+
+    // The model-driven optimum should be at least as good as the best
+    // of 40 random feasible samples (slack for solver tolerance).
+    EXPECT_LE(best, best_random * 1.15);
+}
+
+TEST(Optimizer, SequentialModeDisablesParallelSplit)
+{
+    const OptimizeOutput out =
+        optimizeConv(prob(), i7_9700k(), fastOpts(false));
+    for (const auto &cand : out.candidates)
+        for (std::int64_t f : cand.config.par)
+            EXPECT_EQ(f, 1);
+}
+
+TEST(Optimizer, TopKLimitsCandidates)
+{
+    OptimizerOptions o = fastOpts(false);
+    o.top_k = 2;
+    const OptimizeOutput out = optimizeConv(prob(), i7_9700k(), o);
+    EXPECT_LE(out.candidates.size(), 2u);
+}
+
+TEST(Integerize, OutputRespectsCapacityAndBlocks)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    MultiLevelConfig cfg;
+    for (int l = 0; l < NumMemLevels; ++l)
+        cfg.level[static_cast<std::size_t>(l)].perm =
+            Permutation::parse("kcrsnhw");
+    cfg.level[LvlReg].perm = microkernelPermutation();
+    cfg.level[LvlReg].tiles = toTileVec(microkernelTiles(p, m));
+    cfg.level[LvlL1].tiles = {1.0, 17.3, 9.8, 3.0, 3.0, 2.4, 13.9};
+    cfg.level[LvlL2].tiles = {1.0, 33.9, 17.2, 3.0, 3.0, 7.7, 28.0};
+    cfg.level[LvlL3].tiles = {1.0, 64.0, 32.0, 3.0, 3.0, 14.2, 28.0};
+
+    const ExecConfig e = integerize(cfg, p, m, false);
+    EXPECT_DOUBLE_EQ(capacityViolation(e, p, m), 0.0);
+    for (int l = LvlL1; l <= LvlL3; ++l)
+        EXPECT_EQ(e.tiles[static_cast<std::size_t>(l)][DimK] % 16, 0)
+            << memLevelName(l);
+}
+
+TEST(LoadBalance, EvenSplitHasNoIdling)
+{
+    const ConvProblem p = prob();
+    const MachineSpec m = i7_9700k();
+    ExecConfig cfg;
+    cfg.perm[LvlReg] = microkernelPermutation();
+    cfg.tiles[LvlReg] = microkernelTiles(p, m);
+    for (int l = LvlL1; l <= LvlL3; ++l) {
+        cfg.perm[static_cast<std::size_t>(l)] =
+            Permutation::parse("kcrsnhw");
+        cfg.tiles[static_cast<std::size_t>(l)] = problemExtents(p);
+    }
+    cfg.tiles[LvlL1] = {1, 16, 8, 3, 3, 2, 14};
+    cfg.tiles[LvlL2] = {1, 32, 32, 3, 3, 7, 28};
+
+    loadBalance(cfg, p, m);
+    std::int64_t par = 1;
+    for (std::int64_t f : cfg.par)
+        par *= f;
+    EXPECT_EQ(par, m.cores);
+    // Parallelized extents are multiples of their split factors.
+    for (int d = 0; d < NumDims; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        if (cfg.par[sd] > 1)
+            EXPECT_EQ(cfg.tiles[LvlL3][sd] % cfg.par[sd], 0);
+    }
+    EXPECT_NEAR(idleFraction(cfg, p, m), 0.0, 0.3);
+}
+
+TEST(Optimizer, HandlesOnebyOneKernels)
+{
+    ConvProblem p = workloadByName("Y5").downscaled(34, 64);
+    const OptimizeOutput out =
+        optimizeConv(p, i7_9700k(), fastOpts(true));
+    ASSERT_FALSE(out.candidates.empty());
+    EXPECT_DOUBLE_EQ(
+        capacityViolation(out.candidates.front().config, p, i7_9700k()),
+        0.0);
+}
+
+TEST(Optimizer, HandlesStrideTwo)
+{
+    ConvProblem p = workloadByName("M2").downscaled(28, 32);
+    const OptimizeOutput out =
+        optimizeConv(p, i7_9700k(), fastOpts(true));
+    ASSERT_FALSE(out.candidates.empty());
+    EXPECT_GT(out.candidates.front().predicted.gflops, 0.0);
+}
+
+} // namespace
+} // namespace mopt

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests of the nonlinear solver stack (the AMPL/Ipopt substitute):
+ * Adam on unconstrained problems with known minima, the augmented-
+ * Lagrangian method on constrained problems with closed-form optima
+ * (including the paper's matmul tile problem, Eq. 2/3), the min-max
+ * decomposition of Sec. 5, and the discrete refiner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/discrete_refine.hh"
+#include "solver/minmax.hh"
+#include "solver/multistart.hh"
+
+namespace mopt {
+namespace {
+
+TEST(Adam, QuadraticBowl)
+{
+    long evals = 0;
+    const auto f = [](const std::vector<double> &x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) +
+               2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    AdamOptions opts;
+    opts.max_steps = 600;
+    opts.lr = 0.2;
+    const auto x = adamMinimize(f, {0.0, 0.0}, {-10.0, -10.0},
+                                {10.0, 10.0}, opts, evals);
+    EXPECT_NEAR(x[0], 3.0, 1e-2);
+    EXPECT_NEAR(x[1], -1.0, 1e-2);
+    EXPECT_GT(evals, 0);
+}
+
+TEST(Adam, RespectsBoxBounds)
+{
+    long evals = 0;
+    const auto f = [](const std::vector<double> &x) { return -x[0]; };
+    AdamOptions opts;
+    opts.max_steps = 200;
+    const auto x = adamMinimize(f, {0.0}, {-1.0}, {2.0}, opts, evals);
+    EXPECT_NEAR(x[0], 2.0, 1e-6);
+}
+
+TEST(AugLag, EqualityLikeConstraint)
+{
+    // min x^2 + y^2 s.t. x + y >= 2  ->  x = y = 1.
+    FunctionalNlp nlp(
+        2, 1, {-5.0, -5.0}, {5.0, 5.0},
+        [](const std::vector<double> &x, std::vector<double> &g) {
+            g[0] = 2.0 - x[0] - x[1]; // <= 0
+            return x[0] * x[0] + x[1] * x[1];
+        });
+    MultiStartOptions opts;
+    opts.auglag.inner.max_steps = 300;
+    const NlpResult r = solveMultiStart(nlp, {{0.0, 0.0}}, opts);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.x[0], 1.0, 5e-2);
+    EXPECT_NEAR(r.x[1], 1.0, 5e-2);
+    EXPECT_NEAR(r.objective, 2.0, 1e-1);
+}
+
+TEST(AugLag, MatmulTileProblem)
+{
+    // The paper's Sec. 2 example: minimize
+    //   Ni*Nj*Nk*(1/Ti + 1/Tj) (dropping the constant 2/Nk term)
+    // s.t. Ti*Tk + Tj*Tk + Ti*Tj <= C. With Tk -> 1 optimal and
+    // symmetric Ti = Tj ~ sqrt(C). C = 1024: Ti = Tj ~ 31.0.
+    const double C = 1024.0;
+    FunctionalNlp nlp(
+        3, 1, {0.0, 0.0, 0.0},
+        {std::log(512.0), std::log(512.0), std::log(512.0)},
+        [C](const std::vector<double> &z, std::vector<double> &g) {
+            const double ti = std::exp(z[0]);
+            const double tj = std::exp(z[1]);
+            const double tk = std::exp(z[2]);
+            g[0] = std::log((ti * tk + tj * tk + ti * tj) / C);
+            return std::log(1.0 / ti + 1.0 / tj);
+        });
+    MultiStartOptions opts;
+    opts.random_starts = 4;
+    opts.auglag.inner.max_steps = 300;
+    const NlpResult r = solveMultiStart(
+        nlp, {{std::log(8.0), std::log(8.0), std::log(8.0)}}, opts);
+    ASSERT_TRUE(r.feasible);
+    const double ti = std::exp(r.x[0]);
+    const double tj = std::exp(r.x[1]);
+    const double tk = std::exp(r.x[2]);
+    // Optimum: Tk = 1, Ti = Tj = (sqrt(4C+1)-1)/2 ~ 31.5.
+    EXPECT_NEAR(tk, 1.0, 0.35);
+    EXPECT_NEAR(ti, 31.5, 4.0);
+    EXPECT_NEAR(tj, 31.5, 4.0);
+}
+
+TEST(AugLag, ReportsInfeasibleProblems)
+{
+    // x >= 3 and x <= -3 cannot both hold.
+    FunctionalNlp nlp(
+        1, 2, {-10.0}, {10.0},
+        [](const std::vector<double> &x, std::vector<double> &g) {
+            g[0] = 3.0 - x[0];
+            g[1] = x[0] + 3.0;
+            return x[0] * x[0];
+        });
+    const NlpResult r = solveAugLag(nlp, {0.0});
+    EXPECT_FALSE(r.feasible);
+    EXPECT_GT(r.max_violation, 1.0);
+}
+
+TEST(MinMax, ThreePiecewiseFunctions)
+{
+    // f1 = (x-1)^2 + 1, f2 = (x-3)^2 + 1, f3 = 0.5*(x-2)^2 + 0.5.
+    // max(f1, f2) is minimized at x = 2 where f1 = f2 = 2 > f3(2).
+    MinMaxProblem prob;
+    prob.dim = 1;
+    prob.lo = {-10.0};
+    prob.hi = {10.0};
+    prob.num_components = 3;
+    prob.num_shared = 0;
+    prob.eval = [](const std::vector<double> &x, std::vector<double> &c,
+                   std::vector<double> &s) {
+        c = {(x[0] - 1.0) * (x[0] - 1.0) + 1.0,
+             (x[0] - 3.0) * (x[0] - 3.0) + 1.0,
+             0.5 * (x[0] - 2.0) * (x[0] - 2.0) + 0.5};
+        s.clear();
+    };
+    MultiStartOptions opts;
+    opts.random_starts = 3;
+    opts.auglag.inner.max_steps = 300;
+    const MinMaxResult r = solveMinMax(prob, {{0.0}}, opts);
+    ASSERT_GE(r.best_component, 0);
+    EXPECT_NEAR(r.best.x[0], 2.0, 0.1);
+    EXPECT_NEAR(r.best_max, 2.0, 0.2);
+}
+
+TEST(DiscreteRefine, BalancedTile)
+{
+    EXPECT_EQ(balancedTile(100, 30), 25); // ceil(100/4)
+    EXPECT_EQ(balancedTile(100, 100), 100);
+    // 2 tiles of <= 51: ceil(100/ceil(100/51)) = ceil(100/2) = 50.
+    EXPECT_EQ(balancedTile(100, 51), 50);
+    EXPECT_EQ(balancedTile(7, 3), 3); // 3 tiles -> ceil(7/3) = 3
+    EXPECT_EQ(balancedTile(7, 10), 7);
+}
+
+TEST(DiscreteRefine, HillClimbFindsIntegerOptimum)
+{
+    // Convex separable objective with integer optimum (5, -3).
+    DiscreteProblem dp;
+    dp.lo = {-10, -10};
+    dp.hi = {10, 10};
+    dp.cost = [](const std::vector<std::int64_t> &x) {
+        const double a = static_cast<double>(x[0]) - 5.0;
+        const double b = static_cast<double>(x[1]) + 3.0;
+        return a * a + b * b;
+    };
+    const auto x = hillClimb(dp, {0, 0});
+    EXPECT_EQ(x[0], 5);
+    EXPECT_EQ(x[1], -3);
+}
+
+TEST(DiscreteRefine, HillClimbHonorsInfeasibility)
+{
+    // Feasible set: x >= 4 (else +inf). Minimize x.
+    DiscreteProblem dp;
+    dp.lo = {0};
+    dp.hi = {100};
+    dp.cost = [](const std::vector<std::int64_t> &x) {
+        if (x[0] < 4)
+            return std::numeric_limits<double>::infinity();
+        return static_cast<double>(x[0]);
+    };
+    const auto x = hillClimb(dp, {50});
+    EXPECT_EQ(x[0], 4);
+}
+
+TEST(MultiStart, PicksBestOfSeeds)
+{
+    // Two local minima: x = -2 (f = 1) and x = 2 (f = 0). A start near
+    // each; multi-start must return the global one.
+    FunctionalNlp nlp(
+        1, 0, {-4.0}, {4.0},
+        [](const std::vector<double> &x, std::vector<double> &) {
+            const double a = x[0] - 2.0;
+            const double b = x[0] + 2.0;
+            // Double-well: min value 0 at +2, 1 at -2.
+            return 0.25 * a * a * b * b + 0.125 * (2.0 - x[0]);
+        });
+    MultiStartOptions opts;
+    opts.random_starts = 0;
+    opts.auglag.inner.max_steps = 300;
+    const NlpResult r = solveMultiStart(nlp, {{-2.2}, {2.2}}, opts);
+    EXPECT_NEAR(r.x[0], 2.0, 0.2);
+}
+
+} // namespace
+} // namespace mopt

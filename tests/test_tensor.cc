@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for dense tensors and the microkernel packing layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/packing.hh"
+#include "tensor/tensor.hh"
+
+namespace mopt {
+namespace {
+
+TEST(Tensor4, ShapeAndIndexing)
+{
+    Tensor4 t(2, 3, 4, 5);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(3), 5);
+    EXPECT_EQ(t.size(), 2 * 3 * 4 * 5);
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t.data()[t.size() - 1], 7.0f);
+    t.at(0, 0, 0, 0) = 3.0f;
+    EXPECT_FLOAT_EQ(t.data()[0], 3.0f);
+}
+
+TEST(Tensor4, RowMajorOffsets)
+{
+    Tensor4 t(2, 3, 4, 5);
+    EXPECT_EQ(t.offset(0, 0, 0, 1), 1);
+    EXPECT_EQ(t.offset(0, 0, 1, 0), 5);
+    EXPECT_EQ(t.offset(0, 1, 0, 0), 20);
+    EXPECT_EQ(t.offset(1, 0, 0, 0), 60);
+}
+
+TEST(Tensor4, FillAndDiff)
+{
+    Tensor4 a(2, 2, 2, 2), b(2, 2, 2, 2);
+    a.fill(1.0f);
+    b.fill(1.0f);
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(a, b), 0.0);
+    b.at(1, 1, 1, 1) = 3.0f;
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(a, b), 2.0);
+    Tensor4 c(1, 2, 2, 2);
+    EXPECT_FALSE(Tensor4::sameShape(a, c));
+    EXPECT_THROW(Tensor4::maxAbsDiff(a, c), FatalError);
+}
+
+TEST(Tensor4, FillRandomInRange)
+{
+    Rng rng(9);
+    Tensor4 t(2, 3, 4, 5);
+    t.fillRandom(rng);
+    bool nonzero = false;
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t.data()[i], -1.0f);
+        EXPECT_LT(t.data()[i], 1.0f);
+        nonzero |= t.data()[i] != 0.0f;
+    }
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(PackedKernel, RoundTripExactK)
+{
+    Rng rng(11);
+    Tensor4 ker(16, 3, 3, 3);
+    ker.fillRandom(rng);
+    PackedKernel pk(ker, 8);
+    EXPECT_EQ(pk.numKBlocks(), 2);
+    Tensor4 back = pk.unpack();
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(ker, back), 0.0);
+}
+
+TEST(PackedKernel, RoundTripPaddedK)
+{
+    Rng rng(12);
+    Tensor4 ker(13, 2, 3, 1);
+    ker.fillRandom(rng);
+    PackedKernel pk(ker, 8);
+    EXPECT_EQ(pk.numKBlocks(), 2);
+    Tensor4 back = pk.unpack();
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(ker, back), 0.0);
+    // Padding lanes are zero.
+    EXPECT_FLOAT_EQ(pk.lanes(1, 0, 0, 0)[7], 0.0f);
+}
+
+TEST(PackedKernel, LanesAreContiguousInK)
+{
+    Rng rng(13);
+    Tensor4 ker(8, 1, 1, 1);
+    ker.fillRandom(rng);
+    PackedKernel pk(ker, 8);
+    const float *lanes = pk.lanes(0, 0, 0, 0);
+    for (int k = 0; k < 8; ++k)
+        EXPECT_FLOAT_EQ(lanes[k], ker.at(k, 0, 0, 0));
+}
+
+TEST(PackedKernel, ElementAccessor)
+{
+    Rng rng(14);
+    Tensor4 ker(20, 2, 2, 2);
+    ker.fillRandom(rng);
+    PackedKernel pk(ker, 8);
+    for (std::int64_t k = 0; k < 20; ++k)
+        for (std::int64_t c = 0; c < 2; ++c)
+            EXPECT_FLOAT_EQ(pk.at(k, c, 1, 0), ker.at(k, c, 1, 0));
+}
+
+} // namespace
+} // namespace mopt

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The `mopt` command-line tool: the front door a downstream user would
+ * actually drive. Takes a conv2d shape (by Table-1 layer name or
+ * explicit dimensions), a machine preset, and produces the optimized
+ * tiling — permutation class, tile sizes per level, parallel split,
+ * predicted cost breakdown — and optionally standalone C source for
+ * the tiled loop nest, a verification run against the reference, and
+ * the baseline configurations for comparison.
+ *
+ * Examples:
+ *   mopt --layer=Y12 --machine=i7
+ *   mopt --k=256 --c=128 --image=34 --rs=3 --stride=1 --machine=i9
+ *   mopt --layer=R2 --emit-c=conv_r2.c
+ *   mopt --layer=M5 --verify --compare
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "baselines/autotuner.hh"
+#include "baselines/heuristic_lib.hh"
+#include "codegen/c_emitter.hh"
+#include "common/flags.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "conv/reference.hh"
+#include "conv/workloads.hh"
+#include "exec/conv_exec.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "tensor/tensor.hh"
+
+namespace {
+
+void
+printUsage()
+{
+    std::cout <<
+        R"(mopt: analytical tile-size optimizer for conv2d (ASPLOS'21 MOpt)
+
+Problem selection (one of):
+  --layer=<name>     Table-1 operator (Y0..Y23, R1..R12, M1..M9)
+  --k= --c= --image= --rs= [--stride=1] [--dilation=1] [--batch=1]
+                     explicit shape (image = input H == W)
+
+Options:
+  --machine=i7|i9|tiny   machine preset (default i7)
+  --sequential           optimize for one core (default: all cores)
+  --effort=fast|standard|thorough   solver effort (default standard)
+  --top-k=N              candidates to report (default 5)
+  --emit-c=<path>        write standalone C source for the best config
+  --verify               run the tiled executor vs the naive reference
+  --compare              also print oneDNN-style baseline blocking
+  --help                 this text
+)";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    if (flags.getBool("help", false)) {
+        printUsage();
+        return 0;
+    }
+
+    // Resolve the problem.
+    ConvProblem p;
+    if (flags.has("layer")) {
+        p = workloadByName(flags.getString("layer", ""));
+    } else if (flags.has("k") && flags.has("c") && flags.has("image") &&
+               flags.has("rs")) {
+        p = ConvProblem::fromImage(
+            "cli", flags.getInt("k", 1), flags.getInt("c", 1),
+            flags.getInt("image", 1), flags.getInt("rs", 1),
+            static_cast<int>(flags.getInt("stride", 1)),
+            flags.getInt("batch", 1));
+        p.dilation = static_cast<int>(flags.getInt("dilation", 1));
+        p.validate();
+    } else {
+        printUsage();
+        return 2;
+    }
+
+    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    OptimizerOptions opts;
+    opts.parallel = !flags.getBool("sequential", false);
+    opts.top_k = static_cast<int>(flags.getInt("top-k", 5));
+    const std::string effort = flags.getString("effort", "standard");
+    if (effort == "fast")
+        opts.effort = OptimizerOptions::Effort::Fast;
+    else if (effort == "thorough")
+        opts.effort = OptimizerOptions::Effort::Thorough;
+    else
+        opts.effort = OptimizerOptions::Effort::Standard;
+
+    std::cout << "Problem:  " << p.summary() << "\n";
+    std::cout << "Machine:  " << m.name << " (" << m.cores << " cores, "
+              << m.vec_lanes << "-lane SIMD)\n";
+    std::cout << "Mode:     "
+              << (opts.parallel ? "parallel" : "sequential") << ", "
+              << effort << " effort\n\n";
+
+    const OptimizeOutput out = optimizeConv(p, m, opts);
+    checkInvariant(!out.candidates.empty(), "optimizer returned nothing");
+
+    std::cout << "Search: " << out.seconds << " s, " << out.solver_evals
+              << " model evaluations\n\n";
+
+    Table t({"#", "class", "L1 tile", "L2 tile", "L3 tile", "par",
+             "pred ms", "pred GFLOPS"});
+    for (std::size_t i = 0; i < out.candidates.size(); ++i) {
+        const Candidate &c = out.candidates[i];
+        t.row()
+            .add(static_cast<long long>(i + 1))
+            .add(c.perm_label)
+            .add(tilesToString(c.config.tiles[LvlL1]))
+            .add(tilesToString(c.config.tiles[LvlL2]))
+            .add(tilesToString(c.config.tiles[LvlL3]))
+            .add(tilesToString(c.config.par))
+            .add(c.predicted.total_seconds * 1e3, 3)
+            .add(c.predicted.gflops, 1);
+    }
+    t.print(std::cout);
+
+    const Candidate &best = out.candidates.front();
+    std::cout << "\nBest configuration breakdown:\n"
+              << best.predicted.str() << "\n";
+
+    if (flags.has("emit-c")) {
+        const std::string path = flags.getString("emit-c", "conv.c");
+        std::ofstream f(path);
+        checkUser(f.good(), "cannot open " + path);
+        f << emitStandaloneProgram(p, best.config);
+        std::cout << "Wrote standalone C program to " << path << "\n";
+    }
+
+    if (flags.getBool("verify", false)) {
+        Rng rng(1);
+        Tensor4 in = makeInput(p), ker = makeKernel(p);
+        in.fillRandom(rng);
+        ker.fillRandom(rng);
+        Tensor4 expected = makeOutput(p), got = makeOutput(p);
+        referenceConv(p, in, ker, expected);
+        const ExecStats st = runConv(p, in, ker, got, best.config);
+        const double err = Tensor4::maxAbsDiff(expected, got);
+        std::cout << "Verification: max |diff| = " << err << " ("
+                  << (err < 2e-3 ? "OK" : "MISMATCH") << "), executed in "
+                  << st.seconds * 1e3 << " ms (" << st.gflops
+                  << " GFLOPS on this host)\n";
+        if (err >= 2e-3)
+            return 1;
+    }
+
+    if (flags.getBool("compare", false)) {
+        const ExecConfig lib = heuristicConfig(p, m, opts.parallel);
+        const CostBreakdown cb = evalMultiLevel(lib, p, m, opts.parallel);
+        std::cout << "\noneDNN-style baseline (rule "
+                  << heuristicRuleName(p) << "):\n"
+                  << "  L1 " << tilesToString(lib.tiles[LvlL1]) << " L2 "
+                  << tilesToString(lib.tiles[LvlL2]) << " L3 "
+                  << tilesToString(lib.tiles[LvlL3]) << "\n"
+                  << "  predicted " << cb.total_seconds * 1e3 << " ms ("
+                  << cb.gflops << " GFLOPS), "
+                  << best.predicted.total_seconds * 1e3
+                  << " ms for MOpt-1\n";
+    }
+    return 0;
+}
