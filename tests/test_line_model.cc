@@ -161,11 +161,12 @@ TEST(LineModel, WiderLinesNeverReduceCacheTraffic)
     for (int lw : {1, 4, 16}) {
         const CostBreakdown cb =
             evalMultiLevelLines(cfg, p, m, false, lw, DivMode::Ceil);
-        if (!first)
+        if (!first) {
             for (int l = LvlL1; l <= LvlL3; ++l)
                 EXPECT_GE(cb.volume_words[static_cast<std::size_t>(l)],
                           prev[l] - 1e-9)
                     << "line size " << lw << " level " << l;
+        }
         for (int l = 0; l < NumMemLevels; ++l)
             prev[l] = cb.volume_words[static_cast<std::size_t>(l)];
         first = false;

@@ -199,8 +199,9 @@ TEST(LoadBalance, EvenSplitHasNoIdling)
     // Parallelized extents are multiples of their split factors.
     for (int d = 0; d < NumDims; ++d) {
         const auto sd = static_cast<std::size_t>(d);
-        if (cfg.par[sd] > 1)
+        if (cfg.par[sd] > 1) {
             EXPECT_EQ(cfg.tiles[LvlL3][sd] % cfg.par[sd], 0);
+        }
     }
     EXPECT_NEAR(idleFraction(cfg, p, m), 0.0, 0.3);
 }

@@ -64,8 +64,9 @@ TEST_P(SplitCores, ExactFactorizationsWhenExtentsAllow)
             const auto sd = static_cast<std::size_t>(d);
             prod *= s[sd];
             EXPECT_LE(s[sd], l3[sd]);
-            if (isReductionDim(static_cast<Dim>(d)))
+            if (isReductionDim(static_cast<Dim>(d))) {
                 EXPECT_EQ(s[sd], 1);
+            }
         }
         EXPECT_EQ(prod, cores);
     }
@@ -117,9 +118,10 @@ TEST(BestParallelSplit, ChunksNeverSmallerThanRegisterTile)
     const IntTileVec reg = floorTiles(cfg.level[LvlReg].tiles);
     for (int d = 0; d < NumDims; ++d) {
         const auto sd = static_cast<std::size_t>(d);
-        if (best[sd] > 1)
+        if (best[sd] > 1) {
             EXPECT_GE(l3[sd] / best[sd], reg[sd]) << dimName(
                 static_cast<Dim>(d));
+        }
     }
 }
 

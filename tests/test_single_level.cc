@@ -218,7 +218,7 @@ TEST(SingleLevel, MatchesClosedFormHtKtInnermost)
     const Permutation perm = Permutation::parse("ncwrshk");
     const double tn = st.tile(DimN), tc = st.tile(DimC),
                  tr = st.tile(DimR), ts = st.tile(DimS),
-                 th = st.tile(DimH), tw = st.tile(DimW);
+                 tw = st.tile(DimW);
     // DV_In^{...,ht,kt}: ht at R_In; the ht trip factor is consumed by
     // the sweep and kt (innermost, absent in In) contributes nothing.
     const double dv_in = st.nOver(DimN) * st.nOver(DimC) *

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Run bench harnesses and convert each one's output into BENCH_<name>.json
+# for the perf trajectory.
+#
+# Usage:
+#   tools/run_bench.sh [-b BUILD_DIR] [-o OUT_DIR] [bench_name...]
+#
+#   -b BUILD_DIR   CMake build tree containing bench/ (default: build)
+#   -o OUT_DIR     where BENCH_*.json land (default: BUILD_DIR/bench_results)
+#   bench_name...  specific harnesses (e.g. bench_pruning); default: all
+#
+# Environment: MOPT_BENCH_FULL=1 restores paper-scale parameters.
+set -euo pipefail
+
+build_dir=build
+out_dir=""
+while getopts "b:o:h" opt; do
+    case "$opt" in
+    b) build_dir=$OPTARG ;;
+    o) out_dir=$OPTARG ;;
+    h)
+        sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+        exit 0
+        ;;
+    *)
+        sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//' >&2
+        exit 2
+        ;;
+    esac
+done
+shift $((OPTIND - 1))
+
+bench_dir=$build_dir/bench
+to_json=$bench_dir/bench_to_json
+if [[ ! -x $to_json ]]; then
+    echo "error: $to_json not found; build first:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+    exit 1
+fi
+out_dir=${out_dir:-$build_dir/bench_results}
+mkdir -p "$out_dir"
+
+if [[ $# -gt 0 ]]; then
+    benches=("$@")
+else
+    benches=()
+    for exe in "$bench_dir"/bench_*; do
+        base=$(basename "$exe")
+        [[ -x $exe && $base != bench_to_json ]] && benches+=("$base")
+    done
+fi
+
+failed=0
+for bench in "${benches[@]}"; do
+    exe=$bench_dir/$bench
+    name=${bench#bench_}
+    if [[ ! -x $exe ]]; then
+        echo "error: $exe not found" >&2
+        failed=1
+        continue
+    fi
+    echo "== $bench =="
+    log=$out_dir/$bench.log
+    if ! "$exe" | tee "$log"; then
+        echo "error: $bench failed" >&2
+        failed=1
+        continue
+    fi
+    "$to_json" --name="$name" --in="$log" --out="$out_dir/BENCH_$name.json"
+    echo "-> $out_dir/BENCH_$name.json"
+done
+exit "$failed"
