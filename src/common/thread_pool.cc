@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -104,6 +105,79 @@ ThreadPool::parallelFor(std::size_t count,
     // before the wait below returns, so the caller's reference stays valid
     // for exactly as long as any task can use it.
     run();
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done_cv.wait(
+            lock, [&] { return state->done.load() >= state->count; });
+    }
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
+}
+
+void
+ThreadPool::parallelForIndexed(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+
+    // Same lifetime discipline as parallelFor: all loop state is
+    // heap-allocated and shared with the queued tasks, which may be
+    // dequeued after this call already returned.
+    struct State
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t count = 0;
+        std::size_t grain = 1;
+        const std::function<void(std::size_t, std::size_t, std::size_t)>
+            *body = nullptr;
+        std::exception_ptr first_error;
+        std::mutex mutex;
+        std::condition_variable done_cv;
+    };
+    auto state = std::make_shared<State>();
+    state->count = count;
+    state->grain = grain;
+    state->body = &body;
+
+    auto run = [state](std::size_t worker) {
+        for (;;) {
+            const std::size_t begin =
+                state->next.fetch_add(state->grain);
+            if (begin >= state->count)
+                break;
+            const std::size_t end =
+                std::min(begin + state->grain, state->count);
+            try {
+                (*state->body)(worker, begin, end);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->first_error)
+                    state->first_error = std::current_exception();
+            }
+            const std::size_t claimed = end - begin;
+            if (state->done.fetch_add(claimed) + claimed ==
+                state->count) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->done_cv.notify_all();
+            }
+        }
+    };
+
+    const std::size_t chunks = (count + grain - 1) / grain;
+    const std::size_t helpers = std::min(workers_.size(), chunks);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            tasks_.push([run, i] { run(i + 1); });
+    }
+    cv_.notify_all();
+
+    run(0); // the caller participates as worker 0
     {
         std::unique_lock<std::mutex> lock(state->mutex);
         state->done_cv.wait(

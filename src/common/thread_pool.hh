@@ -54,6 +54,20 @@ class ThreadPool
         std::size_t count,
         const std::function<void(std::size_t, std::size_t)> &body);
 
+    /**
+     * Worker-indexed, dynamically chunked variant: participating
+     * threads repeatedly claim the next @p grain iterations from a
+     * shared atomic counter and call body(worker, begin, end). The
+     * worker id is stable per participating thread and lies in
+     * [0, size()] (the calling thread is worker 0), so callers can
+     * maintain per-worker scratch state with no locking. Iterations
+     * may run in any order; exceptions propagate (first one wins).
+     */
+    void parallelForIndexed(
+        std::size_t count, std::size_t grain,
+        const std::function<void(std::size_t worker, std::size_t begin,
+                                 std::size_t end)> &body);
+
   private:
     void workerLoop();
 

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Allocation-free, differentiable evaluation context for the
+ * multi-level cost model (Secs. 5/7). An EvalContext precomputes every
+ * per-(problem, machine, permutation-combo) invariant the solver hot
+ * path needs — problem extents, level capacities, bandwidth scale
+ * factors, per-level permutation position tables, the parallel split
+ * and active-core count — so that evaluating the model (and its
+ * gradient) from the solver's 21 log-tile variables touches no heap
+ * and recomputes nothing shape-dependent.
+ *
+ * The cost model is a sum of products of trip counts, tile footprints
+ * and input extents, all smooth in log-tile space, so the gradient of
+ * every log-level-time and log-footprint is available in closed form.
+ * This is what replaces the central-difference loop of the original
+ * solver (2 x 21 model evaluations per gradient) with a single
+ * evaluation per Adam step.
+ */
+
+#ifndef MOPT_MODEL_EVAL_CONTEXT_HH
+#define MOPT_MODEL_EVAL_CONTEXT_HH
+
+#include <array>
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "model/multi_level.hh"
+#include "model/tile_config.hh"
+
+namespace mopt {
+
+/**
+ * Precomputed evaluation state for one (problem, machine, permutation
+ * combo, parallel split). Thread-safe after construction: all mutable
+ * state lives in a caller-owned Scratch.
+ *
+ * Variable convention (shared with the optimizer): x has one entry per
+ * (cache level, dimension), x[(l - LvlL1)*NumDims + d] = log T_{l,d}
+ * for l in {L1, L2, L3}; the register tile is pinned.
+ */
+class EvalContext
+{
+  public:
+    static constexpr int kNumVars = 3 * NumDims;
+
+    EvalContext(const ConvProblem &p, const MachineSpec &m,
+                const std::array<Permutation, NumMemLevels> &perms,
+                const TileVec &reg_tiles, const IntTileVec &par,
+                bool parallel);
+
+    /**
+     * Caller-owned scratch: decoded tiles, enclosing extents, and the
+     * gradient tables filled by evalSeconds. Fixed-size (no heap);
+     * reusable across calls and contexts of the same shape.
+     */
+    struct Scratch
+    {
+        /** Decoded tile sizes per level (Reg tiles are the pinned ones). */
+        std::array<TileVec, NumMemLevels> tiles;
+        /** Enclosing-tile extents per level. */
+        std::array<TileVec, NumMemLevels> outer;
+        /** d log seconds[l] / d x[j], filled when want_grad. */
+        std::array<std::array<double, kNumVars>, NumMemLevels> dlogsec;
+    };
+
+    /**
+     * Decode @p x (kNumVars log-tile values) and compute the
+     * bandwidth-scaled time of every level (Continuous trip counts,
+     * the solver domain). With @p want_grad also fills s.dlogsec with
+     * the exact gradient of each log level time.
+     *
+     * @param x          kNumVars-sized array of log tile sizes
+     * @param s          scratch (tiles/outer/dlogsec outputs)
+     * @param seconds    per-level bandwidth-scaled times
+     * @param want_grad  also compute s.dlogsec
+     */
+    void evalSeconds(const double *x, Scratch &s,
+                     std::array<double, NumMemLevels> &seconds,
+                     bool want_grad) const;
+
+    /**
+     * log(totalFootprint(tiles_lvl) / capacityWords(lvl)) for cache
+     * level @p lvl (L1..L3), the capacity constraint of Eq. 4 in log
+     * form. Requires s.tiles decoded (call evalSeconds first). With
+     * @p grad7 non-null, writes d/d x_{lvl,d} for the seven own-level
+     * variables (the constraint depends on no other level).
+     */
+    double logCapacityRatio(int lvl, const Scratch &s,
+                            double *grad7) const;
+
+    /**
+     * Full CostBreakdown at @p x (Continuous mode), equivalent to
+     * decoding x into a MultiLevelConfig and calling evalMultiLevel,
+     * but allocation-free. Used for parity tests and final reporting.
+     */
+    CostBreakdown evalBreakdown(const double *x, Scratch &s) const;
+
+    /**
+     * The authoritative x -> MultiLevelConfig mapping this context
+     * evaluates: per-level permutations, pinned register tiles,
+     * exp(log-tile) cache tiles, and the parallel split. The optimizer
+     * decodes its final fixed point through this, so solved and
+     * reported configurations can never drift apart.
+     */
+    MultiLevelConfig decodeConfig(const double *x) const;
+
+    const TileVec &extents() const { return extents_; }
+    const TileVec &regTiles() const { return reg_tiles_; }
+    const ConvProblem &problem() const { return *p_; }
+    bool parallel() const { return parallel_; }
+
+  private:
+    void decode(const double *x, Scratch &s) const;
+
+    /**
+     * Volume and bandwidth-scaled time of level @p l from decoded
+     * scratch, with optional gradient of log seconds into @p dls
+     * (kNumVars, zero-filled here).
+     */
+    void levelSeconds(int l, const Scratch &s, double &volume,
+                      double &seconds, double *dls) const;
+
+    const ConvProblem *p_;
+    TileVec extents_;
+    TileVec reg_tiles_;
+    std::array<Permutation, NumMemLevels> perms_;
+    IntTileVec int_par_;
+    TileVec par_;       //!< Parallel split factors as doubles.
+    bool parallel_;
+    double compute_seconds_;
+    double flops_;
+
+    /** 4 bytes/word / (bandwidth * ways): seconds per word, per level. */
+    std::array<double, NumMemLevels> sec_per_word_;
+    std::array<double, NumMemLevels> cap_words_;
+
+    /** Per level: dimension at innermost-based position pos (1..7). */
+    std::array<std::array<Dim, NumDims + 1>, NumMemLevels> pos_dim_;
+    /** Per level and tensor: the paper's R_A position and its dim. */
+    std::array<std::array<int, NumTensors>, NumMemLevels> r_pos_;
+    std::array<std::array<Dim, NumTensors>, NumMemLevels> r_dim_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_MODEL_EVAL_CONTEXT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The tile-size NLP of Algorithm 1 (Sec. 8) as a first-class
+ * NlpProblem with closed-form derivatives. For a fixed permutation
+ * combo and objective level, the program over the 21 log-tile
+ * variables x = log T (L1..L3; the register tile is pinned) is
+ *
+ *   minimize    log seconds[obj]
+ *   subject to  log(footprint_l / capacity_l) <= 0   (3 capacity)
+ *               x_{l,d} - x_{l+1,d}           <= 0   (14 nesting)
+ *               log seconds[k] - log seconds[obj] <= 0 (3 dominance)
+ *
+ * Objective and constraints (and their exact gradients) come from an
+ * EvalContext, so one evalWithGrad costs a single model evaluation —
+ * the replacement for 2x21 central-difference probes per Adam step.
+ */
+
+#ifndef MOPT_OPTIMIZER_CONV_NLP_HH
+#define MOPT_OPTIMIZER_CONV_NLP_HH
+
+#include <vector>
+
+#include "model/eval_context.hh"
+#include "solver/nlp.hh"
+
+namespace mopt {
+
+/**
+ * NlpProblem view of one (permutation combo, objective level) solve.
+ * Thread-safe: concurrent evaluations share the immutable EvalContext
+ * and use thread-local model scratch, so one ConvNlp can be solved
+ * from many start points in parallel.
+ */
+class ConvNlp : public NlpProblem
+{
+  public:
+    static constexpr int kNumVars = EvalContext::kNumVars;
+    static constexpr int kNumCons =
+        3 + 2 * NumDims + (NumMemLevels - 1);
+
+    /**
+     * @param ctx      evaluation context (must outlive the problem)
+     * @param obj_lvl  memory level whose time is minimized
+     * @param lo,hi    box bounds (fixed levels have collapsed
+     *                 intervals)
+     */
+    ConvNlp(const EvalContext &ctx, int obj_lvl, std::vector<double> lo,
+            std::vector<double> hi);
+
+    int dim() const override { return kNumVars; }
+    int numConstraints() const override { return kNumCons; }
+    const std::vector<double> &lowerBounds() const override { return lo_; }
+    const std::vector<double> &upperBounds() const override { return hi_; }
+
+    double evalAll(const std::vector<double> &x,
+                   std::vector<double> &g) const override;
+
+    bool hasGradient() const override { return true; }
+    double evalWithGrad(const std::vector<double> &x,
+                        std::vector<double> &g,
+                        std::vector<double> &grad_f,
+                        std::vector<double> &jac,
+                        double fd_h = 1e-6) const override;
+
+    int objectiveLevel() const { return obj_lvl_; }
+
+  private:
+    double evalImpl(const std::vector<double> &x, std::vector<double> &g,
+                    std::vector<double> *grad_f,
+                    std::vector<double> *jac) const;
+
+    const EvalContext *ctx_;
+    int obj_lvl_;
+    std::vector<double> lo_, hi_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_OPTIMIZER_CONV_NLP_HH

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "common/timer.hh"
+#include "model/eval_context.hh"
 #include "model/footprint.hh"
 #include "model/parallel_model.hh"
 #include "model/pruned_classes.hh"
+#include "optimizer/conv_nlp.hh"
 #include "optimizer/integerize.hh"
 #include "optimizer/load_balance.hh"
 #include "solver/multistart.hh"
@@ -67,42 +72,49 @@ constexpr int kNumVars = 3 * NumDims;
 /**
  * Greedy capacity-filling seed: starting from the inner level's tile,
  * double the dimension with the largest remaining trip count while
- * the footprint stays within the level capacity.
+ * the footprint stays within the level capacity. Candidate dimensions
+ * are tried in decreasing-ratio order so the footprint is evaluated
+ * only for the winning dimension (plus any larger-ratio dims whose
+ * doubled tile would overflow the level).
  */
 TileVec
 greedySeed(const TileVec &base, const IntTileVec &extents,
            const ConvProblem &p, double capacity_words)
 {
     TileVec t = base;
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        int best_d = -1;
-        double best_ratio = 1.0;
+    for (;;) {
+        // Dims with room to grow, largest remaining ratio first
+        // (ties keep the lower dim index for determinism).
+        std::array<std::pair<double, int>, NumDims> cand;
+        int num_cand = 0;
         for (int d = 0; d < NumDims; ++d) {
             const auto sd = static_cast<std::size_t>(d);
             const double ratio =
                 static_cast<double>(extents[sd]) / t[sd];
-            if (ratio > best_ratio + 1e-9) {
-                // Try doubling this dim; accept only if it still fits.
-                TileVec trial = t;
-                trial[sd] = std::min(t[sd] * 2.0,
-                                     static_cast<double>(extents[sd]));
-                if (totalFootprint(trial, p) <= capacity_words &&
-                    ratio > best_ratio) {
-                    best_ratio = ratio;
-                    best_d = d;
-                }
+            if (ratio > 1.0 + 1e-9)
+                cand[static_cast<std::size_t>(num_cand++)] = {ratio, d};
+        }
+        std::stable_sort(cand.begin(), cand.begin() + num_cand,
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
+
+        bool grew = false;
+        for (int i = 0; i < num_cand; ++i) {
+            const auto sd = static_cast<std::size_t>(
+                cand[static_cast<std::size_t>(i)].second);
+            TileVec trial = t;
+            trial[sd] = std::min(t[sd] * 2.0,
+                                 static_cast<double>(extents[sd]));
+            if (totalFootprint(trial, p) <= capacity_words) {
+                t = trial;
+                grew = true;
+                break;
             }
         }
-        if (best_d >= 0) {
-            const auto sd = static_cast<std::size_t>(best_d);
-            t[sd] = std::min(t[sd] * 2.0,
-                             static_cast<double>(extents[sd]));
-            progress = true;
-        }
+        if (!grew)
+            return t;
     }
-    return t;
 }
 
 /** Greedy prime-factor parallel split used during continuous solves. */
@@ -170,194 +182,135 @@ effortOptions(OptimizerOptions::Effort effort, std::uint64_t seed)
     return ms;
 }
 
-/** State of one Algorithm-1 run for a fixed permutation combo. */
-class ComboSolver
+/**
+ * State of one Algorithm-1 run for a fixed permutation combo. The
+ * per-level solves themselves are flattened into (combo x objective x
+ * start) work items by optimizeConv; this holds the sequential state
+ * between rounds (box bounds with fixed levels collapsed, the set of
+ * unfixed levels) plus the precomputed EvalContext.
+ */
+struct ComboState
 {
-  public:
-    ComboSolver(const PermCombo &combo, const ConvProblem &p,
-                const MachineSpec &m, const OptimizerOptions &opts)
-        : combo_(combo), p_(p), m_(m), opts_(opts),
-          extents_(problemExtents(p)),
-          reg_tiles_(toTileVec(microkernelTiles(p, m)))
+    const PermCombo *combo = nullptr;
+    IntTileVec extents{};
+    TileVec reg_tiles{};
+    IntTileVec par{};
+    std::unique_ptr<EvalContext> ctx;
+
+    /** Box bounds; fixing a level collapses its interval. */
+    std::vector<double> lo = std::vector<double>(kNumVars, 0.0);
+    std::vector<double> hi = std::vector<double>(kNumVars, 0.0);
+
+    /** Unfixed levels, in Algorithm 1's visit order. */
+    std::vector<int> not_visited = {LvlReg, LvlL1, LvlL2, LvlL3};
+
+    /** Deterministic seeds (greedy fill + geometric), pre-clamping. */
+    std::vector<std::vector<double>> base_seeds;
+
+    long evals = 0;
+
+    ComboState(const PermCombo &c, const ConvProblem &p,
+               const MachineSpec &m, const OptimizerOptions &opts)
+        : combo(&c), extents(problemExtents(p)),
+          reg_tiles(toTileVec(microkernelTiles(p, m)))
     {
-        par_ = opts_.parallel ? greedySplit(m.cores, extents_)
-                              : IntTileVec{1, 1, 1, 1, 1, 1, 1};
+        par = opts.parallel ? greedySplit(m.cores, extents)
+                            : IntTileVec{1, 1, 1, 1, 1, 1, 1};
         for (int l = 0; l < 3; ++l)
             for (int d = 0; d < NumDims; ++d) {
                 const auto sd = static_cast<std::size_t>(d);
-                lo_[varIdx(LvlL1 + l, d)] = std::log(reg_tiles_[sd]);
-                hi_[varIdx(LvlL1 + l, d)] =
-                    std::log(static_cast<double>(extents_[sd]));
+                lo[varIdx(LvlL1 + l, d)] = std::log(reg_tiles[sd]);
+                hi[varIdx(LvlL1 + l, d)] =
+                    std::log(static_cast<double>(extents[sd]));
             }
+        ctx = std::make_unique<EvalContext>(p, m, c.perm, reg_tiles,
+                                            par, opts.parallel);
+        buildSeeds(p, m);
     }
 
-    /** Run Algorithm 1 for this combo. */
-    Candidate run(long &evals);
+    void
+    buildSeeds(const ConvProblem &p, const MachineSpec &m)
+    {
+        // Seed 1: greedily fill each level's capacity inside out.
+        std::vector<double> s1(kNumVars);
+        TileVec inner = reg_tiles;
+        for (int l = 0; l < 3; ++l) {
+            const double cap =
+                static_cast<double>(m.capacityWords(LvlL1 + l));
+            TileVec t = greedySeed(inner, extents, p, cap);
+            for (int d = 0; d < NumDims; ++d)
+                s1[varIdx(LvlL1 + l, d)] =
+                    std::log(t[static_cast<std::size_t>(d)]);
+            inner = t;
+        }
+        // Seed 2: geometric interpolation between the register tile
+        // and the problem extents.
+        std::vector<double> s2(kNumVars);
+        for (int l = 0; l < 3; ++l) {
+            const double frac = (l + 1) / 3.0;
+            for (int d = 0; d < NumDims; ++d) {
+                const auto sd = static_cast<std::size_t>(d);
+                const double lo_d = std::log(reg_tiles[sd]);
+                const double hi_d =
+                    std::log(static_cast<double>(extents[sd]));
+                s2[varIdx(LvlL1 + l, d)] = lo_d + frac * (hi_d - lo_d);
+            }
+        }
+        base_seeds = {std::move(s1), std::move(s2)};
+    }
 
-  private:
-    MultiLevelConfig decode(const std::vector<double> &x) const;
-    NlpResult argMinSolve(int obj_lvl, long &evals) const;
-    std::vector<std::vector<double>> seeds() const;
+    /** All start points for one objective solve: the deterministic
+     *  seeds clamped into the current box plus the same random
+     *  starts the sequential multi-start used. */
+    std::vector<std::vector<double>>
+    startPoints(int obj, const OptimizerOptions &opts,
+                int random_starts) const
+    {
+        std::vector<std::vector<double>> pts = base_seeds;
+        for (auto &pt : pts)
+            for (int i = 0; i < kNumVars; ++i) {
+                const auto si = static_cast<std::size_t>(i);
+                pt[si] = std::clamp(pt[si], lo[si], hi[si]);
+            }
+        Rng rng(opts.seed + static_cast<std::uint64_t>(obj));
+        for (int s = 0; s < random_starts; ++s) {
+            std::vector<double> x(static_cast<std::size_t>(kNumVars));
+            for (int i = 0; i < kNumVars; ++i) {
+                const auto si = static_cast<std::size_t>(i);
+                x[si] = rng.uniformReal(lo[si], hi[si]);
+            }
+            pts.push_back(std::move(x));
+        }
+        return pts;
+    }
 
-    const PermCombo &combo_;
-    const ConvProblem &p_;
-    const MachineSpec &m_;
-    const OptimizerOptions &opts_;
-    IntTileVec extents_;
-    TileVec reg_tiles_;
-    IntTileVec par_;
+    /** Collapse the box of @p lvl onto the solved point @p x. */
+    void
+    fixLevel(int lvl, const std::vector<double> &x)
+    {
+        for (int d = 0; d < NumDims; ++d) {
+            const std::size_t i = varIdx(lvl, d);
+            lo[i] = hi[i] = x[i];
+        }
+    }
 
-    /** Box bounds; fixing a level collapses its interval. */
-    std::vector<double> lo_ = std::vector<double>(kNumVars, 0.0);
-    std::vector<double> hi_ = std::vector<double>(kNumVars, 0.0);
+    /** Decode the final continuous configuration (all levels fixed:
+     *  lo == hi == the solved point). */
+    MultiLevelConfig
+    finalConfig() const
+    {
+        return ctx->decodeConfig(lo.data());
+    }
 };
 
-MultiLevelConfig
-ComboSolver::decode(const std::vector<double> &x) const
+/** One (combo, objective, start) solve in a round's flattened batch. */
+struct SolveJob
 {
-    MultiLevelConfig cfg;
-    for (int l = 0; l < NumMemLevels; ++l)
-        cfg.level[static_cast<std::size_t>(l)].perm =
-            combo_.perm[static_cast<std::size_t>(l)];
-    cfg.level[LvlReg].tiles = reg_tiles_;
-    for (int l = 0; l < 3; ++l)
-        for (int d = 0; d < NumDims; ++d)
-            cfg.level[static_cast<std::size_t>(LvlL1 + l)].tiles
-                [static_cast<std::size_t>(d)] =
-                std::exp(x[varIdx(LvlL1 + l, d)]);
-    cfg.par = par_;
-    return cfg;
-}
-
-std::vector<std::vector<double>>
-ComboSolver::seeds() const
-{
-    // Seed 1: greedily fill each level's capacity from the inside out.
-    std::vector<double> s1(kNumVars);
-    TileVec inner = reg_tiles_;
-    for (int l = 0; l < 3; ++l) {
-        const double cap =
-            static_cast<double>(m_.capacityWords(LvlL1 + l));
-        TileVec t = greedySeed(inner, extents_, p_, cap);
-        for (int d = 0; d < NumDims; ++d)
-            s1[varIdx(LvlL1 + l, d)] =
-                std::log(t[static_cast<std::size_t>(d)]);
-        inner = t;
-    }
-    // Seed 2: geometric interpolation between the register tile and
-    // the problem extents.
-    std::vector<double> s2(kNumVars);
-    for (int l = 0; l < 3; ++l) {
-        const double frac = (l + 1) / 3.0;
-        for (int d = 0; d < NumDims; ++d) {
-            const auto sd = static_cast<std::size_t>(d);
-            const double lo = std::log(reg_tiles_[sd]);
-            const double hi =
-                std::log(static_cast<double>(extents_[sd]));
-            s2[varIdx(LvlL1 + l, d)] = lo + frac * (hi - lo);
-        }
-    }
-    // Respect any collapsed (fixed) intervals.
-    for (auto *s : {&s1, &s2})
-        for (int i = 0; i < kNumVars; ++i)
-            (*s)[static_cast<std::size_t>(i)] = std::clamp(
-                (*s)[static_cast<std::size_t>(i)],
-                lo_[static_cast<std::size_t>(i)],
-                hi_[static_cast<std::size_t>(i)]);
-    return {s1, s2};
-}
-
-NlpResult
-ComboSolver::argMinSolve(int obj_lvl, long &evals) const
-{
-    // Constraints: 3 capacity, 14 nesting (L1<=L2<=L3), 3 dominance.
-    const int num_g = 3 + 2 * NumDims + (NumMemLevels - 1);
-    FunctionalNlp nlp(
-        kNumVars, num_g, lo_, hi_,
-        [this, obj_lvl](const std::vector<double> &x,
-                        std::vector<double> &g) {
-            const MultiLevelConfig cfg = decode(x);
-            const CostBreakdown cb = evalMultiLevel(
-                cfg, p_, m_, opts_.parallel, DivMode::Continuous);
-            std::size_t gi = 0;
-            for (int l = LvlL1; l <= LvlL3; ++l) {
-                const double fp = totalFootprint(
-                    cfg.level[static_cast<std::size_t>(l)].tiles, p_);
-                g[gi++] = std::log(
-                    fp / static_cast<double>(m_.capacityWords(l)));
-            }
-            for (int l = 0; l < 2; ++l)
-                for (int d = 0; d < NumDims; ++d)
-                    g[gi++] = x[varIdx(LvlL1 + l, d)] -
-                              x[varIdx(LvlL1 + l + 1, d)];
-            const double obj = std::log(std::max(
-                cb.seconds[static_cast<std::size_t>(obj_lvl)], 1e-300));
-            for (int k = 0; k < NumMemLevels; ++k) {
-                if (k == obj_lvl)
-                    continue;
-                g[gi++] = std::log(std::max(
-                              cb.seconds[static_cast<std::size_t>(k)],
-                              1e-300)) -
-                          obj;
-            }
-            return obj;
-        });
-
-    const MultiStartOptions ms = effortOptions(
-        opts_.effort, opts_.seed + static_cast<std::uint64_t>(obj_lvl));
-    NlpResult r = solveMultiStart(nlp, seeds(), ms);
-    evals += r.evals;
-    return r;
-}
-
-Candidate
-ComboSolver::run(long &evals)
-{
-    std::vector<int> not_visited = {LvlReg, LvlL1, LvlL2, LvlL3};
-
-    while (!not_visited.empty()) {
-        double min_score = std::numeric_limits<double>::infinity();
-        int min_lvl = not_visited.front();
-        NlpResult min_result;
-        for (int obj : not_visited) {
-            const NlpResult r = argMinSolve(obj, evals);
-            const double score =
-                r.feasible ? r.objective : 1e6 + r.max_violation;
-            if (score < min_score) {
-                min_score = score;
-                min_lvl = obj;
-                min_result = r;
-            }
-        }
-        // Fix the most-constrained level's tile sizes (the register
-        // level's tiles are already pinned by the microkernel).
-        if (min_lvl != LvlReg && !min_result.x.empty()) {
-            for (int d = 0; d < NumDims; ++d) {
-                const std::size_t i = varIdx(min_lvl, d);
-                lo_[i] = hi_[i] = min_result.x[i];
-            }
-        }
-        not_visited.erase(
-            std::find(not_visited.begin(), not_visited.end(), min_lvl));
-    }
-
-    // All levels fixed: decode the final continuous configuration.
-    std::vector<double> x(kNumVars);
-    for (int i = 0; i < kNumVars; ++i)
-        x[static_cast<std::size_t>(i)] = lo_[static_cast<std::size_t>(i)];
-    MultiLevelConfig final_cfg = decode(x);
-    final_cfg.clampNesting(extents_);
-
-    Candidate cand;
-    cand.config = integerize(final_cfg, p_, m_, opts_.parallel);
-    if (opts_.parallel)
-        loadBalance(cand.config, p_, m_);
-    else
-        cand.config.par = {1, 1, 1, 1, 1, 1, 1};
-    cand.predicted = evalMultiLevel(cand.config, p_, m_, opts_.parallel);
-    cand.perm_label = combo_.label;
-    return cand;
-}
+    std::size_t state;  //!< Index into the ComboState vector.
+    int obj;            //!< Objective level of this solve.
+    std::size_t nlp;    //!< Index into the round's ConvNlp pool.
+    std::size_t start;  //!< Index into the round's start-point pool.
+};
 
 } // namespace
 
@@ -385,29 +338,126 @@ optimizeConv(const ConvProblem &p, const MachineSpec &m,
     Timer timer;
 
     const std::vector<PermCombo> combos = buildCombos(opts.perm_mode);
-    OptimizeOutput out;
-    out.candidates.resize(combos.size());
-    std::vector<long> eval_counts(combos.size(), 0);
+    std::vector<ComboState> states;
+    states.reserve(combos.size());
+    for (const PermCombo &c : combos)
+        states.emplace_back(c, p, m, opts);
 
-    const std::size_t workers = std::min<std::size_t>(
-        combos.size(),
-        opts.threads > 0
-            ? static_cast<std::size_t>(opts.threads)
-            : std::max(1u, std::thread::hardware_concurrency()));
+    const MultiStartOptions ms = effortOptions(opts.effort, opts.seed);
+
+    const std::size_t workers = std::max<std::size_t>(
+        1, opts.threads > 0
+               ? static_cast<std::size_t>(opts.threads)
+               : std::max(1u, std::thread::hardware_concurrency()));
     ThreadPool pool(workers);
-    pool.parallelFor(combos.size(), [&](std::size_t i) {
-        ComboSolver solver(combos[i], p, m, opts);
-        out.candidates[i] = solver.run(eval_counts[i]);
+    std::vector<SolverScratch> scratch(pool.size() + 1);
+
+    // Algorithm 1, flattened: each round solves every (unfixed combo,
+    // candidate objective level, start point) as one independent work
+    // item across the pool, then fixes each combo's most-constrained
+    // level. Results are reduced in job order, so the outcome is
+    // deterministic regardless of scheduling.
+    for (int round = 0; round < NumMemLevels; ++round) {
+        std::vector<std::unique_ptr<ConvNlp>> nlps;
+        std::vector<std::vector<double>> starts;
+        std::vector<SolveJob> jobs;
+        for (std::size_t ci = 0; ci < states.size(); ++ci) {
+            ComboState &st = states[ci];
+            for (int obj : st.not_visited) {
+                const std::size_t nlp_idx = nlps.size();
+                nlps.push_back(std::make_unique<ConvNlp>(
+                    *st.ctx, obj, st.lo, st.hi));
+                for (auto &pt :
+                     st.startPoints(obj, opts, ms.random_starts)) {
+                    jobs.push_back(
+                        {ci, obj, nlp_idx, starts.size()});
+                    starts.push_back(std::move(pt));
+                }
+            }
+        }
+
+        std::vector<NlpResult> results(jobs.size());
+        pool.parallelForIndexed(
+            jobs.size(), 1,
+            [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    results[i] = solveAugLag(
+                        *nlps[jobs[i].nlp], starts[jobs[i].start],
+                        ms.auglag,
+                        &scratch[worker]);
+            });
+
+        // Reduce: per (combo, objective) over starts, then per combo
+        // over objectives (Algorithm 1's most-constrained level).
+        std::size_t idx = 0;
+        for (std::size_t ci = 0; ci < states.size(); ++ci) {
+            ComboState &st = states[ci];
+            double min_score = std::numeric_limits<double>::infinity();
+            int min_lvl = st.not_visited.front();
+            NlpResult min_result;
+            for (int obj : st.not_visited) {
+                NlpResult best;
+                best.objective =
+                    std::numeric_limits<double>::infinity();
+                best.max_violation =
+                    std::numeric_limits<double>::infinity();
+                for (; idx < jobs.size() && jobs[idx].state == ci &&
+                       jobs[idx].obj == obj;
+                     ++idx) {
+                    NlpResult &r = results[idx];
+                    st.evals += r.evals;
+                    if (betterNlpResult(r, best))
+                        best = std::move(r);
+                }
+                const double score = best.feasible
+                                         ? best.objective
+                                         : 1e6 + best.max_violation;
+                if (score < min_score) {
+                    min_score = score;
+                    min_lvl = obj;
+                    min_result = std::move(best);
+                }
+            }
+            // Fix the most-constrained level's tile sizes (the
+            // register level's tiles are already pinned by the
+            // microkernel).
+            if (min_lvl != LvlReg && !min_result.x.empty())
+                st.fixLevel(min_lvl, min_result.x);
+            st.not_visited.erase(std::find(st.not_visited.begin(),
+                                           st.not_visited.end(),
+                                           min_lvl));
+        }
+        checkInvariant(idx == jobs.size(),
+                       "optimizeConv: round reduction mismatch");
+    }
+
+    // All levels fixed: integerize, balance, and rank.
+    OptimizeOutput out;
+    out.candidates.resize(states.size());
+    pool.parallelFor(states.size(), [&](std::size_t i) {
+        ComboState &st = states[i];
+        MultiLevelConfig final_cfg = st.finalConfig();
+        final_cfg.clampNesting(st.extents);
+
+        Candidate cand;
+        cand.config = integerize(final_cfg, p, m, opts.parallel);
+        if (opts.parallel)
+            loadBalance(cand.config, p, m);
+        else
+            cand.config.par = {1, 1, 1, 1, 1, 1, 1};
+        cand.predicted = evalMultiLevel(cand.config, p, m, opts.parallel);
+        cand.perm_label = st.combo->label;
+        out.candidates[i] = std::move(cand);
     });
 
-    for (long e : eval_counts)
-        out.solver_evals += e;
+    for (const auto &st : states)
+        out.solver_evals += st.evals;
 
-    std::sort(out.candidates.begin(), out.candidates.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  return a.predicted.total_seconds <
-                         b.predicted.total_seconds;
-              });
+    std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.predicted.total_seconds <
+                                b.predicted.total_seconds;
+                     });
     if (static_cast<int>(out.candidates.size()) > opts.top_k)
         out.candidates.resize(static_cast<std::size_t>(opts.top_k));
     out.seconds = timer.seconds();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -16,60 +17,101 @@ adamMinimize(const std::function<double(const std::vector<double> &)> &f,
     const std::size_t n = x0.size();
     checkUser(lo.size() == n && hi.size() == n, "adamMinimize: size mismatch");
 
-    auto clamp = [&](std::vector<double> &x) {
-        for (std::size_t i = 0; i < n; ++i)
-            x[i] = std::clamp(x[i], lo[i], hi[i]);
-    };
-    clamp(x0);
-
-    std::vector<double> x = x0;
-    std::vector<double> best = x;
-    double best_f = f(x);
-    ++evals;
-
-    std::vector<double> m(n, 0.0), v(n, 0.0), grad(n, 0.0);
-    double lr = opts.lr;
-
-    for (int step = 1; step <= opts.max_steps; ++step) {
-        // Central-difference gradient, projected onto the box.
+    // Derivative-free facade over the single Adam loop: a combined
+    // value+gradient evaluator built from box-projected central
+    // differences with reused probe buffers.
+    std::vector<double> xp = x0, xm = x0;
+    auto fg = [&](const std::vector<double> &x,
+                  std::vector<double> &grad) {
+        xp = x;
+        xm = x;
         for (std::size_t i = 0; i < n; ++i) {
             const double h =
                 opts.grad_h * std::max(1.0, std::fabs(x[i]));
-            std::vector<double> xp = x, xm = x;
             xp[i] = std::min(hi[i], x[i] + h);
             xm[i] = std::max(lo[i], x[i] - h);
             const double denom = xp[i] - xm[i];
-            if (denom <= 0.0) {
+            if (denom > 0.0) {
+                grad[i] = (f(xp) - f(xm)) / denom;
+                evals += 2;
+            } else {
                 grad[i] = 0.0;
-                continue;
             }
-            grad[i] = (f(xp) - f(xm)) / denom;
-            evals += 2;
+            xp[i] = x[i];
+            xm[i] = x[i];
+        }
+        ++evals;
+        return f(x);
+    };
+
+    AdamScratch scratch;
+    adamMinimizeGrad(fg, x0, lo, hi, opts, scratch);
+    return x0;
+}
+
+double
+adamMinimizeGrad(const std::function<double(const std::vector<double> &,
+                                            std::vector<double> &)> &fg,
+                 std::vector<double> &x, const std::vector<double> &lo,
+                 const std::vector<double> &hi, const AdamOptions &opts,
+                 AdamScratch &scratch)
+{
+    const std::size_t n = x.size();
+    checkUser(lo.size() == n && hi.size() == n,
+              "adamMinimizeGrad: size mismatch");
+
+    auto clamp = [&](std::vector<double> &xx) {
+        for (std::size_t i = 0; i < n; ++i)
+            xx[i] = std::clamp(xx[i], lo[i], hi[i]);
+    };
+    clamp(x);
+
+    scratch.m.assign(n, 0.0);
+    scratch.v.assign(n, 0.0);
+    scratch.grad.assign(n, 0.0);
+    scratch.best = x;
+    double best_f = std::numeric_limits<double>::infinity();
+
+    double lr = opts.lr;
+    double beta1_pow = 1.0, beta2_pow = 1.0;
+
+    for (int step = 1; step <= opts.max_steps; ++step) {
+        const double fx = fg(x, scratch.grad);
+        if (fx < best_f) {
+            best_f = fx;
+            scratch.best = x;
         }
 
+        beta1_pow *= opts.beta1;
+        beta2_pow *= opts.beta2;
+        const double m_corr = 1.0 / (1.0 - beta1_pow);
+        const double v_corr = 1.0 / (1.0 - beta2_pow);
         double step_norm = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            m[i] = opts.beta1 * m[i] + (1.0 - opts.beta1) * grad[i];
-            v[i] = opts.beta2 * v[i] + (1.0 - opts.beta2) * grad[i] * grad[i];
-            const double mh = m[i] / (1.0 - std::pow(opts.beta1, step));
-            const double vh = v[i] / (1.0 - std::pow(opts.beta2, step));
-            const double delta = lr * mh / (std::sqrt(vh) + opts.eps);
+            const double gi = scratch.grad[i];
+            scratch.m[i] = opts.beta1 * scratch.m[i] + (1.0 - opts.beta1) * gi;
+            scratch.v[i] =
+                opts.beta2 * scratch.v[i] + (1.0 - opts.beta2) * gi * gi;
+            const double delta = lr * (scratch.m[i] * m_corr) /
+                                 (std::sqrt(scratch.v[i] * v_corr) + opts.eps);
             x[i] -= delta;
             step_norm += delta * delta;
         }
         clamp(x);
         lr *= opts.lr_decay;
-
-        const double fx = f(x);
-        ++evals;
-        if (fx < best_f) {
-            best_f = fx;
-            best = x;
-        }
         if (std::sqrt(step_norm) < opts.tol)
             break;
     }
-    return best;
+
+    // The gradient is evaluated before each update, so the final point
+    // has not been scored yet.
+    const double fx = fg(x, scratch.grad);
+    if (fx < best_f) {
+        best_f = fx;
+        scratch.best = x;
+    }
+    x = scratch.best;
+    return best_f;
 }
 
 } // namespace mopt

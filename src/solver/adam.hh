@@ -1,9 +1,11 @@
 /**
  * @file
- * Box-constrained first-order minimizer (Adam with numeric central
- * differences) used as the inner solver of the augmented-Lagrangian
- * method. Dimensions are tiny (<= 21), so numeric gradients are cheap
- * and robust.
+ * Box-constrained first-order minimizer (Adam) used as the inner
+ * solver of the augmented-Lagrangian method. The primary entry point
+ * is the gradient-based adamMinimizeGrad (one caller-supplied
+ * value+gradient evaluation per step, allocation-free via
+ * AdamScratch); adamMinimize is a derivative-free facade over it that
+ * builds the gradient from central differences.
  */
 
 #ifndef MOPT_SOLVER_ADAM_HH
@@ -29,6 +31,9 @@ struct AdamOptions
 
 /**
  * Minimize @p f over the box [lo, hi] starting from @p x0 (clamped).
+ * A derivative-free facade over adamMinimizeGrad: gradients come from
+ * box-projected central differences with step opts.grad_h, so there is
+ * a single Adam update loop to maintain.
  *
  * @param f       scalar function of a dim-sized vector
  * @param x0      starting point
@@ -41,6 +46,37 @@ std::vector<double> adamMinimize(
     const std::function<double(const std::vector<double> &)> &f,
     std::vector<double> x0, const std::vector<double> &lo,
     const std::vector<double> &hi, const AdamOptions &opts, long &evals);
+
+/**
+ * Reusable state of adamMinimizeGrad. Buffers grow to the problem
+ * dimension on first use and are reused verbatim afterwards, so a
+ * long-lived scratch makes every solve after the first allocation-free.
+ */
+struct AdamScratch
+{
+    std::vector<double> m, v, grad, best;
+};
+
+/**
+ * Gradient-based Adam: one combined value+gradient evaluation per
+ * step instead of 2*dim central-difference probes. This is the inner
+ * solver of the analytic-gradient augmented-Lagrangian path.
+ *
+ * @param fg       evaluates the function at x and fills its gradient
+ *                 (sized dim on entry); returns the value
+ * @param x        in: starting point (clamped into the box);
+ *                 out: best point visited
+ * @param lo,hi    box bounds
+ * @param opts     algorithm options (grad_h unused on this path)
+ * @param scratch  reusable buffers
+ * @return         best value visited
+ */
+double adamMinimizeGrad(
+    const std::function<double(const std::vector<double> &,
+                               std::vector<double> &)> &fg,
+    std::vector<double> &x, const std::vector<double> &lo,
+    const std::vector<double> &hi, const AdamOptions &opts,
+    AdamScratch &scratch);
 
 } // namespace mopt
 

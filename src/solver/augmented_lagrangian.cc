@@ -10,12 +10,15 @@ namespace mopt {
 
 NlpResult
 solveAugLag(const NlpProblem &prob, std::vector<double> x0,
-            const AugLagOptions &opts)
+            const AugLagOptions &opts, SolverScratch *scratch)
 {
     const int n = prob.dim();
     const int m = prob.numConstraints();
     checkUser(static_cast<int>(x0.size()) == n,
               "solveAugLag: start point size mismatch");
+
+    SolverScratch local;
+    SolverScratch &s = scratch ? *scratch : local;
 
     const std::vector<double> &lo = prob.lowerBounds();
     const std::vector<double> &hi = prob.upperBounds();
@@ -25,63 +28,74 @@ solveAugLag(const NlpProblem &prob, std::vector<double> x0,
                        lo[static_cast<std::size_t>(i)],
                        hi[static_cast<std::size_t>(i)]);
 
-    std::vector<double> lambda(static_cast<std::size_t>(m), 0.0);
+    s.lambda.assign(static_cast<std::size_t>(m), 0.0);
     double mu = opts.mu0;
     long evals = 0;
+    const long grad_cost = prob.gradEvalCost();
 
     NlpResult best;
     best.objective = std::numeric_limits<double>::infinity();
     best.max_violation = std::numeric_limits<double>::infinity();
 
+    // Score x and keep it if it beats the incumbent; leaves the
+    // constraint values in s.g for the multiplier update.
     auto consider = [&](const std::vector<double> &x) {
-        std::vector<double> g;
-        const double f = prob.evalAll(x, g);
+        const double f = prob.evalAll(x, s.g);
         ++evals;
         double viol = 0.0;
-        for (double gi : g)
+        for (double gi : s.g)
             viol = std::max(viol, gi);
-        const bool feas = viol <= opts.feas_tol;
-        // Prefer feasible; among feasible, lower objective; among
-        // infeasible, lower violation.
-        const bool better =
-            (feas && !best.feasible) ||
-            (feas && best.feasible && f < best.objective) ||
-            (!feas && !best.feasible && viol < best.max_violation);
-        if (better) {
+        NlpResult cand;
+        cand.objective = f;
+        cand.max_violation = viol;
+        cand.feasible = viol <= opts.feas_tol;
+        if (betterNlpResult(cand, best)) {
             best.x = x;
-            best.objective = f;
-            best.max_violation = viol;
-            best.feasible = feas;
+            best.objective = cand.objective;
+            best.max_violation = cand.max_violation;
+            best.feasible = cand.feasible;
         }
-        return g;
     };
 
-    std::vector<double> x = x0;
-    consider(x);
+    s.x = x0;
+    consider(s.x);
 
     for (int outer = 0; outer < opts.outer_iters; ++outer) {
-        auto penalized = [&](const std::vector<double> &xx) {
-            std::vector<double> g;
-            const double f = prob.evalAll(xx, g);
-            double pen = 0.0;
+        // Value and exact gradient of the augmented Lagrangian:
+        //   L = f + sum_i (max(0, l_i + mu g_i)^2 - l_i^2) / (2 mu)
+        //   dL = df + sum_i max(0, l_i + mu g_i) dg_i
+        auto al = [&](const std::vector<double> &xx,
+                      std::vector<double> &grad) {
+            const double f = prob.evalWithGrad(xx, s.g, s.grad_f, s.jac,
+                                               opts.inner.grad_h);
+            evals += grad_cost;
+            grad = s.grad_f;
+            double value = f;
             for (int i = 0; i < m; ++i) {
-                const double li = lambda[static_cast<std::size_t>(i)];
-                const double t =
-                    std::max(0.0, li + mu * g[static_cast<std::size_t>(i)]);
-                pen += (t * t - li * li) / (2.0 * mu);
+                const auto si = static_cast<std::size_t>(i);
+                const double li = s.lambda[si];
+                const double t = std::max(0.0, li + mu * s.g[si]);
+                value += (t * t - li * li) / (2.0 * mu);
+                if (t > 0.0) {
+                    const double *row =
+                        s.jac.data() + si * static_cast<std::size_t>(n);
+                    for (int j = 0; j < n; ++j)
+                        grad[static_cast<std::size_t>(j)] +=
+                            t * row[j];
+                }
             }
-            return f + pen;
+            return value;
         };
 
-        x = adamMinimize(penalized, x, lo, hi, opts.inner, evals);
-        const std::vector<double> g = consider(x);
+        adamMinimizeGrad(al, s.x, lo, hi, opts.inner, s.adam);
+        consider(s.x);
 
-        // Multiplier and penalty updates.
+        // Multiplier and penalty updates (s.g holds g(s.x)).
         double viol = 0.0;
         for (int i = 0; i < m; ++i) {
-            const double gi = g[static_cast<std::size_t>(i)];
-            lambda[static_cast<std::size_t>(i)] = std::max(
-                0.0, lambda[static_cast<std::size_t>(i)] + mu * gi);
+            const auto si = static_cast<std::size_t>(i);
+            const double gi = s.g[si];
+            s.lambda[si] = std::max(0.0, s.lambda[si] + mu * gi);
             viol = std::max(viol, gi);
         }
         if (viol <= opts.feas_tol && outer >= 1)

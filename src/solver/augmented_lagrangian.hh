@@ -29,12 +29,38 @@ struct AugLagOptions
 };
 
 /**
+ * Reusable buffers for one solver worker. Every vector grows to the
+ * problem's dimensions on first use; passing the same scratch to
+ * repeated solves makes the whole inner loop allocation-free, which
+ * matters when the optimizer fans thousands of small solves across a
+ * thread pool.
+ */
+struct SolverScratch
+{
+    AdamScratch adam;
+    std::vector<double> g;       //!< Constraint values.
+    std::vector<double> grad_f;  //!< Objective gradient.
+    std::vector<double> jac;     //!< Constraint Jacobian (row-major).
+    std::vector<double> lambda;  //!< Augmented-Lagrangian multipliers.
+    std::vector<double> x;       //!< Current iterate.
+};
+
+/**
  * Solve @p prob starting from @p x0 (clamped into the box).
  * The returned point is the best *feasible* point seen, or the
  * least-violating one if none was feasible.
+ *
+ * The inner minimization runs gradient-based Adam on the augmented
+ * Lagrangian, whose exact gradient is assembled from
+ * NlpProblem::evalWithGrad: one model evaluation per step for
+ * problems with analytic derivatives, central differences otherwise.
+ *
+ * @param scratch  optional reusable buffers (a local scratch is used
+ *                 when null)
  */
 NlpResult solveAugLag(const NlpProblem &prob, std::vector<double> x0,
-                      const AugLagOptions &opts = AugLagOptions());
+                      const AugLagOptions &opts = AugLagOptions(),
+                      SolverScratch *scratch = nullptr);
 
 } // namespace mopt
 

@@ -9,7 +9,7 @@ namespace mopt {
 NlpResult
 solveMultiStart(const NlpProblem &prob,
                 const std::vector<std::vector<double>> &seeds,
-                const MultiStartOptions &opts)
+                const MultiStartOptions &opts, SolverScratch *scratch)
 {
     Rng rng(opts.seed);
     const std::vector<double> &lo = prob.lowerBounds();
@@ -34,15 +34,10 @@ solveMultiStart(const NlpProblem &prob,
     long total_evals = 0;
 
     for (const auto &x0 : starts) {
-        NlpResult r = solveAugLag(prob, x0, opts.auglag);
+        NlpResult r = solveAugLag(prob, x0, opts.auglag, scratch);
         total_evals += r.evals;
-        const bool better =
-            (r.feasible && !best.feasible) ||
-            (r.feasible && best.feasible && r.objective < best.objective) ||
-            (!r.feasible && !best.feasible &&
-             r.max_violation < best.max_violation);
-        if (better)
-            best = r;
+        if (betterNlpResult(r, best))
+            best = std::move(r);
     }
     best.evals = total_evals;
     return best;

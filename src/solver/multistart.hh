@@ -28,11 +28,16 @@ struct MultiStartOptions
 /**
  * Solve @p prob from every point in @p seeds plus random starts.
  * Returns the best result (feasible preferred, then objective,
- * then violation).
+ * then violation; ties keep the earliest start, so results are
+ * deterministic).
+ *
+ * @param scratch  optional reusable solver buffers shared by the
+ *                 sequential starts
  */
 NlpResult solveMultiStart(const NlpProblem &prob,
                           const std::vector<std::vector<double>> &seeds,
-                          const MultiStartOptions &opts = MultiStartOptions());
+                          const MultiStartOptions &opts = MultiStartOptions(),
+                          SolverScratch *scratch = nullptr);
 
 } // namespace mopt
 

@@ -1,27 +1,81 @@
 #include "solver/nlp.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
 namespace mopt {
 
+namespace {
+
+/** Reused constraint buffer for the objective/maxViolation wrappers:
+ *  they are called in solver hot paths, so a fresh heap vector per
+ *  call would dominate small-problem solves. */
+std::vector<double> &
+tlsConstraintScratch()
+{
+    thread_local std::vector<double> g;
+    return g;
+}
+
+} // namespace
+
 double
 NlpProblem::objective(const std::vector<double> &x) const
 {
-    std::vector<double> g;
-    return evalAll(x, g);
+    return evalAll(x, tlsConstraintScratch());
 }
 
 double
 NlpProblem::maxViolation(const std::vector<double> &x) const
 {
-    std::vector<double> g;
+    std::vector<double> &g = tlsConstraintScratch();
     evalAll(x, g);
     double worst = 0.0;
     for (double gi : g)
         worst = std::max(worst, gi);
     return worst;
+}
+
+double
+NlpProblem::evalWithGrad(const std::vector<double> &x,
+                         std::vector<double> &g,
+                         std::vector<double> &grad_f,
+                         std::vector<double> &jac, double fd_h) const
+{
+    const int n = dim();
+    const int m = numConstraints();
+    grad_f.assign(static_cast<std::size_t>(n), 0.0);
+    jac.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+               0.0);
+    const double f0 = evalAll(x, g);
+
+    thread_local std::vector<double> xt, gp, gm;
+    xt = x;
+    const std::vector<double> &lo = lowerBounds();
+    const std::vector<double> &hi = upperBounds();
+    for (int i = 0; i < n; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        const double h = fd_h * std::max(1.0, std::fabs(x[si]));
+        const double xp = std::min(hi[si], x[si] + h);
+        const double xm = std::max(lo[si], x[si] - h);
+        const double denom = xp - xm;
+        if (denom <= 0.0)
+            continue;
+        xt[si] = xp;
+        const double fp = evalAll(xt, gp);
+        xt[si] = xm;
+        const double fm = evalAll(xt, gm);
+        xt[si] = x[si];
+        grad_f[si] = (fp - fm) / denom;
+        for (int j = 0; j < m; ++j)
+            jac[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+                si] = (gp[static_cast<std::size_t>(j)] -
+                       gm[static_cast<std::size_t>(j)]) /
+                      denom;
+    }
+    return f0;
 }
 
 FunctionalNlp::FunctionalNlp(int dim, int num_constraints,

@@ -44,6 +44,45 @@ class NlpProblem
     virtual double evalAll(const std::vector<double> &x,
                            std::vector<double> &g) const = 0;
 
+    /** Whether evalWithGrad computes analytic (closed-form) gradients. */
+    virtual bool hasGradient() const { return false; }
+
+    /**
+     * Cost of one evalWithGrad call in evalAll-equivalent model
+     * evaluations: 1 for analytic gradients, 2*dim() + 1 for the
+     * central-difference fallback. Solvers use this to keep eval
+     * counters comparable across both paths.
+     */
+    virtual long gradEvalCost() const
+    {
+        return hasGradient() ? 1 : 2 * dim() + 1;
+    }
+
+    /**
+     * Evaluate objective, constraints, and their first derivatives.
+     *
+     * @param x       point of size dim()
+     * @param g       constraints, resized to numConstraints()
+     * @param grad_f  objective gradient, resized to dim()
+     * @param jac     constraint Jacobian, row-major numConstraints() x
+     *                dim(), resized accordingly
+     * @param fd_h    relative finite-difference step for the fallback
+     *                implementation (solvers pass their configured
+     *                step, e.g. AdamOptions::grad_h); ignored by
+     *                analytic implementations
+     * @return objective value
+     *
+     * The default implementation uses central finite differences of
+     * evalAll with steps projected onto the box; problems with
+     * closed-form derivatives override it and return true from
+     * hasGradient().
+     */
+    virtual double evalWithGrad(const std::vector<double> &x,
+                                std::vector<double> &g,
+                                std::vector<double> &grad_f,
+                                std::vector<double> &jac,
+                                double fd_h = 1e-6) const;
+
     /** Objective only (default: evalAll and discard constraints). */
     virtual double objective(const std::vector<double> &x) const;
 
@@ -89,8 +128,25 @@ struct NlpResult
     double objective = 0.0;      //!< Objective at x.
     double max_violation = 0.0;  //!< max_i g_i(x) (clamped at 0 from below).
     bool feasible = false;       //!< max_violation <= tolerance.
-    long evals = 0;              //!< Total evalAll() calls.
+    long evals = 0;              //!< Model evaluations (evalAll units).
 };
+
+/**
+ * The canonical result preference shared by every solver layer
+ * (augmented Lagrangian, multi-start, and the optimizer's parallel
+ * reduction): feasible beats infeasible; among feasible, lower
+ * objective; among infeasible, lower violation. Strict, so reducing a
+ * sequence in order keeps the earliest of tied results — the property
+ * the deterministic parallel fan-out relies on.
+ */
+inline bool
+betterNlpResult(const NlpResult &r, const NlpResult &best)
+{
+    return (r.feasible && !best.feasible) ||
+           (r.feasible && best.feasible && r.objective < best.objective) ||
+           (!r.feasible && !best.feasible &&
+            r.max_violation < best.max_violation);
+}
 
 } // namespace mopt
 

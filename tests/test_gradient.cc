@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests of the differentiable evaluation layer: EvalContext parity
+ * with the reference model evaluator, analytic ConvNlp gradients vs
+ * independent central differences across randomized problems and
+ * permutation combos, the finite-difference fallback, and end-to-end
+ * determinism of the flattened parallel optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "model/eval_context.hh"
+#include "model/multi_level.hh"
+#include "model/pruned_classes.hh"
+#include "optimizer/conv_nlp.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "solver/gradient_check.hh"
+
+namespace mopt {
+namespace {
+
+constexpr int kNumVars = EvalContext::kNumVars;
+
+/** Variable index of (cache level l in {L1,L2,L3}, dim d). */
+std::size_t
+vi(int lvl, int d)
+{
+    return static_cast<std::size_t>((lvl - LvlL1) * NumDims + d);
+}
+
+struct GradSetup
+{
+    ConvProblem p;
+    MachineSpec m;
+    std::array<Permutation, NumMemLevels> perms;
+    TileVec reg_tiles;
+    IntTileVec par;
+    bool parallel;
+    std::vector<double> lo, hi;
+};
+
+/**
+ * A solver-shaped setup for one (problem, pruned class, parallel)
+ * case: register tiles pinned by the microkernel, box bounds
+ * [log reg tile, log extent] per cache level, and a simple K-split
+ * for the parallel case (kept away from the per-core-share clamp).
+ */
+GradSetup
+makeSetup(const ConvProblem &p, const PrunedClass &cls, bool parallel)
+{
+    GradSetup s;
+    s.p = p;
+    s.m = i7_9700k();
+    const Permutation rep = cls.representative();
+    s.perms = {microkernelPermutation(), rep, rep, rep};
+    s.reg_tiles = toTileVec(microkernelTiles(p, s.m));
+    s.par = {1, 1, 1, 1, 1, 1, 1};
+    if (parallel)
+        s.par[DimK] = std::min<std::int64_t>(s.m.cores, p.k);
+    s.parallel = parallel;
+
+    const IntTileVec extents = problemExtents(p);
+    s.lo.resize(kNumVars);
+    s.hi.resize(kNumVars);
+    for (int l = 0; l < 3; ++l)
+        for (int d = 0; d < NumDims; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            s.lo[vi(LvlL1 + l, d)] = std::log(s.reg_tiles[sd]);
+            s.hi[vi(LvlL1 + l, d)] =
+                std::log(static_cast<double>(extents[sd]));
+        }
+    return s;
+}
+
+/**
+ * A random interior point, nested across levels (L1 <= L2 <= L3) and
+ * kept away from the box faces and from the per-core-share clamp at
+ * T3_d = par_d, where the model is non-differentiable by design.
+ */
+std::vector<double>
+interiorPoint(const GradSetup &s, Rng &rng)
+{
+    std::vector<double> x(kNumVars);
+    for (int d = 0; d < NumDims; ++d) {
+        const double lo = s.lo[vi(LvlL1, d)];
+        const double hi = s.hi[vi(LvlL1, d)];
+        if (hi - lo < 1e-12) {
+            for (int l = 0; l < 3; ++l)
+                x[vi(LvlL1 + l, d)] = lo;
+            continue;
+        }
+        // Three ordered fractions in (0.15, 0.95) of the interval.
+        double f[3];
+        for (double &v : f)
+            v = rng.uniformReal(0.15, 0.95);
+        std::sort(f, f + 3);
+        for (int l = 0; l < 3; ++l)
+            x[vi(LvlL1 + l, d)] = lo + f[l] * (hi - lo);
+        // Keep the L3 tile's per-core share away from the clamp.
+        const auto sd = static_cast<std::size_t>(d);
+        if (s.parallel && s.par[sd] > 1) {
+            const double kink =
+                std::log(1.5 * static_cast<double>(s.par[sd]));
+            x[vi(LvlL3, d)] =
+                std::max(x[vi(LvlL3, d)], std::min(kink, hi));
+        }
+    }
+    return x;
+}
+
+TEST(EvalContext, MatchesReferenceModel)
+{
+    Rng rng(2024);
+    const auto &classes = prunedClasses();
+    for (const char *name : {"Y0", "R3", "M2"}) {
+        const ConvProblem p = workloadByName(name).downscaled(28, 64);
+        for (bool parallel : {false, true}) {
+            const GradSetup s =
+                makeSetup(p, classes[rng.index(classes.size())],
+                          parallel);
+            EvalContext ctx(s.p, s.m, s.perms, s.reg_tiles, s.par,
+                            s.parallel);
+            EvalContext::Scratch scratch;
+            for (int rep = 0; rep < 4; ++rep) {
+                const std::vector<double> x = interiorPoint(s, rng);
+                const CostBreakdown got =
+                    ctx.evalBreakdown(x.data(), scratch);
+
+                // Reference: decode into a MultiLevelConfig and run
+                // the original evaluator.
+                MultiLevelConfig cfg;
+                for (int l = 0; l < NumMemLevels; ++l)
+                    cfg.level[static_cast<std::size_t>(l)].perm =
+                        s.perms[static_cast<std::size_t>(l)];
+                cfg.level[LvlReg].tiles = s.reg_tiles;
+                for (int l = 0; l < 3; ++l)
+                    for (int d = 0; d < NumDims; ++d)
+                        cfg.level[static_cast<std::size_t>(LvlL1 + l)]
+                            .tiles[static_cast<std::size_t>(d)] =
+                            std::exp(x[vi(LvlL1 + l, d)]);
+                cfg.par = s.par;
+                const CostBreakdown want = evalMultiLevel(
+                    cfg, s.p, s.m, s.parallel, DivMode::Continuous);
+
+                for (int l = 0; l < NumMemLevels; ++l) {
+                    const auto sl = static_cast<std::size_t>(l);
+                    EXPECT_NEAR(got.seconds[sl] / want.seconds[sl],
+                                1.0, 1e-12)
+                        << name << " level " << l;
+                }
+                EXPECT_NEAR(got.total_seconds / want.total_seconds,
+                            1.0, 1e-12);
+            }
+        }
+    }
+}
+
+TEST(ConvNlpGradient, MatchesFiniteDifferences)
+{
+    Rng rng(7);
+    const auto &classes = prunedClasses();
+
+    std::vector<ConvProblem> problems;
+    for (const char *name : {"Y0", "Y5", "R3", "M2"})
+        problems.push_back(workloadByName(name).downscaled(28, 64));
+    // Randomized shapes, including stride 2 and 1x1 kernels.
+    for (int i = 0; i < 4; ++i) {
+        ConvProblem p;
+        p.name = "rand" + std::to_string(i);
+        p.n = 1;
+        p.k = 8 * rng.uniformInt(2, 16);
+        p.c = 8 * rng.uniformInt(1, 8);
+        p.r = p.s = (i % 2 == 0) ? 3 : 1;
+        p.h = p.w = rng.uniformInt(14, 56);
+        p.stride = (i == 3) ? 2 : 1;
+        problems.push_back(p);
+    }
+
+    double worst = 0.0;
+    for (const ConvProblem &p : problems) {
+        for (bool parallel : {false, true}) {
+            const PrunedClass &cls = classes[rng.index(classes.size())];
+            const GradSetup s = makeSetup(p, cls, parallel);
+            EvalContext ctx(s.p, s.m, s.perms, s.reg_tiles, s.par,
+                            s.parallel);
+            const int obj =
+                static_cast<int>(rng.uniformInt(0, NumMemLevels - 1));
+            const ConvNlp nlp(ctx, obj, s.lo, s.hi);
+            ASSERT_TRUE(nlp.hasGradient());
+            EXPECT_EQ(nlp.gradEvalCost(), 1);
+
+            for (int rep = 0; rep < 3; ++rep) {
+                const std::vector<double> x = interiorPoint(s, rng);
+                const GradCheckResult r = gradientCheck(nlp, x);
+                EXPECT_LE(r.max_rel_err, 1e-4)
+                    << p.name << " cls=" << cls.name()
+                    << " parallel=" << parallel << " obj=" << obj
+                    << " worst constraint=" << r.worst_constraint
+                    << " coord=" << r.worst_coord;
+                worst = std::max(worst, r.max_rel_err);
+            }
+        }
+    }
+    // The closed form should be far tighter than the acceptance bound.
+    EXPECT_LE(worst, 1e-4);
+}
+
+TEST(ConvNlpGradient, FallbackMatchesAnalyticPath)
+{
+    // A FunctionalNlp wrapping the same math must produce the same
+    // values through the finite-difference fallback (gradientCheck of
+    // an FD problem against itself is trivially consistent, so check
+    // the fallback against the analytic problem's gradients instead).
+    const ConvProblem p = workloadByName("Y0").downscaled(28, 64);
+    const GradSetup s = makeSetup(p, prunedClasses()[0], false);
+    EvalContext ctx(s.p, s.m, s.perms, s.reg_tiles, s.par, s.parallel);
+    const ConvNlp nlp(ctx, LvlL3, s.lo, s.hi);
+
+    FunctionalNlp fd(
+        kNumVars, ConvNlp::kNumCons, s.lo, s.hi,
+        [&nlp](const std::vector<double> &x, std::vector<double> &g) {
+            return nlp.evalAll(x, g);
+        });
+    EXPECT_FALSE(fd.hasGradient());
+    EXPECT_EQ(fd.gradEvalCost(), 2 * kNumVars + 1);
+
+    Rng rng(11);
+    const std::vector<double> x = interiorPoint(s, rng);
+    std::vector<double> ga, gfa, ja, gb, gfb, jb;
+    const double fa = nlp.evalWithGrad(x, ga, gfa, ja);
+    const double fb = fd.evalWithGrad(x, gb, gfb, jb);
+    EXPECT_DOUBLE_EQ(fa, fb);
+    for (int i = 0; i < kNumVars; ++i) {
+        const auto si = static_cast<std::size_t>(i);
+        EXPECT_NEAR(gfa[si], gfb[si],
+                    1e-4 * std::max(1.0, std::fabs(gfa[si])));
+    }
+}
+
+TEST(Optimizer, DeterministicAcrossThreadCounts)
+{
+    // The flattened (combo x objective x start) fan-out must produce
+    // bit-identical results regardless of scheduling: every work item
+    // is independent and the reduction is sequential in job order.
+    for (const char *name : {"Y0", "Y23"}) {
+        const ConvProblem p = workloadByName(name).downscaled(28, 64);
+        const MachineSpec m = i7_9700k();
+        OptimizerOptions o1;
+        o1.effort = OptimizerOptions::Effort::Fast;
+        o1.parallel = true;
+        o1.threads = 1;
+        OptimizerOptions o4 = o1;
+        o4.threads = 4;
+
+        const OptimizeOutput a = optimizeConv(p, m, o1);
+        const OptimizeOutput b = optimizeConv(p, m, o4);
+        ASSERT_FALSE(a.candidates.empty());
+        ASSERT_EQ(a.candidates.size(), b.candidates.size());
+        EXPECT_EQ(a.solver_evals, b.solver_evals);
+        EXPECT_TRUE(a.candidates.front().config ==
+                    b.candidates.front().config)
+            << name << "\n"
+            << a.candidates.front().config.str() << "vs\n"
+            << b.candidates.front().config.str();
+        EXPECT_DOUBLE_EQ(a.candidates.front().predicted.total_seconds,
+                         b.candidates.front().predicted.total_seconds);
+
+        // Repeat runs with identical options are also identical.
+        const OptimizeOutput c = optimizeConv(p, m, o4);
+        EXPECT_TRUE(b.candidates.front().config ==
+                    c.candidates.front().config);
+    }
+}
+
+} // namespace
+} // namespace mopt
