@@ -18,6 +18,8 @@
 #include "conv/workloads.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
 
 int
 main()
@@ -74,6 +76,36 @@ main()
         }
     }
     t.print(std::cout);
+
+    // Network-level cache effectiveness: the same ResNet-18 batch
+    // solved cold (empty cache) and then warm (same in-memory cache).
+    // Emitted as scalar "key: value" metrics so bench_to_json uploads
+    // them with the search-time trajectory.
+    {
+        SolutionCache cache;
+        OptimizerOptions no;
+        no.effort = OptimizerOptions::Effort::Fast;
+        no.parallel = true;
+        const NetworkOptimizer nopt(m, no, &cache);
+        const std::vector<ConvProblem> net = resnet18Workloads();
+
+        Timer cold_timer;
+        const NetworkPlan cold = nopt.optimize(net);
+        const double cold_s = cold_timer.seconds();
+        Timer warm_timer;
+        const NetworkPlan warm = nopt.optimize(net);
+        const double warm_s = warm_timer.seconds();
+
+        std::cout << "\nNetwork cache effectiveness (ResNet-18 table, "
+                  << net.size() << " layers, "
+                  << cold.stats.unique_shapes << " unique shapes):\n";
+        std::cout << "cache cold wall s: " << cold_s << "\n";
+        std::cout << "cache warm wall s: " << warm_s << "\n";
+        std::cout << "cache warm hit rate: " << warm.stats.hitRate()
+                  << "\n";
+        std::cout << "cache cold-to-warm speedup: "
+                  << (warm_s > 0 ? cold_s / warm_s : 0.0) << "\n";
+    }
 
     std::cout << "\nMOpt's search cost is dominated by the nonlinear "
                  "solves and does not grow with the\noperator's work; "

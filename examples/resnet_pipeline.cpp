@@ -1,24 +1,32 @@
 /**
  * @file
- * ResNet-18 pipeline: optimize and execute all twelve conv2d stages
- * (the paper's primary benchmark suite), reporting per-stage and
- * whole-pipeline GFLOPS — the workload a DNN-framework integration
- * would run.
+ * ResNet-18 pipeline on the service layer: optimize all twenty conv2d
+ * layers of the full network in one NetworkOptimizer call —
+ * deduplicating repeated shapes and, with --cache, persisting
+ * solutions across runs — then execute every layer and report
+ * per-stage and whole-pipeline GFLOPS. This is the workload a
+ * DNN-framework integration would run, and the simplest demonstration
+ * of why the solution cache exists: a second run with the same cache
+ * file does zero solver work.
  *
  *   ./resnet_pipeline [--machine=i7] [--threads=8] [--reps=3]
- *                     [--downscale=1]
+ *                     [--downscale=1] [--cache=resnet.cache.json]
+ *                     [--effort=fast|standard|thorough]
  */
 
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "common/flags.hh"
 #include "common/stats.hh"
+#include "common/string_util.hh"
 #include "common/table.hh"
 #include "conv/workloads.hh"
 #include "exec/measure.hh"
 #include "machine/machine.hh"
-#include "optimizer/mopt_optimizer.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
 
 int
 main(int argc, char **argv)
@@ -33,46 +41,67 @@ main(int argc, char **argv)
     const int reps = static_cast<int>(flags.getInt("reps", 3));
     const bool downscale = flags.getBool("downscale", false);
 
-    std::cout << "ResNet-18 conv2d pipeline on " << m.name << ", "
-              << threads << " threads\n\n";
+    OptimizerOptions opts;
+    opts.parallel = true;
+    opts.effort = effortFromString(flags.getString("effort", "fast"));
 
-    Table t({"Stage", "shape", "search(s)", "GFLOPS", "+-CI",
-             "ms/stage"});
+    SolutionCacheOptions co;
+    co.journal_path = flags.getString("cache", "");
+    SolutionCache cache(co);
+
+    std::vector<ConvProblem> net;
+    for (const auto &orig : resnet18Network())
+        net.push_back(downscale ? orig.downscaled(28, 128) : orig);
+
+    std::cout << "ResNet-18 conv2d pipeline on " << m.name << ", "
+              << threads << " threads\n";
+    if (!co.journal_path.empty())
+        std::cout << "Solution cache: " << co.journal_path << " ("
+                  << cache.stats().journal_loaded << " entries loaded)\n";
+    std::cout << "\n";
+
+    // One batch solve for the whole network; repeated shapes and
+    // journal entries short-circuit to cache hits.
+    const NetworkOptimizer nopt(m, opts, &cache);
+    const NetworkPlan plan = nopt.optimize(net);
+
+    Table t({"Layer", "shape", "src", "GFLOPS", "+-CI", "ms/layer"});
     double total_seconds = 0.0, total_flops = 0.0;
     std::vector<double> per_stage_gflops;
 
-    for (const auto &orig : resnet18Workloads()) {
-        const ConvProblem p =
-            downscale ? orig.downscaled(28, 128) : orig;
-
-        OptimizerOptions opts;
-        opts.parallel = true;
-        opts.effort = OptimizerOptions::Effort::Fast;
-        const OptimizeOutput out = optimizeConv(p, m, opts);
+    for (const LayerPlan &lp : plan.layers) {
+        const ConvProblem &p = lp.problem;
 
         MeasureOptions mo;
         mo.reps = reps;
         mo.threads = threads;
-        const Measurement meas =
-            measureConfig(p, out.candidates.front().config, mo);
+        const Measurement meas = measureConfig(p, lp.best.config, mo);
 
         total_seconds += meas.mean_seconds;
         total_flops += p.flops();
         per_stage_gflops.push_back(meas.mean_gflops);
 
+        std::ostringstream shape;
+        shape << "K" << p.k << " C" << p.c << " H" << p.h << " R"
+              << p.r << (p.stride == 2 ? "*" : "");
         t.row()
             .add(p.name)
-            .add("K" + std::to_string(p.k) + " C" + std::to_string(p.c) +
-                 " H" + std::to_string(p.h) + " R" + std::to_string(p.r) +
-                 (p.stride == 2 ? "*" : ""))
-            .add(out.seconds, 1)
+            .add(shape.str())
+            .add(lp.cache_hit    ? "cache"
+                 : lp.dedup_hit  ? "dedup"
+                                 : "solve")
             .add(meas.mean_gflops, 1)
             .add(meas.ci95_gflops, 2)
             .add(meas.mean_seconds * 1e3, 2);
     }
     t.print(std::cout);
 
-    std::cout << "\nPipeline: " << total_seconds * 1e3 << " ms total, "
+    const NetworkPlanStats &st = plan.stats;
+    std::cout << "\nSearch: " << st.unique_shapes << " unique shapes, "
+              << st.cache_hits << " cache hits (hit rate "
+              << formatDouble(100.0 * st.hitRate(), 1) << "%), "
+              << formatDouble(st.solve_seconds, 2) << " s solving\n";
+    std::cout << "Pipeline: " << total_seconds * 1e3 << " ms total, "
               << total_flops / total_seconds / 1e9
               << " GFLOPS aggregate, geomean per-stage "
               << geomean(per_stage_gflops) << " GFLOPS\n";

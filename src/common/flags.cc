@@ -16,10 +16,14 @@ Flags::Flags(int argc, char **argv)
                   "unexpected positional argument: " + arg);
         arg = arg.substr(2);
         const auto eq = arg.find('=');
-        if (eq == std::string::npos)
-            values_[arg] = "1";
-        else
+        if (eq != std::string::npos) {
             values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
+            // "--name value" form: consume the next token as the value.
+            values_[arg] = argv[++i];
+        } else {
+            values_[arg] = "1";
+        }
     }
 }
 
@@ -78,7 +82,14 @@ Flags::getBool(const std::string &name, bool def) const
     if (!lookup(name, v))
         return def;
     const std::string s = toLower(trim(v));
-    return s == "1" || s == "true" || s == "yes" || s == "on";
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    // A stray token after a bare boolean flag ("--verify tiled") is
+    // parsed as its value; reject it loudly rather than silently
+    // returning false.
+    fatal("--" + name + ": expected a boolean, got \"" + v + "\"");
 }
 
 bool

@@ -14,9 +14,11 @@
 namespace mopt {
 
 /**
- * Parsed command line of the form: prog --a=1 --b=foo --flag.
- * Bare "--flag" is treated as "--flag=1". Environment variables of the
- * form MOPT_<UPPERCASE_NAME> act as defaults (CLI wins).
+ * Parsed command line of the form: prog --a=1 --b foo --flag.
+ * Both "--name=value" and space-separated "--name value" are
+ * accepted; a bare "--flag" (at the end, or followed by another
+ * "--" argument) is treated as "--flag=1". Environment variables of
+ * the form MOPT_<UPPERCASE_NAME> act as defaults (CLI wins).
  */
 class Flags
 {
@@ -37,7 +39,9 @@ class Flags
     /** Double value with default. */
     double getDouble(const std::string &name, double def) const;
 
-    /** Boolean value ("1"/"true"/"yes" are true) with default. */
+    /** Boolean value with default: 1/true/yes/on and 0/false/no/off
+     *  (case-insensitive) are accepted; anything else is a fatal
+     *  user error (it is usually a stray positional token). */
     bool getBool(const std::string &name, bool def) const;
 
     /** Whether the flag was given on the CLI or via the environment. */

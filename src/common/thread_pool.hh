@@ -1,8 +1,19 @@
 /**
  * @file
- * A fixed-size thread pool with a blocking parallelFor, used by the
- * parallel tiled executor (Sec. 7 of the paper) and by the benchmark
- * harnesses to evaluate candidate configurations concurrently.
+ * A fixed-size thread pool with blocking parallel-for variants, used
+ * by the optimizer's flattened solve fan-out, the parallel tiled
+ * executor (Sec. 7 of the paper), and the benchmark harnesses.
+ *
+ * The worker-indexed scratch contract (parallelForIndexed): every
+ * participating thread — the caller counts as worker 0 — has a stable
+ * worker id in [0, size()], so a caller that preallocates size()+1
+ * scratch slots and indexes them by worker id gets lock-free,
+ * allocation-free per-thread state for the duration of the call.
+ * Iteration-to-worker assignment is dynamic (an atomic chunk counter)
+ * and therefore nondeterministic; deterministic callers must write
+ * results into per-iteration slots and reduce in iteration order
+ * afterwards, the way optimizeConv does (see docs/ARCHITECTURE.md,
+ * "Threading and determinism invariants").
  */
 
 #ifndef MOPT_COMMON_THREAD_POOL_HH

@@ -260,8 +260,10 @@ struct ComboState
     }
 
     /** All start points for one objective solve: the deterministic
-     *  seeds clamped into the current box plus the same random
-     *  starts the sequential multi-start used. */
+     *  seeds clamped into the current box plus random starts drawn
+     *  exactly as solveMultiStart would draw them, so the flattened
+     *  parallel sweep visits the same points a per-combo multi-start
+     *  loop would. */
     std::vector<std::vector<double>>
     startPoints(int obj, const OptimizerOptions &opts,
                 int random_starts) const
@@ -313,6 +315,19 @@ struct SolveJob
 };
 
 } // namespace
+
+OptimizerOptions::Effort
+effortFromString(const std::string &s)
+{
+    if (s == "fast")
+        return OptimizerOptions::Effort::Fast;
+    if (s == "standard")
+        return OptimizerOptions::Effort::Standard;
+    if (s == "thorough")
+        return OptimizerOptions::Effort::Thorough;
+    fatal("unknown effort \"" + s +
+          "\" (expected fast, standard, or thorough)");
+}
 
 IntTileVec
 microkernelTiles(const ConvProblem &p, const MachineSpec &m)

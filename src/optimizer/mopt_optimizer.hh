@@ -6,6 +6,16 @@
  * and recurse on the remaining levels; finally integerize (floor),
  * load-balance, and rank candidates by predicted bandwidth-scaled
  * bottleneck time.
+ *
+ * Execution model: each round of Algorithm 1 is flattened into
+ * independent (permutation combo x objective level x start point)
+ * work items fanned across ThreadPool::parallelForIndexed, with one
+ * reusable SolverScratch per worker and analytic gradients from
+ * ConvNlp (one model evaluation per Adam step). Results are reduced
+ * in job order after each round, so optimizeConv is deterministic:
+ * the same (problem, machine, options-minus-threads) produce
+ * bit-identical output for any thread count — the property the
+ * service layer's CacheKey relies on (see docs/ARCHITECTURE.md).
  */
 
 #ifndef MOPT_OPTIMIZER_MOPT_OPTIMIZER_HH
@@ -42,11 +52,22 @@ struct OptimizerOptions
     enum class Effort { Fast, Standard, Thorough };
     Effort effort = Effort::Standard;
 
+    /** Seed of the solver's random starts. Part of the solve's cache
+     *  identity (service/cache_key.hh): changing it may change the
+     *  returned configuration. */
     std::uint64_t seed = 7;
 
-    /** Worker threads for the permutation sweep (0 = hardware). */
+    /** Worker threads for the permutation sweep (0 = hardware).
+     *  Never affects the result, only the wall time. */
     int threads = 0;
 };
+
+/**
+ * Parse an effort preset name: "fast", "standard", or "thorough"
+ * (case-sensitive, the CLI spelling). Anything else is a fatal user
+ * error — shared by every front end so they cannot drift.
+ */
+OptimizerOptions::Effort effortFromString(const std::string &s);
 
 /** One ranked configuration. */
 struct Candidate

@@ -1,0 +1,157 @@
+#include "service/network_optimizer.hh"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/timer.hh"
+#include "model/multi_level.hh"
+
+namespace mopt {
+
+double
+NetworkPlanStats::hitRate() const
+{
+    if (unique_shapes == 0)
+        return 1.0;
+    return static_cast<double>(cache_hits) /
+           static_cast<double>(unique_shapes);
+}
+
+double
+NetworkPlan::predictedSeconds() const
+{
+    double s = 0.0;
+    for (const LayerPlan &lp : layers)
+        s += lp.best.predicted.total_seconds;
+    return s;
+}
+
+std::string
+NetworkPlan::str() const
+{
+    Table t({"Layer", "shape", "class", "L1 tile", "L2 tile", "L3 tile",
+             "par", "pred ms", "pred GFLOPS"});
+    for (const LayerPlan &lp : layers) {
+        const ConvProblem &p = lp.problem;
+        std::ostringstream shape;
+        shape << "K" << p.k << " C" << p.c << " H" << p.h << " R"
+              << p.r;
+        if (p.stride > 1)
+            shape << "/" << p.stride;
+        t.row()
+            .add(p.name)
+            .add(shape.str())
+            .add(lp.best.perm_label)
+            .add(tilesToString(lp.best.config.tiles[LvlL1]))
+            .add(tilesToString(lp.best.config.tiles[LvlL2]))
+            .add(tilesToString(lp.best.config.tiles[LvlL3]))
+            .add(tilesToString(lp.best.config.par))
+            .add(lp.best.predicted.total_seconds * 1e3, 3)
+            .add(lp.best.predicted.gflops, 1);
+    }
+    return t.str();
+}
+
+NetworkOptimizer::NetworkOptimizer(const MachineSpec &machine,
+                                   const OptimizerOptions &opts,
+                                   SolutionCache *cache)
+    : machine_(machine), opts_(opts), cache_(cache)
+{
+    machine_.validate();
+}
+
+NetworkPlan
+NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
+{
+    Timer total;
+    NetworkPlan plan;
+    plan.layers.resize(net.size());
+    plan.stats.layers = net.size();
+
+    // Dedupe: canonical key -> layer indices, preserving first-seen
+    // order so the solve order (and thus any logging) is the network
+    // order regardless of map iteration.
+    struct Group
+    {
+        CacheKey key;
+        std::vector<std::size_t> layers;
+    };
+    std::vector<Group> groups;
+    std::map<std::uint64_t, std::vector<std::size_t>> by_hash;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        net[i].validate();
+        const CacheKey key = CacheKey::make(net[i], machine_, opts_);
+        auto &indices = by_hash[key.hash()];
+        bool found = false;
+        for (const std::size_t gi : indices) {
+            if (groups[gi].key == key) {
+                groups[gi].layers.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            indices.push_back(groups.size());
+            groups.push_back(Group{key, {i}});
+        }
+    }
+    plan.stats.unique_shapes = groups.size();
+
+    // Solve one representative per group: cache hit -> replay, miss ->
+    // the full optimizeConv pipeline (internally parallel), then
+    // publish into the cache.
+    for (const Group &g : groups) {
+        const ConvProblem &rep = net[g.layers.front()];
+        Candidate best;
+        bool hit = false;
+        double solve_seconds = 0.0;
+
+        CachedSolution cached;
+        if (cache_ && cache_->lookup(g.key, &cached)) {
+            best.config = cached.config;
+            best.perm_label = cached.perm_label;
+            // The breakdown is a pure function of (config, problem,
+            // machine), so a hit reproduces the miss path's numbers
+            // exactly.
+            best.predicted =
+                evalMultiLevel(best.config, rep, machine_, opts_.parallel);
+            hit = true;
+            plan.stats.cache_hits++;
+        } else {
+            const OptimizeOutput out = optimizeConv(rep, machine_, opts_);
+            checkInvariant(!out.candidates.empty(),
+                           "NetworkOptimizer: optimizeConv returned no "
+                           "candidates");
+            best = out.candidates.front();
+            solve_seconds = out.seconds;
+            plan.stats.cache_misses++;
+            plan.stats.solver_evals += out.solver_evals;
+            plan.stats.solve_seconds += out.seconds;
+            if (cache_) {
+                cache_->insert(
+                    g.key,
+                    CachedSolution{best.config,
+                                   best.predicted.total_seconds,
+                                   best.perm_label});
+            }
+        }
+
+        for (std::size_t li = 0; li < g.layers.size(); ++li) {
+            const std::size_t layer = g.layers[li];
+            LayerPlan &lp = plan.layers[layer];
+            lp.problem = net[layer];
+            lp.best = best;
+            lp.cache_hit = hit;
+            lp.dedup_hit = li > 0;
+            lp.solve_seconds = li == 0 ? solve_seconds : 0.0;
+        }
+    }
+
+    plan.stats.total_seconds = total.seconds();
+    return plan;
+}
+
+} // namespace mopt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Network-level batch optimization: optimize every conv2d layer of a
+ * whole network in one call, deduplicating repeated shapes and
+ * consulting a (optionally persistent) SolutionCache so identical
+ * (problem, machine, settings) solves are done exactly once — across
+ * layers, across networks, and across process lifetimes.
+ *
+ * Each cache miss is solved by the existing optimizeConv pipeline,
+ * which internally fans its (permutation combo x objective x start)
+ * work items across ThreadPool::parallelForIndexed; misses are issued
+ * one at a time so every solve gets the full pool width and the
+ * per-layer results stay deterministic. The returned plan is therefore
+ * byte-identical between a cold and a warm run: a hit replays the
+ * stored winning ExecConfig and re-derives the cost breakdown from the
+ * (deterministic) analytical model.
+ */
+
+#ifndef MOPT_SERVICE_NETWORK_OPTIMIZER_HH
+#define MOPT_SERVICE_NETWORK_OPTIMIZER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "service/solution_cache.hh"
+
+namespace mopt {
+
+/** The optimized tiling of one network layer. */
+struct LayerPlan
+{
+    ConvProblem problem;      //!< The layer as given (name retained).
+    Candidate best;           //!< Winning config + predicted cost.
+    bool cache_hit = false;   //!< Solution came from the cache.
+    bool dedup_hit = false;   //!< Repeated shape solved earlier this run.
+    double solve_seconds = 0; //!< Search time (0 for hits).
+};
+
+/** Aggregate statistics of one NetworkOptimizer::optimize call. */
+struct NetworkPlanStats
+{
+    std::size_t layers = 0;        //!< Input layers.
+    std::size_t unique_shapes = 0; //!< Distinct cache keys among them.
+    std::size_t cache_hits = 0;    //!< Unique shapes served by the cache.
+    std::size_t cache_misses = 0;  //!< Unique shapes actually solved.
+    long solver_evals = 0;         //!< Model evaluations across solves.
+    double solve_seconds = 0;      //!< Wall time inside optimizeConv.
+    double total_seconds = 0;      //!< Wall time of the whole call.
+
+    /** cache_hits / unique_shapes (1 when there was nothing to do). */
+    double hitRate() const;
+};
+
+/** Per-layer plans plus the run's statistics. */
+struct NetworkPlan
+{
+    std::vector<LayerPlan> layers;
+    NetworkPlanStats stats;
+
+    /** Sum of predicted per-layer times (seconds). */
+    double predictedSeconds() const;
+
+    /**
+     * Deterministic per-layer plan rendering (one table; no wall-clock
+     * times or hit/miss markers), suitable for byte-for-byte comparison
+     * between cold- and warm-cache runs.
+     */
+    std::string str() const;
+};
+
+/**
+ * Batch front-end over optimizeConv. Holds the machine, the search
+ * settings, and an optional solution cache shared across calls (and,
+ * via its journal, across runs). Thread-safe to the extent that
+ * concurrent optimize() calls only share the SolutionCache, which is
+ * itself thread-safe.
+ */
+class NetworkOptimizer
+{
+  public:
+    /**
+     * @param machine  target machine description
+     * @param opts     search settings applied to every layer
+     * @param cache    optional solution cache (not owned; may be null)
+     */
+    NetworkOptimizer(const MachineSpec &machine,
+                     const OptimizerOptions &opts,
+                     SolutionCache *cache = nullptr);
+
+    /** Optimize every layer of @p net (in order, repeats allowed). */
+    NetworkPlan optimize(const std::vector<ConvProblem> &net) const;
+
+    const MachineSpec &machine() const { return machine_; }
+    const OptimizerOptions &options() const { return opts_; }
+
+  private:
+    MachineSpec machine_;
+    OptimizerOptions opts_;
+    SolutionCache *cache_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_SERVICE_NETWORK_OPTIMIZER_HH

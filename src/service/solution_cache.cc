@@ -1,0 +1,714 @@
+#include "service/solution_cache.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+namespace {
+
+/**
+ * Minimal JSON value + recursive-descent parser, just enough for the
+ * journal's own output format. Kept private to this translation unit:
+ * the journal is the only JSON the library reads.
+ */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size(); // Trailing garbage is corruption.
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+        case '{': return parseObject(out);
+        case '[': return parseArray(out);
+        case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+        case 't':
+            out.type = JsonValue::Type::Bool;
+            out.b = true;
+            return literal("true");
+        case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.b = false;
+            return literal("false");
+        case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+        default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case 'b': c = '\b'; break;
+                case 'f': c = '\f'; break;
+                case 'u': {
+                    // The journal never emits \u escapes for its own
+                    // keys; decode the code unit as Latin-1 best-effort.
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char hc = s_[pos_++];
+                        v <<= 4;
+                        if (hc >= '0' && hc <= '9')
+                            v |= static_cast<unsigned>(hc - '0');
+                        else if (hc >= 'a' && hc <= 'f')
+                            v |= static_cast<unsigned>(hc - 'a' + 10);
+                        else if (hc >= 'A' && hc <= 'F')
+                            v |= static_cast<unsigned>(hc - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    c = static_cast<char>(v & 0xff);
+                    break;
+                }
+                default: return false;
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // Closing quote.
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        try {
+            std::size_t used = 0;
+            out.num = std::stod(s_.substr(start, pos_ - start), &used);
+            if (used != pos_ - start || !std::isfinite(out.num))
+                return false;
+        } catch (...) {
+            return false;
+        }
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue v;
+            skipWs();
+            if (!parseValue(v))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || !parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex16(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+/** Integer field of @p obj that is an exact whole number. */
+bool
+getInt(const JsonValue &obj, const char *key, std::int64_t &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Number)
+        return false;
+    if (v->num != std::floor(v->num) || std::abs(v->num) > 1e15)
+        return false;
+    out = static_cast<std::int64_t>(v->num);
+    return true;
+}
+
+bool
+getTiles(const JsonValue &arr, IntTileVec &out)
+{
+    if (arr.type != JsonValue::Type::Array ||
+        arr.arr.size() != static_cast<std::size_t>(NumDims))
+        return false;
+    for (int d = 0; d < NumDims; ++d) {
+        const JsonValue &v = arr.arr[static_cast<std::size_t>(d)];
+        if (v.type != JsonValue::Type::Number ||
+            v.num != std::floor(v.num) || v.num < 1 || v.num > 1e15)
+            return false;
+        out[static_cast<std::size_t>(d)] =
+            static_cast<std::int64_t>(v.num);
+    }
+    return true;
+}
+
+void
+appendTiles(std::ostringstream &oss, const IntTileVec &t)
+{
+    oss << "[";
+    for (int d = 0; d < NumDims; ++d)
+        oss << (d ? "," : "") << t[static_cast<std::size_t>(d)];
+    oss << "]";
+}
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::string
+solutionToJsonLine(const CacheKey &key, const CachedSolution &sol)
+{
+    const ConvProblem &p = key.problem;
+    std::ostringstream oss;
+    oss << "{\"v\":1"
+        << ",\"n\":" << p.n << ",\"k\":" << p.k << ",\"c\":" << p.c
+        << ",\"r\":" << p.r << ",\"s\":" << p.s << ",\"h\":" << p.h
+        << ",\"w\":" << p.w << ",\"stride\":" << p.stride
+        << ",\"dilation\":" << p.dilation
+        << ",\"machine\":\"" << hex16(key.machine_fp) << "\""
+        << ",\"settings\":\"" << hex16(key.settings_fp) << "\""
+        << ",\"perm\":[";
+    for (int l = 0; l < NumMemLevels; ++l)
+        oss << (l ? "," : "") << "\""
+            << sol.config.perm[static_cast<std::size_t>(l)].str() << "\"";
+    oss << "],\"tiles\":[";
+    for (int l = 0; l < NumMemLevels; ++l) {
+        if (l)
+            oss << ",";
+        appendTiles(oss, sol.config.tiles[static_cast<std::size_t>(l)]);
+    }
+    oss << "],\"par\":";
+    appendTiles(oss, sol.config.par);
+    char pred[32];
+    std::snprintf(pred, sizeof(pred), "%.17g", sol.predicted_seconds);
+    oss << ",\"pred_s\":" << pred << ",\"label\":\""
+        << jsonEscape(sol.perm_label) << "\"}";
+    return oss.str();
+}
+
+bool
+solutionFromJsonLine(const std::string &line, CacheKey &key,
+                     CachedSolution &sol)
+{
+    JsonValue root;
+    if (!JsonParser(line).parse(root) ||
+        root.type != JsonValue::Type::Object)
+        return false;
+
+    std::int64_t version = 0;
+    if (!getInt(root, "v", version) || version != 1)
+        return false;
+
+    CacheKey k;
+    std::int64_t stride = 0, dilation = 0;
+    if (!getInt(root, "n", k.problem.n) ||
+        !getInt(root, "k", k.problem.k) ||
+        !getInt(root, "c", k.problem.c) ||
+        !getInt(root, "r", k.problem.r) ||
+        !getInt(root, "s", k.problem.s) ||
+        !getInt(root, "h", k.problem.h) ||
+        !getInt(root, "w", k.problem.w) ||
+        !getInt(root, "stride", stride) ||
+        !getInt(root, "dilation", dilation))
+        return false;
+    k.problem.stride = static_cast<int>(stride);
+    k.problem.dilation = static_cast<int>(dilation);
+
+    const JsonValue *machine = root.find("machine");
+    const JsonValue *settings = root.find("settings");
+    if (!machine || machine->type != JsonValue::Type::String ||
+        !parseHex16(machine->str, k.machine_fp) || !settings ||
+        settings->type != JsonValue::Type::String ||
+        !parseHex16(settings->str, k.settings_fp))
+        return false;
+
+    CachedSolution s;
+    const JsonValue *perm = root.find("perm");
+    const JsonValue *tiles = root.find("tiles");
+    if (!perm || perm->type != JsonValue::Type::Array ||
+        perm->arr.size() != static_cast<std::size_t>(NumMemLevels) ||
+        !tiles || tiles->type != JsonValue::Type::Array ||
+        tiles->arr.size() != static_cast<std::size_t>(NumMemLevels))
+        return false;
+    for (int l = 0; l < NumMemLevels; ++l) {
+        const auto sl = static_cast<std::size_t>(l);
+        if (perm->arr[sl].type != JsonValue::Type::String)
+            return false;
+        try {
+            s.config.perm[sl] = Permutation::parse(perm->arr[sl].str);
+        } catch (const FatalError &) {
+            return false;
+        }
+        if (!getTiles(tiles->arr[sl], s.config.tiles[sl]))
+            return false;
+    }
+    const JsonValue *par = root.find("par");
+    if (!par || !getTiles(*par, s.config.par))
+        return false;
+
+    const JsonValue *pred = root.find("pred_s");
+    if (!pred || pred->type != JsonValue::Type::Number || pred->num < 0)
+        return false;
+    s.predicted_seconds = pred->num;
+
+    const JsonValue *label = root.find("label");
+    if (!label || label->type != JsonValue::Type::String)
+        return false;
+    s.perm_label = label->str;
+
+    try {
+        k.problem.validate();
+    } catch (const FatalError &) {
+        return false;
+    }
+
+    key = std::move(k);
+    sol = std::move(s);
+    return true;
+}
+
+SolutionCache::SolutionCache(SolutionCacheOptions opts)
+    : opts_(std::move(opts))
+{
+    opts_.capacity = std::max<std::size_t>(1, opts_.capacity);
+    // Power of two so shardOf can mask; halved (staying a power of
+    // two) until every shard holds at least one entry.
+    std::size_t shards = roundUpPow2(
+        static_cast<std::size_t>(std::max(1, opts_.shards)));
+    while (shards > opts_.capacity)
+        shards >>= 1;
+    per_shard_capacity_ = std::max<std::size_t>(1, opts_.capacity / shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    if (!opts_.journal_path.empty())
+        loadJournal();
+}
+
+SolutionCache::~SolutionCache()
+{
+    if (journal_.is_open() && journalNeedsCompaction())
+        compact();
+}
+
+int
+SolutionCache::shardOf(const CacheKey &key) const
+{
+    // shards_.size() is a power of two; the low hash bits pick a shard
+    // and the full hash indexes the shard's bucket map.
+    return static_cast<int>(key.hash() &
+                            (shards_.size() - 1));
+}
+
+bool
+SolutionCache::lookup(const CacheKey &key, CachedSolution *out)
+{
+    Shard &sh = *shards_[static_cast<std::size_t>(shardOf(key))];
+    const std::uint64_t h = key.hash();
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.map.find(h);
+        if (it != sh.map.end()) {
+            for (auto &entry_it : it->second) {
+                if (entry_it->key == key) {
+                    sh.lru.splice(sh.lru.begin(), sh.lru, entry_it);
+                    if (out)
+                        *out = entry_it->sol;
+                    hit = true;
+                    break;
+                }
+            }
+        }
+    }
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return hit;
+}
+
+bool
+SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol)
+{
+    Shard &sh = *shards_[static_cast<std::size_t>(shardOf(key))];
+    const std::uint64_t h = key.hash();
+    bool evicted = false;
+    bool fresh = true;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.map.find(h);
+        if (it != sh.map.end()) {
+            for (auto &entry_it : it->second) {
+                if (entry_it->key == key) {
+                    entry_it->sol = sol;
+                    sh.lru.splice(sh.lru.begin(), sh.lru, entry_it);
+                    fresh = false;
+                    break;
+                }
+            }
+        }
+        if (fresh) {
+            sh.lru.push_front(Entry{key, sol});
+            sh.map[h].push_back(sh.lru.begin());
+            if (sh.lru.size() > per_shard_capacity_) {
+                const Entry &victim = sh.lru.back();
+                const std::uint64_t vh = victim.key.hash();
+                auto vit = sh.map.find(vh);
+                checkInvariant(vit != sh.map.end(),
+                               "SolutionCache: victim missing from map");
+                auto &chain = vit->second;
+                chain.erase(std::find(chain.begin(), chain.end(),
+                                      std::prev(sh.lru.end())));
+                if (chain.empty())
+                    sh.map.erase(vit);
+                sh.lru.pop_back();
+                evicted = true;
+            }
+        }
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted)
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (fresh && !evicted)
+        live_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+}
+
+void
+SolutionCache::insert(const CacheKey &key, const CachedSolution &sol)
+{
+    insertInMemory(key, sol);
+    if (!opts_.journal_path.empty()) {
+        appendJournalLine(Entry{key, sol});
+        if (journalNeedsCompaction())
+            compact();
+    }
+}
+
+std::size_t
+SolutionCache::size() const
+{
+    std::size_t n = 0;
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        n += sh->lru.size();
+    }
+    return n;
+}
+
+SolutionCacheStats
+SolutionCache::stats() const
+{
+    SolutionCacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.inserts = inserts_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.journal_loaded = journal_loaded_;
+    st.journal_skipped = journal_skipped_;
+    return st;
+}
+
+void
+SolutionCache::loadJournal()
+{
+    std::int64_t loaded = 0, skipped = 0, lines = 0;
+    const std::int64_t evictions_before =
+        evictions_.load(std::memory_order_relaxed);
+    {
+        std::ifstream in(opts_.journal_path);
+        std::string line;
+        while (in && std::getline(in, line)) {
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;
+            ++lines;
+            CacheKey key;
+            CachedSolution sol;
+            if (solutionFromJsonLine(line, key, sol)) {
+                insertInMemory(key, sol);
+                ++loaded;
+            } else {
+                ++skipped;
+            }
+        }
+    }
+    journal_loaded_ += loaded;
+    journal_skipped_ += skipped;
+    // Replay is bookkeeping, not traffic: only live lookup/insert
+    // calls should show up in the insert/eviction counters.
+    inserts_.fetch_sub(loaded, std::memory_order_relaxed);
+    evictions_.store(evictions_before, std::memory_order_relaxed);
+    if (skipped > 0)
+        logWarn("SolutionCache: skipped ", skipped,
+                " corrupt journal line(s) in ", opts_.journal_path);
+
+    {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        journal_lines_ = lines;
+        journal_.open(opts_.journal_path,
+                      std::ios::out | std::ios::app);
+        if (!journal_.is_open())
+            fatal("SolutionCache: cannot open journal " +
+                  opts_.journal_path);
+    }
+    if (skipped > 0 || journalNeedsCompaction())
+        compact();
+}
+
+void
+SolutionCache::appendJournalLine(const Entry &e)
+{
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    if (!journal_.is_open())
+        return;
+    journal_ << solutionToJsonLine(e.key, e.sol) << "\n";
+    journal_.flush();
+    ++journal_lines_;
+}
+
+bool
+SolutionCache::journalNeedsCompaction() const
+{
+    if (opts_.journal_path.empty())
+        return false;
+    const auto lines = static_cast<double>(
+        journal_lines_.load(std::memory_order_relaxed));
+    const auto live = static_cast<double>(
+        live_.load(std::memory_order_relaxed));
+    return lines > opts_.compact_factor * live + 16.0;
+}
+
+void
+SolutionCache::compact()
+{
+    if (opts_.journal_path.empty())
+        return;
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    const std::string tmp = opts_.journal_path + ".tmp";
+    std::int64_t written = 0;
+    {
+        std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+        if (!out.is_open()) {
+            logWarn("SolutionCache: cannot write ", tmp,
+                    "; journal left uncompacted");
+            return;
+        }
+        for (const auto &sh : shards_) {
+            std::lock_guard<std::mutex> lock(sh->mu);
+            // Least recent first, so replay restores the LRU order.
+            for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
+                out << solutionToJsonLine(it->key, it->sol) << "\n";
+                ++written;
+            }
+        }
+    }
+    if (journal_.is_open())
+        journal_.close();
+    if (std::rename(tmp.c_str(), opts_.journal_path.c_str()) != 0) {
+        logWarn("SolutionCache: rename to ", opts_.journal_path,
+                " failed; journal left uncompacted");
+        std::remove(tmp.c_str());
+    } else {
+        journal_lines_ = written;
+    }
+    journal_.open(opts_.journal_path, std::ios::out | std::ios::app);
+}
+
+} // namespace mopt

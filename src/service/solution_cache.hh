@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Thread-safe, sharded LRU cache of optimizer solutions, keyed by
+ * CacheKey, with optional JSON-lines persistence.
+ *
+ * Concurrency: the key hash selects one of N shards (a power of two);
+ * each shard owns its own mutex, hash map, and LRU list (the same
+ * list+map idiom as the cache *simulator* in src/cachesim/lru_cache.hh,
+ * which models a hardware cache and is unrelated to this service-level
+ * store). Lookups and inserts on different shards never contend;
+ * capacity is enforced per shard (total capacity / shards), so an
+ * insert takes one shard lock (plus the journal mutex, outside any
+ * shard lock, when persistence is on); statistics are relaxed
+ * atomics.
+ *
+ * Persistence: when a journal path is configured, the cache loads the
+ * journal on open (replaying inserts in order, so the newest entries
+ * are the most-recently-used) and appends one JSON line per insert.
+ * Lines that fail to parse — a torn final line after a crash, or
+ * hand-edited garbage — are skipped with a warning, never fatal. The
+ * journal is compacted (rewritten with only the live entries, in LRU
+ * order) when it has grown past compact_factor times the live entry
+ * count, and can be compacted explicitly.
+ *
+ * One writing process per journal: thread-safety covers threads
+ * inside one process. Concurrent *processes* appending the same
+ * journal file are not coordinated — a compaction in one process
+ * renames the file out from under the others' append streams, losing
+ * their inserts. Share a journal across machines by copying the file,
+ * not by concurrent mutation.
+ */
+
+#ifndef MOPT_SERVICE_SOLUTION_CACHE_HH
+#define MOPT_SERVICE_SOLUTION_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/tile_config.hh"
+#include "service/cache_key.hh"
+
+namespace mopt {
+
+/** The winning configuration of one solve, as stored in the cache. */
+struct CachedSolution
+{
+    ExecConfig config;             //!< Integerized, load-balanced tiling.
+    double predicted_seconds = 0;  //!< Model-predicted execution time.
+    std::string perm_label;        //!< Pruned-class names per level.
+
+    bool operator==(const CachedSolution &o) const = default;
+};
+
+/** Construction-time options of a SolutionCache. */
+struct SolutionCacheOptions
+{
+    /** Total entry capacity across all shards. */
+    std::size_t capacity = 4096;
+
+    /** Shard count; rounded up to a power of two, then halved while
+     *  it exceeds capacity (so every shard holds >= 1 entry and the
+     *  count stays maskable). */
+    int shards = 8;
+
+    /** Journal file path; empty = in-memory only. */
+    std::string journal_path;
+
+    /** Compact the journal when its line count exceeds
+     *  compact_factor * live entries + 16. */
+    double compact_factor = 2.0;
+};
+
+/** Monotonic operation counters (snapshot via stats()). */
+struct SolutionCacheStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t evictions = 0;
+    std::int64_t journal_loaded = 0;  //!< Entries replayed on open.
+    std::int64_t journal_skipped = 0; //!< Corrupt lines ignored on open.
+};
+
+/**
+ * Sharded LRU solution cache. All public member functions are safe to
+ * call concurrently from any number of threads.
+ */
+class SolutionCache
+{
+  public:
+    explicit SolutionCache(SolutionCacheOptions opts = {});
+
+    /** Flushes nothing (inserts are journaled eagerly); compacts the
+     *  journal if it exceeds the compaction threshold. */
+    ~SolutionCache();
+
+    SolutionCache(const SolutionCache &) = delete;
+    SolutionCache &operator=(const SolutionCache &) = delete;
+
+    /**
+     * Look up @p key; on hit, promote the entry to most-recently-used,
+     * copy the solution into @p out (when non-null) and return true.
+     */
+    bool lookup(const CacheKey &key, CachedSolution *out);
+
+    /**
+     * Insert (or overwrite) the solution for @p key, evicting the
+     * shard's least-recently-used entry when the shard is full. When a
+     * journal is configured the entry is appended before the call
+     * returns.
+     */
+    void insert(const CacheKey &key, const CachedSolution &sol);
+
+    /** Live entries across all shards. */
+    std::size_t size() const;
+
+    /** Actual shard count (power of two). */
+    int shardCount() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    /** Shard index of @p key (exposed for shard-independence tests). */
+    int shardOf(const CacheKey &key) const;
+
+    /** Snapshot of the operation counters. */
+    SolutionCacheStats stats() const;
+
+    /**
+     * Rewrite the journal with exactly the live entries, least recent
+     * first (so a reload reproduces the LRU order). No-op without a
+     * journal.
+     */
+    void compact();
+
+  private:
+    struct Entry
+    {
+        CacheKey key;
+        CachedSolution sol;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::list<Entry> lru; //!< Front = most recently used.
+        std::unordered_map<std::uint64_t,
+                           std::vector<std::list<Entry>::iterator>>
+            map; //!< hash -> entries (collision chain).
+    };
+
+    /** Insert into the in-memory structure only; returns false when
+     *  @p key was already present (value overwritten, no journal
+     *  append needed by the loader). */
+    bool insertInMemory(const CacheKey &key, const CachedSolution &sol);
+
+    void loadJournal();
+    void appendJournalLine(const Entry &e);
+    bool journalNeedsCompaction() const;
+
+    SolutionCacheOptions opts_;
+    std::size_t per_shard_capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Operation counters and the live-entry count are atomics so the
+     *  hot lookup/insert path touches only its shard's mutex. */
+    std::atomic<std::int64_t> hits_{0};
+    std::atomic<std::int64_t> misses_{0};
+    std::atomic<std::int64_t> inserts_{0};
+    std::atomic<std::int64_t> evictions_{0};
+    std::atomic<std::int64_t> live_{0};
+    std::int64_t journal_loaded_ = 0;  //!< Written only during open.
+    std::int64_t journal_skipped_ = 0; //!< Written only during open.
+
+    mutable std::mutex journal_mu_;
+    std::ofstream journal_;
+    std::atomic<std::int64_t> journal_lines_{0}; //!< Lines in the file.
+};
+
+/** Serialize one (key, solution) pair as a single JSON line. */
+std::string solutionToJsonLine(const CacheKey &key,
+                               const CachedSolution &sol);
+
+/**
+ * Parse a journal line produced by solutionToJsonLine. Returns false
+ * (leaving outputs untouched) on malformed input of any kind.
+ */
+bool solutionFromJsonLine(const std::string &line, CacheKey &key,
+                          CachedSolution &sol);
+
+} // namespace mopt
+
+#endif // MOPT_SERVICE_SOLUTION_CACHE_HH

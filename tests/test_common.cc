@@ -189,6 +189,29 @@ TEST(Flags, RejectsPositional)
     EXPECT_THROW(Flags(2, const_cast<char **>(argv)), FatalError);
 }
 
+TEST(Flags, SpaceSeparatedValues)
+{
+    const char *argv[] = {"prog", "--net", "resnet18", "--count", "7",
+                          "--on", "--last"};
+    Flags f(7, const_cast<char **>(argv));
+    EXPECT_EQ(f.getString("net", ""), "resnet18");
+    EXPECT_EQ(f.getInt("count", 0), 7);
+    // "--on" is followed by another flag, "--last" ends the line:
+    // both parse as bare booleans.
+    EXPECT_TRUE(f.getBool("on", false));
+    EXPECT_TRUE(f.getBool("last", false));
+}
+
+TEST(Flags, BoolRejectsStrayToken)
+{
+    // "--verify tiled" swallows the stray token as verify's value;
+    // reading it as a boolean must fail loudly, not return false.
+    const char *argv[] = {"prog", "--verify", "tiled", "--off", "0"};
+    Flags f(5, const_cast<char **>(argv));
+    EXPECT_THROW(f.getBool("verify", false), FatalError);
+    EXPECT_FALSE(f.getBool("off", true));
+}
+
 TEST(ThreadPool, ParallelForCoversAllIndices)
 {
     ThreadPool pool(4);

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Tests of the service layer: cache-key canonicalization and stable
+ * hashing, the sharded LRU solution cache (eviction order, shard
+ * independence under concurrency, journal persistence round-trips,
+ * corrupted-journal recovery, compaction), and NetworkOptimizer
+ * determinism with cold vs. warm caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/logging.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "service/cache_key.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+smallProblem(std::int64_t k = 32, std::int64_t c = 16, std::int64_t hw = 14)
+{
+    ConvProblem p;
+    p.name = "svc";
+    p.n = 1;
+    p.k = k;
+    p.c = c;
+    p.r = 3;
+    p.s = 3;
+    p.h = hw;
+    p.w = hw;
+    return p;
+}
+
+OptimizerOptions
+fastOpts()
+{
+    OptimizerOptions o;
+    o.effort = OptimizerOptions::Effort::Fast;
+    o.parallel = true;
+    o.threads = 4;
+    return o;
+}
+
+/** A distinct, valid key: shapes vary in k so hashes differ. */
+CacheKey
+keyNumber(int i)
+{
+    return CacheKey::make(smallProblem(8 + i), i7_9700k(), fastOpts());
+}
+
+/** A recognizable solution whose payload encodes @p tag. */
+CachedSolution
+solutionNumber(int tag)
+{
+    CachedSolution s;
+    s.config.perm = {Permutation::parse("nhwkcrs"),
+                     Permutation::parse("kcrsnhw"),
+                     Permutation::parse("kcrsnhw"),
+                     Permutation::parse("kcrsnhw")};
+    s.config.tiles = {IntTileVec{1, 16, 1, 1, 1, 1, 6},
+                      IntTileVec{1, 16, 4, 1, 1, 2, 6},
+                      IntTileVec{1, 32, 8, 3, 3, 4, 12},
+                      IntTileVec{1, 32, 16, 3, 3, 14, 14}};
+    s.config.par = {1, 2, 1, 1, 1, 2, 2};
+    s.config.tiles[LvlL1][DimC] = 1 + tag;
+    s.predicted_seconds = 1e-3 * (1 + tag);
+    s.perm_label = "cls-" + std::to_string(tag);
+    return s;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "mopt_" + name + "_" +
+           std::to_string(::getpid()) + ".json";
+}
+
+TEST(CacheKey, LayerNameIsStripped)
+{
+    ConvProblem a = smallProblem();
+    ConvProblem b = smallProblem();
+    a.name = "R2";
+    b.name = "layer1.0.conv1";
+    const MachineSpec m = i7_9700k();
+    const CacheKey ka = CacheKey::make(a, m, fastOpts());
+    const CacheKey kb = CacheKey::make(b, m, fastOpts());
+    EXPECT_EQ(ka, kb);
+    EXPECT_EQ(ka.hash(), kb.hash());
+}
+
+TEST(CacheKey, ShapeChangesHash)
+{
+    const MachineSpec m = i7_9700k();
+    const CacheKey base = CacheKey::make(smallProblem(), m, fastOpts());
+    ConvProblem other = smallProblem();
+    other.stride = 2;
+    const CacheKey changed = CacheKey::make(other, m, fastOpts());
+    EXPECT_NE(base, changed);
+    EXPECT_NE(base.hash(), changed.hash());
+}
+
+TEST(CacheKey, MachineFingerprintCoversModelFields)
+{
+    EXPECT_NE(CacheKey::machineFingerprint(i7_9700k()),
+              CacheKey::machineFingerprint(i9_10980xe()));
+
+    // The preset name is cosmetic and must not affect the fingerprint.
+    MachineSpec renamed = i7_9700k();
+    renamed.name = "some-fleet-host";
+    EXPECT_EQ(CacheKey::machineFingerprint(i7_9700k()),
+              CacheKey::machineFingerprint(renamed));
+
+    MachineSpec tweaked = i7_9700k();
+    tweaked.levels[LvlL2].capacity_bytes += 4096;
+    EXPECT_NE(CacheKey::machineFingerprint(i7_9700k()),
+              CacheKey::machineFingerprint(tweaked));
+}
+
+TEST(CacheKey, SettingsFingerprintSelectsResultRelevantFields)
+{
+    OptimizerOptions a = fastOpts();
+    OptimizerOptions b = fastOpts();
+
+    // top_k and threads never change the winning configuration.
+    b.top_k = 1;
+    b.threads = 1;
+    EXPECT_EQ(CacheKey::settingsFingerprint(a),
+              CacheKey::settingsFingerprint(b));
+
+    b = fastOpts();
+    b.effort = OptimizerOptions::Effort::Thorough;
+    EXPECT_NE(CacheKey::settingsFingerprint(a),
+              CacheKey::settingsFingerprint(b));
+
+    b = fastOpts();
+    b.seed = a.seed + 1;
+    EXPECT_NE(CacheKey::settingsFingerprint(a),
+              CacheKey::settingsFingerprint(b));
+
+    b = fastOpts();
+    b.parallel = false;
+    EXPECT_NE(CacheKey::settingsFingerprint(a),
+              CacheKey::settingsFingerprint(b));
+}
+
+TEST(SolutionJson, RoundTrip)
+{
+    const CacheKey key = keyNumber(3);
+    const CachedSolution sol = solutionNumber(7);
+    const std::string line = solutionToJsonLine(key, sol);
+
+    CacheKey key2;
+    CachedSolution sol2;
+    ASSERT_TRUE(solutionFromJsonLine(line, key2, sol2));
+    EXPECT_EQ(key, key2);
+    EXPECT_EQ(sol, sol2);
+}
+
+TEST(SolutionJson, RejectsMalformedLines)
+{
+    CacheKey key;
+    CachedSolution sol;
+    EXPECT_FALSE(solutionFromJsonLine("", key, sol));
+    EXPECT_FALSE(solutionFromJsonLine("garbage", key, sol));
+    EXPECT_FALSE(solutionFromJsonLine("{\"v\":2}", key, sol));
+    const std::string good =
+        solutionToJsonLine(keyNumber(0), solutionNumber(0));
+    // A torn write: every strict prefix must be rejected, not crash.
+    for (std::size_t cut = 0; cut + 1 < good.size(); cut += 7)
+        EXPECT_FALSE(
+            solutionFromJsonLine(good.substr(0, cut), key, sol));
+    // Trailing garbage after a valid object is corruption too.
+    EXPECT_FALSE(solutionFromJsonLine(good + "}", key, sol));
+}
+
+TEST(SolutionCache, LruEvictionOrder)
+{
+    SolutionCacheOptions co;
+    co.capacity = 3;
+    co.shards = 1;
+    SolutionCache cache(co);
+
+    cache.insert(keyNumber(1), solutionNumber(1));
+    cache.insert(keyNumber(2), solutionNumber(2));
+    cache.insert(keyNumber(3), solutionNumber(3));
+
+    // Promote 1: the LRU entry is now 2.
+    ASSERT_TRUE(cache.lookup(keyNumber(1), nullptr));
+
+    cache.insert(keyNumber(4), solutionNumber(4));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_FALSE(cache.lookup(keyNumber(2), nullptr));
+    EXPECT_TRUE(cache.lookup(keyNumber(1), nullptr));
+    EXPECT_TRUE(cache.lookup(keyNumber(3), nullptr));
+    EXPECT_TRUE(cache.lookup(keyNumber(4), nullptr));
+    EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(SolutionCache, ShardCountStaysMaskablePowerOfTwo)
+{
+    // A capacity below the requested shard count must not produce a
+    // non-power-of-two shard count (shardOf masks with count - 1).
+    SolutionCacheOptions co;
+    co.capacity = 6;
+    co.shards = 8;
+    SolutionCache cache(co);
+    const int n = cache.shardCount();
+    EXPECT_EQ(n & (n - 1), 0);
+    EXPECT_LE(n, 6);
+
+    // Every shard must be reachable: with a maskable count, inserting
+    // many keys leaves no shard permanently empty by construction.
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < 256; ++i)
+        seen[static_cast<std::size_t>(cache.shardOf(keyNumber(i)))] =
+            true;
+    for (int s = 0; s < n; ++s)
+        EXPECT_TRUE(seen[static_cast<std::size_t>(s)]) << s;
+}
+
+TEST(SolutionCache, OverwriteDoesNotGrow)
+{
+    SolutionCacheOptions co;
+    co.capacity = 4;
+    co.shards = 1;
+    SolutionCache cache(co);
+
+    cache.insert(keyNumber(1), solutionNumber(1));
+    cache.insert(keyNumber(1), solutionNumber(9));
+    EXPECT_EQ(cache.size(), 1u);
+
+    CachedSolution out;
+    ASSERT_TRUE(cache.lookup(keyNumber(1), &out));
+    EXPECT_EQ(out, solutionNumber(9));
+}
+
+TEST(SolutionCache, ShardedConcurrentInsertLookup)
+{
+    SolutionCacheOptions co;
+    co.capacity = 4096;
+    co.shards = 8;
+    SolutionCache cache(co);
+    EXPECT_EQ(cache.shardCount(), 8);
+
+    constexpr int kThreads = 8;
+    constexpr int kKeysPerThread = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < kKeysPerThread; ++i) {
+                const int id = t * kKeysPerThread + i;
+                cache.insert(keyNumber(id), solutionNumber(id));
+                CachedSolution out;
+                ASSERT_TRUE(cache.lookup(keyNumber(id), &out));
+                EXPECT_EQ(out, solutionNumber(id));
+                // Probe other threads' keys too: either a miss (not
+                // inserted yet) or the correct value, never garbage.
+                const int other = ((id + 37) * 13) %
+                                  (kThreads * kKeysPerThread);
+                if (cache.lookup(keyNumber(other), &out)) {
+                    EXPECT_EQ(out, solutionNumber(other));
+                }
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(cache.size(),
+              static_cast<std::size_t>(kThreads * kKeysPerThread));
+    const SolutionCacheStats st = cache.stats();
+    EXPECT_EQ(st.inserts, kThreads * kKeysPerThread);
+    EXPECT_EQ(st.evictions, 0);
+
+    // The keys must actually spread across shards for the concurrency
+    // above to exercise independence.
+    int shard_seen[8] = {};
+    for (int id = 0; id < kThreads * kKeysPerThread; ++id)
+        shard_seen[cache.shardOf(keyNumber(id))]++;
+    int nonempty = 0;
+    for (const int n : shard_seen)
+        nonempty += n > 0;
+    EXPECT_GE(nonempty, 4);
+}
+
+TEST(SolutionCache, PersistenceRoundTrip)
+{
+    const std::string path = tempPath("roundtrip");
+    std::remove(path.c_str());
+
+    {
+        SolutionCacheOptions co;
+        co.journal_path = path;
+        SolutionCache cache(co);
+        for (int i = 0; i < 5; ++i)
+            cache.insert(keyNumber(i), solutionNumber(i));
+    }
+
+    SolutionCacheOptions co;
+    co.journal_path = path;
+    SolutionCache reloaded(co);
+    EXPECT_EQ(reloaded.stats().journal_loaded, 5);
+    EXPECT_EQ(reloaded.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        CachedSolution out;
+        ASSERT_TRUE(reloaded.lookup(keyNumber(i), &out)) << i;
+        EXPECT_EQ(out, solutionNumber(i));
+    }
+
+    // Replay is bookkeeping: reopening with a smaller capacity evicts
+    // during replay, but the traffic counters must stay clean.
+    SolutionCacheOptions small;
+    small.capacity = 2;
+    small.shards = 1;
+    small.journal_path = path;
+    SolutionCache tight(small);
+    EXPECT_EQ(tight.stats().journal_loaded, 5);
+    EXPECT_EQ(tight.size(), 2u);
+    EXPECT_EQ(tight.stats().inserts, 0);
+    EXPECT_EQ(tight.stats().evictions, 0);
+    std::remove(path.c_str());
+}
+
+TEST(SolutionCache, CorruptedJournalRecovery)
+{
+    const std::string path = tempPath("corrupt");
+    std::remove(path.c_str());
+
+    const std::string good0 =
+        solutionToJsonLine(keyNumber(0), solutionNumber(0));
+    const std::string good1 =
+        solutionToJsonLine(keyNumber(1), solutionNumber(1));
+    {
+        std::ofstream f(path);
+        f << good0 << "\n";
+        f << "{\"v\":1,\"n\":not-json\n";
+        f << good1 << "\n";
+        // A torn final line, as left by a crash mid-append.
+        f << good1.substr(0, good1.size() / 2);
+    }
+
+    SolutionCacheOptions co;
+    co.journal_path = path;
+    SolutionCache cache(co);
+    EXPECT_EQ(cache.stats().journal_loaded, 2);
+    EXPECT_EQ(cache.stats().journal_skipped, 2);
+    EXPECT_TRUE(cache.lookup(keyNumber(0), nullptr));
+    EXPECT_TRUE(cache.lookup(keyNumber(1), nullptr));
+
+    // Recovery rewrites the journal; a second open sees only the
+    // surviving entries and no corruption.
+    SolutionCacheOptions co2;
+    co2.journal_path = path;
+    SolutionCache cache2(co2);
+    EXPECT_EQ(cache2.stats().journal_loaded, 2);
+    EXPECT_EQ(cache2.stats().journal_skipped, 0);
+    std::remove(path.c_str());
+}
+
+TEST(SolutionCache, CompactionBoundsJournalAndKeepsLruOrder)
+{
+    const std::string path = tempPath("compact");
+    std::remove(path.c_str());
+
+    {
+        SolutionCacheOptions co;
+        co.capacity = 3;
+        co.shards = 1;
+        co.journal_path = path;
+        SolutionCache cache(co);
+        // 40 inserts into a 3-entry cache: the journal would hold 40
+        // lines without compaction (threshold: 2*3 + 16).
+        for (int i = 0; i < 40; ++i)
+            cache.insert(keyNumber(i), solutionNumber(i));
+        ASSERT_TRUE(cache.lookup(keyNumber(38), nullptr)); // Promote.
+        cache.compact();
+    }
+
+    std::int64_t lines = 0;
+    {
+        std::ifstream f(path);
+        for (std::string line; std::getline(f, line);)
+            ++lines;
+    }
+    EXPECT_EQ(lines, 3);
+
+    SolutionCacheOptions co;
+    co.capacity = 3;
+    co.shards = 1;
+    co.journal_path = path;
+    SolutionCache reloaded(co);
+    EXPECT_EQ(reloaded.size(), 3u);
+    EXPECT_TRUE(reloaded.lookup(keyNumber(37), nullptr));
+    EXPECT_TRUE(reloaded.lookup(keyNumber(38), nullptr));
+    EXPECT_TRUE(reloaded.lookup(keyNumber(39), nullptr));
+
+    // The promote before compaction survived the reload: 37 (not 38)
+    // is the LRU victim of the next insert.
+    reloaded.insert(keyNumber(40), solutionNumber(40));
+    EXPECT_TRUE(reloaded.lookup(keyNumber(38), nullptr));
+    EXPECT_FALSE(reloaded.lookup(keyNumber(37), nullptr));
+    std::remove(path.c_str());
+}
+
+TEST(NetworkOptimizer, DedupesRepeatedShapes)
+{
+    ConvProblem a = smallProblem();
+    a.name = "block0";
+    ConvProblem b = smallProblem(16, 8);
+    b.name = "block1";
+    ConvProblem a2 = smallProblem();
+    a2.name = "block2"; // Same shape as block0, different name.
+
+    const NetworkOptimizer nopt(tinyTestMachine(), fastOpts());
+    const NetworkPlan plan = nopt.optimize({a, b, a2});
+
+    ASSERT_EQ(plan.layers.size(), 3u);
+    EXPECT_EQ(plan.stats.layers, 3u);
+    EXPECT_EQ(plan.stats.unique_shapes, 2u);
+    EXPECT_EQ(plan.stats.cache_misses, 2u);
+    EXPECT_FALSE(plan.layers[0].dedup_hit);
+    EXPECT_TRUE(plan.layers[2].dedup_hit);
+    EXPECT_EQ(plan.layers[0].best.config, plan.layers[2].best.config);
+    // Names survive dedup: each plan row describes its own layer.
+    EXPECT_EQ(plan.layers[2].problem.name, "block2");
+}
+
+TEST(NetworkOptimizer, ColdAndWarmPlansAreIdentical)
+{
+    const std::string path = tempPath("netopt");
+    std::remove(path.c_str());
+
+    const std::vector<ConvProblem> net = {smallProblem(), smallProblem(16, 8),
+                                          smallProblem()};
+    const MachineSpec m = tinyTestMachine();
+
+    std::string cold_plan, warm_plan;
+    {
+        SolutionCacheOptions co;
+        co.journal_path = path;
+        SolutionCache cache(co);
+        const NetworkOptimizer nopt(m, fastOpts(), &cache);
+        const NetworkPlan cold = nopt.optimize(net);
+        EXPECT_EQ(cold.stats.cache_hits, 0u);
+        cold_plan = cold.str();
+    }
+    {
+        // A fresh process would reload the journal the same way.
+        SolutionCacheOptions co;
+        co.journal_path = path;
+        SolutionCache cache(co);
+        const NetworkOptimizer nopt(m, fastOpts(), &cache);
+        const NetworkPlan warm = nopt.optimize(net);
+        EXPECT_EQ(warm.stats.cache_hits, warm.stats.unique_shapes);
+        EXPECT_EQ(warm.stats.cache_misses, 0u);
+        EXPECT_DOUBLE_EQ(warm.stats.hitRate(), 1.0);
+        warm_plan = warm.str();
+    }
+    EXPECT_EQ(cold_plan, warm_plan);
+    std::remove(path.c_str());
+}
+
+TEST(NetworkOptimizer, NetworkBuildersAreWellFormed)
+{
+    const std::vector<ConvProblem> resnet = resnet18Network();
+    const std::vector<ConvProblem> vgg = vgg16Network();
+    const std::vector<ConvProblem> yolo = yolov3Network();
+    EXPECT_EQ(resnet.size(), 20u);
+    EXPECT_EQ(vgg.size(), 13u);
+    EXPECT_EQ(yolo.size(), 52u);
+    for (const auto *net : {&resnet, &vgg, &yolo})
+        for (const ConvProblem &p : *net)
+            EXPECT_NO_THROW(p.validate());
+
+    // Spot-check derived extents: resnet conv1 is 7x7/2 on 224 -> 112.
+    EXPECT_EQ(resnet.front().h, 112);
+    EXPECT_EQ(resnet.front().k, 64);
+    // Darknet-53's last stage works on 13x13.
+    EXPECT_EQ(yolo.back().h, 13);
+    EXPECT_EQ(yolo.back().k, 1024);
+
+    EXPECT_EQ(networkByName("ResNet18").size(), resnet.size());
+    EXPECT_THROW(networkByName("alexnet"), FatalError);
+
+    // The dedup ratios documented in conv/workloads.hh.
+    const OptimizerOptions opts = fastOpts();
+    const MachineSpec m = i7_9700k();
+    auto countUnique = [&](const std::vector<ConvProblem> &net) {
+        std::vector<CacheKey> keys;
+        for (const ConvProblem &p : net) {
+            const CacheKey k = CacheKey::make(p, m, opts);
+            bool seen = false;
+            for (const CacheKey &other : keys)
+                seen = seen || other == k;
+            if (!seen)
+                keys.push_back(k);
+        }
+        return keys.size();
+    };
+    EXPECT_EQ(countUnique(resnet), 11u);
+    EXPECT_EQ(countUnique(vgg), 9u);
+    EXPECT_EQ(countUnique(yolo), 16u);
+}
+
+} // namespace
+} // namespace mopt

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Guard against architecture-doc rot: fail when docs/ARCHITECTURE.md
+# references a src/ subdirectory that no longer exists in the tree, or
+# when a src/ subdirectory is missing from the doc entirely.
+#
+# Usage: tools/check_docs.sh   (run from anywhere; CI runs it per PR)
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+doc=$repo/docs/ARCHITECTURE.md
+
+if [[ ! -f $doc ]]; then
+    echo "error: $doc is missing" >&2
+    exit 1
+fi
+
+status=0
+
+# Every src/<dir> mentioned in the doc must exist.
+while IFS= read -r ref; do
+    if [[ ! -d $repo/$ref ]]; then
+        echo "error: docs/ARCHITECTURE.md references $ref," \
+             "which does not exist" >&2
+        status=1
+    fi
+done < <(grep -oE 'src/[a-z_]+' "$doc" | sort -u)
+
+# Every src/<dir> in the tree must be mentioned in the doc.
+for dir in "$repo"/src/*/; do
+    name=$(basename "$dir")
+    if ! grep -q "src/$name" "$doc"; then
+        echo "error: src/$name is not documented in" \
+             "docs/ARCHITECTURE.md" >&2
+        status=1
+    fi
+done
+
+if [[ $status -eq 0 ]]; then
+    echo "docs/ARCHITECTURE.md is in sync with src/"
+fi
+exit "$status"

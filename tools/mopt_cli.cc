@@ -8,13 +8,19 @@
  * the tiled loop nest, a verification run against the reference, and
  * the baseline configurations for comparison.
  *
+ * The `network` subcommand optimizes a whole network in one shot
+ * through the service layer's NetworkOptimizer, deduplicating repeated
+ * shapes and (with --cache) persisting solutions across runs.
+ *
  * Examples:
  *   mopt --layer=Y12 --machine=i7
  *   mopt --k=256 --c=128 --image=34 --rs=3 --stride=1 --machine=i9
  *   mopt --layer=R2 --emit-c=conv_r2.c
  *   mopt --layer=M5 --verify --compare
+ *   mopt network --net=resnet18 --cache=mopt.cache.json
  */
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
@@ -24,6 +30,7 @@
 #include "common/flags.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/string_util.hh"
 #include "common/table.hh"
 #include "conv/reference.hh"
 #include "conv/workloads.hh"
@@ -31,6 +38,8 @@
 #include "machine/machine.hh"
 #include "model/multi_level.hh"
 #include "optimizer/mopt_optimizer.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
 #include "tensor/tensor.hh"
 
 namespace {
@@ -55,7 +64,103 @@ Options:
   --verify               run the tiled executor vs the naive reference
   --compare              also print oneDNN-style baseline blocking
   --help                 this text
+
+Network mode (optimize every conv layer of a whole network):
+  mopt network --net=resnet18|vgg16|yolov3 [options]
+  --cache=<path>         persistent solution cache (JSON journal);
+                         repeated shapes and repeated runs hit it
+  --cache-capacity=N     max cached solutions (default 4096)
+  --plan-out=<path>      write the per-layer plan to a file
+                         (deterministic; byte-identical cold vs warm)
+  plus --machine, --sequential, --effort as above
 )";
+}
+
+mopt::OptimizerOptions
+optionsFromFlags(const mopt::Flags &flags)
+{
+    mopt::OptimizerOptions opts;
+    opts.parallel = !flags.getBool("sequential", false);
+    opts.top_k = static_cast<int>(flags.getInt("top-k", 5));
+    opts.effort =
+        mopt::effortFromString(flags.getString("effort", "standard"));
+    return opts;
+}
+
+/**
+ * A path-valued flag. A bare "--cache" (no value, or followed by
+ * another flag) parses as "1", which would silently become a file
+ * literally named "1" — reject it.
+ */
+std::string
+pathFlag(const mopt::Flags &flags, const std::string &name)
+{
+    const std::string v = flags.getString(name, "");
+    mopt::checkUser(v != "1",
+                    "--" + name + " needs a file path (--" + name +
+                        "=<path>)");
+    return v;
+}
+
+/** The `mopt network` subcommand (argv already shifted past it). */
+int
+runNetwork(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    if (flags.getBool("help", false)) {
+        printUsage();
+        return 0;
+    }
+    checkUser(flags.has("net"),
+              "network mode needs --net=resnet18|vgg16|yolov3");
+    const std::string net_name = flags.getString("net", "");
+    const std::vector<ConvProblem> net = networkByName(net_name);
+    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    const OptimizerOptions opts = optionsFromFlags(flags);
+
+    SolutionCacheOptions co;
+    co.capacity = static_cast<std::size_t>(
+        flags.getInt("cache-capacity", 4096));
+    co.journal_path = pathFlag(flags, "cache");
+    SolutionCache cache(co);
+
+    std::cout << "Network:  " << net_name << " (" << net.size()
+              << " conv layers)\n";
+    std::cout << "Machine:  " << m.name << " (" << m.cores << " cores, "
+              << m.vec_lanes << "-lane SIMD)\n";
+    if (!co.journal_path.empty())
+        std::cout << "Cache:    " << co.journal_path << " ("
+                  << cache.stats().journal_loaded
+                  << " entries loaded)\n";
+    std::cout << "\n";
+
+    const NetworkOptimizer nopt(m, opts, &cache);
+    const NetworkPlan plan = nopt.optimize(net);
+    const std::string plan_text = plan.str();
+    std::cout << plan_text << "\n";
+
+    const NetworkPlanStats &st = plan.stats;
+    std::cout << "Layers: " << st.layers << " (" << st.unique_shapes
+              << " unique shapes)\n"
+              << "Cache: " << st.cache_hits << " hits, "
+              << st.cache_misses << " misses (hit rate "
+              << formatDouble(100.0 * st.hitRate(), 1) << "%)\n"
+              << "Search: " << formatDouble(st.solve_seconds, 2)
+              << " s in " << st.solver_evals << " model evaluations, "
+              << formatDouble(st.total_seconds, 2) << " s total\n"
+              << "Predicted network time: "
+              << formatDouble(plan.predictedSeconds() * 1e3, 3)
+              << " ms\n";
+
+    if (flags.has("plan-out")) {
+        const std::string path = pathFlag(flags, "plan-out");
+        std::ofstream f(path);
+        checkUser(f.good(), "cannot open " + path);
+        f << plan_text;
+        std::cout << "Wrote per-layer plan to " << path << "\n";
+    }
+    return 0;
 }
 
 } // namespace
@@ -64,6 +169,9 @@ int
 main(int argc, char **argv)
 {
     using namespace mopt;
+    if (argc > 1 && std::strcmp(argv[1], "network") == 0)
+        return runNetwork(argc - 1, argv + 1);
+
     const Flags flags(argc, argv);
     if (flags.getBool("help", false)) {
         printUsage();
@@ -89,23 +197,14 @@ main(int argc, char **argv)
     }
 
     const MachineSpec m = machineByName(flags.getString("machine", "i7"));
-    OptimizerOptions opts;
-    opts.parallel = !flags.getBool("sequential", false);
-    opts.top_k = static_cast<int>(flags.getInt("top-k", 5));
-    const std::string effort = flags.getString("effort", "standard");
-    if (effort == "fast")
-        opts.effort = OptimizerOptions::Effort::Fast;
-    else if (effort == "thorough")
-        opts.effort = OptimizerOptions::Effort::Thorough;
-    else
-        opts.effort = OptimizerOptions::Effort::Standard;
+    const OptimizerOptions opts = optionsFromFlags(flags);
 
     std::cout << "Problem:  " << p.summary() << "\n";
     std::cout << "Machine:  " << m.name << " (" << m.cores << " cores, "
               << m.vec_lanes << "-lane SIMD)\n";
     std::cout << "Mode:     "
               << (opts.parallel ? "parallel" : "sequential") << ", "
-              << effort << " effort\n\n";
+              << flags.getString("effort", "standard") << " effort\n\n";
 
     const OptimizeOutput out = optimizeConv(p, m, opts);
     checkInvariant(!out.candidates.empty(), "optimizer returned nothing");
@@ -134,7 +233,7 @@ main(int argc, char **argv)
               << best.predicted.str() << "\n";
 
     if (flags.has("emit-c")) {
-        const std::string path = flags.getString("emit-c", "conv.c");
+        const std::string path = pathFlag(flags, "emit-c");
         std::ofstream f(path);
         checkUser(f.good(), "cannot open " + path);
         f << emitStandaloneProgram(p, best.config);
