@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/string_util.hh"
@@ -15,15 +16,41 @@ Flags::Flags(int argc, char **argv)
         checkUser(startsWith(arg, "--"),
                   "unexpected positional argument: " + arg);
         arg = arg.substr(2);
+        std::string name, value;
         const auto eq = arg.find('=');
         if (eq != std::string::npos) {
-            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
         } else if (i + 1 < argc && !startsWith(argv[i + 1], "--")) {
             // "--name value" form: consume the next token as the value.
-            values_[arg] = argv[++i];
+            // (Length-explicit append sidesteps a GCC 12 -Wrestrict
+            // false positive on string::operator=(const char *).)
+            name = arg;
+            const char *v = argv[++i];
+            value.append(v, std::strlen(v));
         } else {
-            values_[arg] = "1";
+            name = arg;
+            value.push_back('1');
         }
+        checkUser(!values_.count(name),
+                  "--" + name + " given more than once");
+        values_[name] = value;
+    }
+}
+
+void
+Flags::rejectUnknown(std::initializer_list<const char *> known) const
+{
+    for (const auto &kv : values_) {
+        bool found = false;
+        for (const char *k : known) {
+            if (kv.first == k) {
+                found = true;
+                break;
+            }
+        }
+        checkUser(found, "unknown flag --" + kv.first +
+                             " (see --help for this command's flags)");
     }
 }
 

@@ -8,6 +8,7 @@
 #define MOPT_COMMON_FLAGS_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -23,7 +24,9 @@ namespace mopt {
 class Flags
 {
   public:
-    /** Parse argv; unknown positional arguments are rejected. */
+    /** Parse argv; positional arguments and a flag given twice are
+     *  rejected (a duplicate is almost always a shell-history editing
+     *  accident, and silently keeping either value hides it). */
     Flags(int argc, char **argv);
 
     /** Construct empty (environment-only) flags. */
@@ -46,6 +49,16 @@ class Flags
 
     /** Whether the flag was given on the CLI or via the environment. */
     bool has(const std::string &name) const;
+
+    /**
+     * Reject any CLI-provided flag outside @p known: a typo like
+     * --effrot=fast must fail loudly instead of silently running with
+     * the default. Only command-line flags are checked — MOPT_*
+     * environment defaults are shared across tools with different
+     * vocabularies. Call once, after parsing, with the full flag list
+     * of the command (sub)mode.
+     */
+    void rejectUnknown(std::initializer_list<const char *> known) const;
 
   private:
     /** Raw lookup: CLI first, then MOPT_<NAME> env var. */

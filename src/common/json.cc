@@ -1,0 +1,325 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mopt {
+
+namespace {
+
+/** Nesting beyond this is rejected: the parser recurses per level,
+ *  and since the RPC server feeds it untrusted network input, a
+ *  '[[[[...' line must draw a parse error, not overflow the handler
+ *  thread's stack. Every legitimate document (journal records, RPC
+ *  frames) nests fewer than 8 deep. */
+constexpr int kMaxDepth = 64;
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        return pos_ == s_.size(); // Trailing garbage is corruption.
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (pos_ >= s_.size() || depth > kMaxDepth)
+            return false;
+        switch (s_[pos_]) {
+        case '{': return parseObject(out, depth);
+        case '[': return parseArray(out, depth);
+        case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+        case 't':
+            out.type = JsonValue::Type::Bool;
+            out.b = true;
+            return literal("true");
+        case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.b = false;
+            return literal("false");
+        case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+        default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (s_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case 'b': c = '\b'; break;
+                case 'f': c = '\f'; break;
+                case 'u': {
+                    // Neither the journal nor the RPC protocol emits
+                    // \u escapes for their own keys; decode the code
+                    // unit as Latin-1 best-effort.
+                    if (pos_ + 4 > s_.size())
+                        return false;
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char hc = s_[pos_++];
+                        v <<= 4;
+                        if (hc >= '0' && hc <= '9')
+                            v |= static_cast<unsigned>(hc - '0');
+                        else if (hc >= 'a' && hc <= 'f')
+                            v |= static_cast<unsigned>(hc - 'a' + 10);
+                        else if (hc >= 'A' && hc <= 'F')
+                            v |= static_cast<unsigned>(hc - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    c = static_cast<char>(v & 0xff);
+                    break;
+                }
+                default: return false;
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // Closing quote.
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        try {
+            std::size_t used = 0;
+            out.num = std::stod(s_.substr(start, pos_ - start), &used);
+            if (used != pos_ - start || !std::isfinite(out.num))
+                return false;
+        } catch (...) {
+            return false;
+        }
+        out.type = JsonValue::Type::Number;
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue v;
+            skipWs();
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || !parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return false;
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+jsonParse(const std::string &text, JsonValue &out)
+{
+    return JsonParser(text).parse(out);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonHex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+jsonParseHex16(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() != 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : s) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+jsonGetInt(const JsonValue &obj, const char *key, std::int64_t &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Number)
+        return false;
+    if (v->num != std::floor(v->num) || std::abs(v->num) > 1e15)
+        return false;
+    out = static_cast<std::int64_t>(v->num);
+    return true;
+}
+
+bool
+jsonGetString(const JsonValue &obj, const char *key, std::string &out)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::String)
+        return false;
+    out = v->str;
+    return true;
+}
+
+} // namespace mopt

@@ -1,0 +1,236 @@
+#include "rpc/client.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "common/timer.hh"
+#include "model/multi_level.hh"
+#include "service/cache_key.hh"
+
+namespace mopt {
+
+std::vector<RpcEndpoint>
+parseEndpointList(const std::string &csv)
+{
+    std::vector<RpcEndpoint> out;
+    for (const std::string &part : split(csv, ',')) {
+        const std::string tok = trim(part);
+        checkUser(!tok.empty(),
+                  "--connect: empty endpoint in \"" + csv + "\"");
+        const auto colon = tok.rfind(':');
+        checkUser(colon != std::string::npos && colon > 0,
+                  "--connect: expected host:port, got \"" + tok + "\"");
+        const std::string host = tok.substr(0, colon);
+        const std::string port_str = tok.substr(colon + 1);
+        checkUser(!port_str.empty() &&
+                      port_str.find_first_not_of("0123456789") ==
+                          std::string::npos,
+                  "--connect: bad port in \"" + tok + "\"");
+        const long port = std::strtol(port_str.c_str(), nullptr, 10);
+        checkUser(port >= 1 && port <= 65535,
+                  "--connect: port out of range in \"" + tok + "\"");
+        out.push_back(RpcEndpoint{host, static_cast<int>(port)});
+    }
+    checkUser(!out.empty(), "--connect: no endpoints given");
+    return out;
+}
+
+Client::Client(RpcEndpoint ep, std::size_t max_response_bytes)
+    : ep_(std::move(ep)), max_response_bytes_(max_response_bytes)
+{}
+
+bool
+Client::call(const RpcRequest &req, RpcResponse &out, std::string *err)
+{
+    if (!sock_.valid()) {
+        sock_ = TcpSocket::connectTo(ep_.host, ep_.port, err);
+        if (!sock_.valid())
+            return false;
+    }
+    if (!sock_.sendAll(requestToJsonLine(req) + "\n")) {
+        if (err)
+            *err = ep_.str() + ": send failed";
+        disconnect();
+        return false;
+    }
+    // One response line per request; a fresh reader per call is fine
+    // because the server never sends unsolicited bytes.
+    LineReader reader(sock_, max_response_bytes_);
+    std::string line;
+    const LineReader::Status st = reader.readLine(line);
+    if (st != LineReader::Status::Ok) {
+        if (err)
+            *err = ep_.str() + ": connection lost awaiting response";
+        disconnect();
+        return false;
+    }
+    std::string perr;
+    if (!responseFromJsonLine(line, out, &perr)) {
+        if (err)
+            *err = ep_.str() + ": bad response: " + perr;
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+void
+Client::disconnect()
+{
+    sock_.close();
+}
+
+double
+RouteStats::hitRate() const
+{
+    if (unique_shapes == 0)
+        return 1.0;
+    return static_cast<double>(remote_hits) /
+           static_cast<double>(unique_shapes);
+}
+
+ShardRouter::ShardRouter(std::vector<RpcEndpoint> endpoints,
+                         const MachineSpec &machine,
+                         const OptimizerOptions &opts)
+    : machine_(machine), opts_(opts),
+      machine_fp_(CacheKey::machineFingerprint(machine)),
+      settings_fp_(CacheKey::settingsFingerprint(opts))
+{
+    checkUser(!endpoints.empty(), "ShardRouter: no endpoints");
+    machine_.validate();
+    clients_.reserve(endpoints.size());
+    for (RpcEndpoint &ep : endpoints)
+        clients_.emplace_back(std::move(ep));
+    node_down_.assign(clients_.size(), false);
+}
+
+std::size_t
+ShardRouter::nodeOf(const CacheKey &key) const
+{
+    return static_cast<std::size_t>(key.hash() % clients_.size());
+}
+
+RpcSolveResult
+ShardRouter::solveOne(const CacheKey &key, RouteStats &stats)
+{
+    const std::size_t node = nodeOf(key);
+    if (!node_down_[node]) {
+        RpcRequest req;
+        req.op = RpcOp::Solve;
+        req.problem = key.problem;
+        req.machine_fp = machine_fp_;
+        req.settings_fp = settings_fp_;
+        RpcResponse resp;
+        std::string err;
+        if (clients_[node].call(req, resp, &err)) {
+            // A *refusal* is a fleet misconfiguration (wrong machine,
+            // wrong settings, bad shape); silently solving locally
+            // would mask it on every future query. Fail loudly.
+            checkUser(resp.ok, "moptd node " +
+                                   clients_[node].endpoint().str() +
+                                   " refused solve: " + resp.error);
+            (resp.solve.cache_hit ? stats.remote_hits
+                                  : stats.remote_misses)++;
+            stats.solve_seconds += resp.solve_seconds;
+            return resp.solve;
+        }
+        logWarn("moptd node ", clients_[node].endpoint().str(),
+                " unreachable (", err, "); falling back to local solve");
+        node_down_[node] = true;
+    }
+    // Local fallback: the same deterministic pipeline the server
+    // runs, so the plan is byte-identical, just paid for locally.
+    Timer t;
+    const OptimizeOutput out = optimizeConv(key.problem, machine_, opts_);
+    checkInvariant(!out.candidates.empty(),
+                   "ShardRouter: optimizeConv returned no candidates");
+    stats.fallbacks++;
+    stats.solve_seconds += t.seconds();
+    const Candidate &best = out.candidates.front();
+    return RpcSolveResult{
+        key,
+        CachedSolution{best.config, best.predicted.total_seconds,
+                       best.perm_label},
+        /*cache_hit=*/false};
+}
+
+NetworkPlan
+ShardRouter::optimize(const std::vector<ConvProblem> &net,
+                      RouteStats *stats_out)
+{
+    Timer total;
+    std::fill(node_down_.begin(), node_down_.end(), false);
+
+    NetworkPlan plan;
+    plan.layers.resize(net.size());
+    plan.stats.layers = net.size();
+    RouteStats rstats;
+
+    // Same first-seen-order dedupe as NetworkOptimizer::optimize, so
+    // remote, degraded, and local plans line up layer for layer.
+    struct Group
+    {
+        CacheKey key;
+        std::vector<std::size_t> layers;
+    };
+    std::vector<Group> groups;
+    std::map<std::uint64_t, std::vector<std::size_t>> by_hash;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        net[i].validate();
+        const CacheKey key = CacheKey::make(net[i], machine_, opts_);
+        auto &indices = by_hash[key.hash()];
+        bool found = false;
+        for (const std::size_t gi : indices) {
+            if (groups[gi].key == key) {
+                groups[gi].layers.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            indices.push_back(groups.size());
+            groups.push_back(Group{key, {i}});
+        }
+    }
+    plan.stats.unique_shapes = groups.size();
+    rstats.unique_shapes = groups.size();
+
+    for (const Group &g : groups) {
+        const ConvProblem &rep = net[g.layers.front()];
+        const RpcSolveResult r = solveOne(g.key, rstats);
+
+        Candidate best;
+        best.config = r.sol.config;
+        best.perm_label = r.sol.perm_label;
+        // Deterministic model: re-deriving the breakdown locally
+        // reproduces the server's numbers exactly (the same contract
+        // NetworkOptimizer's cache-hit path relies on).
+        best.predicted =
+            evalMultiLevel(best.config, rep, machine_, opts_.parallel);
+
+        for (std::size_t li = 0; li < g.layers.size(); ++li) {
+            const std::size_t layer = g.layers[li];
+            LayerPlan &lp = plan.layers[layer];
+            lp.problem = net[layer];
+            lp.best = best;
+            lp.cache_hit = r.cache_hit;
+            lp.dedup_hit = li > 0;
+        }
+        if (r.cache_hit)
+            plan.stats.cache_hits++;
+        else
+            plan.stats.cache_misses++;
+    }
+
+    plan.stats.solve_seconds = rstats.solve_seconds;
+    plan.stats.total_seconds = total.seconds();
+    if (stats_out)
+        *stats_out = rstats;
+    return plan;
+}
+
+} // namespace mopt

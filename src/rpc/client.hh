@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Client side of the moptd protocol: a connection to one server
+ * (Client) and a fleet router (ShardRouter) that partitions the
+ * solution-cache key space across N servers by CacheKey::hash() %
+ * n_nodes — the hash is stable across processes and machines, so
+ * every client in a fleet routes a given (problem, machine, settings)
+ * to the same node and that node's cache accumulates all the traffic
+ * for its slice of the key space.
+ *
+ * Availability beats completeness: when a node is unreachable (or
+ * answers garbage), the router falls back to solving locally with the
+ * same deterministic optimizer the server runs, so a degraded fleet
+ * returns byte-identical plans, just more slowly. A node that fails
+ * once is marked down for the rest of the routing call; it is retried
+ * on the next call.
+ */
+
+#ifndef MOPT_RPC_CLIENT_HH
+#define MOPT_RPC_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "rpc/protocol.hh"
+#include "rpc/tcp.hh"
+#include "service/network_optimizer.hh"
+
+namespace mopt {
+
+/** One server address. */
+struct RpcEndpoint
+{
+    std::string host;
+    int port = 0;
+
+    std::string str() const { return host + ":" + std::to_string(port); }
+    bool operator==(const RpcEndpoint &o) const = default;
+};
+
+/**
+ * Parse a "host:port[,host:port...]" list (the --connect flag).
+ * Throws FatalError on empty input, a missing/invalid port, or an
+ * empty host. IPv6 literals are not supported — this is the CLI's
+ * flag syntax, and ":" is its separator.
+ */
+std::vector<RpcEndpoint> parseEndpointList(const std::string &csv);
+
+/**
+ * A blocking connection to one server. Connects lazily on the first
+ * call and reconnects after a transport error on the next call. Not
+ * thread-safe; one Client per thread.
+ */
+class Client
+{
+  public:
+    explicit Client(RpcEndpoint ep,
+                    std::size_t max_response_bytes = 8u << 20);
+
+    const RpcEndpoint &endpoint() const { return ep_; }
+
+    /**
+     * Send @p req, await the response line, parse it into @p out.
+     * False + @p err on any transport or parse failure (the
+     * connection is dropped so the next call reconnects). A server
+     * error report ({"ok":false}) is a *successful* call: true is
+     * returned and out.ok is false.
+     */
+    bool call(const RpcRequest &req, RpcResponse &out,
+              std::string *err = nullptr);
+
+    /** Close the connection (next call reconnects). */
+    void disconnect();
+
+  private:
+    RpcEndpoint ep_;
+    std::size_t max_response_bytes_;
+    TcpSocket sock_;
+};
+
+/** What one ShardRouter::optimize call did, per provenance class. */
+struct RouteStats
+{
+    std::size_t unique_shapes = 0;
+    std::size_t remote_hits = 0;   //!< Server answered from its cache.
+    std::size_t remote_misses = 0; //!< Server solved on demand.
+    std::size_t fallbacks = 0;     //!< Node down; solved locally.
+    double solve_seconds = 0;      //!< Remote + local solve time.
+
+    /** remote_hits / unique_shapes (1 when there was nothing to do). */
+    double hitRate() const;
+};
+
+/**
+ * Routes whole-network solves across a fleet. Not thread-safe; one
+ * router per thread.
+ */
+class ShardRouter
+{
+  public:
+    /**
+     * @param endpoints  the fleet, in fleet-wide agreed order (routing
+     *                   is positional: hash % n picks an index)
+     * @param machine    machine description (must match the fleet's)
+     * @param opts       search settings (must match the fleet's)
+     */
+    ShardRouter(std::vector<RpcEndpoint> endpoints,
+                const MachineSpec &machine,
+                const OptimizerOptions &opts);
+
+    /** Node index that owns @p key: hash % n_nodes. */
+    std::size_t nodeOf(const CacheKey &key) const;
+
+    /**
+     * Optimize every layer of @p net, one RPC per unique shape to the
+     * owning node, local solve on node failure. The returned plan is
+     * byte-identical to NetworkOptimizer::optimize on a local cache
+     * (same dedupe, same deterministic solves). @p stats_out, when
+     * non-null, receives the provenance breakdown.
+     */
+    NetworkPlan optimize(const std::vector<ConvProblem> &net,
+                         RouteStats *stats_out = nullptr);
+
+    std::size_t nodeCount() const { return clients_.size(); }
+
+  private:
+    /** Solve one canonical shape, remote first, local on failure. */
+    RpcSolveResult solveOne(const CacheKey &key, RouteStats &stats);
+
+    std::vector<Client> clients_;
+    std::vector<bool> node_down_; //!< Reset at each optimize() call.
+    MachineSpec machine_;
+    OptimizerOptions opts_;
+    std::uint64_t machine_fp_;
+    std::uint64_t settings_fp_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_RPC_CLIENT_HH

@@ -1,0 +1,391 @@
+#include "rpc/protocol.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mopt {
+
+namespace {
+
+void
+setError(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+}
+
+/** The problem members of a solve request (journal field names). */
+void
+appendProblemFields(std::ostringstream &oss, const ConvProblem &p)
+{
+    oss << ",\"n\":" << p.n << ",\"k\":" << p.k << ",\"c\":" << p.c
+        << ",\"r\":" << p.r << ",\"s\":" << p.s << ",\"h\":" << p.h
+        << ",\"w\":" << p.w << ",\"stride\":" << p.stride
+        << ",\"dilation\":" << p.dilation;
+}
+
+bool
+problemFromJson(const JsonValue &root, ConvProblem &out, std::string *err)
+{
+    ConvProblem p;
+    std::int64_t stride = 0, dilation = 0;
+    if (!jsonGetInt(root, "n", p.n) || !jsonGetInt(root, "k", p.k) ||
+        !jsonGetInt(root, "c", p.c) || !jsonGetInt(root, "r", p.r) ||
+        !jsonGetInt(root, "s", p.s) || !jsonGetInt(root, "h", p.h) ||
+        !jsonGetInt(root, "w", p.w) ||
+        !jsonGetInt(root, "stride", stride) ||
+        !jsonGetInt(root, "dilation", dilation)) {
+        setError(err, "solve: missing or non-integer shape field");
+        return false;
+    }
+    p.stride = static_cast<int>(stride);
+    p.dilation = static_cast<int>(dilation);
+    try {
+        p.validate();
+    } catch (const FatalError &e) {
+        setError(err, std::string("solve: invalid shape: ") + e.what());
+        return false;
+    }
+    out = std::move(p);
+    return true;
+}
+
+/** Optional hex-fingerprint member; absent parses as 0 (skip check). */
+bool
+fingerprintFromJson(const JsonValue &root, const char *key,
+                    std::uint64_t &out, std::string *err)
+{
+    const JsonValue *v = root.find(key);
+    if (!v) {
+        out = 0;
+        return true;
+    }
+    if (!v->isString() || !jsonParseHex16(v->str, out)) {
+        setError(err, std::string(key) + ": expected 16 hex digits");
+        return false;
+    }
+    return true;
+}
+
+void
+appendFingerprints(std::ostringstream &oss, std::uint64_t machine_fp,
+                   std::uint64_t settings_fp)
+{
+    if (machine_fp)
+        oss << ",\"machine\":\"" << jsonHex16(machine_fp) << "\"";
+    if (settings_fp)
+        oss << ",\"settings\":\"" << jsonHex16(settings_fp) << "\"";
+}
+
+/** One solved layer: {"cache":"hit","record":{...}}. */
+void
+appendSolveResult(std::ostringstream &oss, const RpcSolveResult &r)
+{
+    oss << "{\"cache\":\"" << (r.cache_hit ? "hit" : "miss")
+        << "\",\"record\":" << solutionToJsonLine(r.key, r.sol) << "}";
+}
+
+bool
+solveResultFromJson(const JsonValue &v, RpcSolveResult &out,
+                    std::string *err)
+{
+    std::string cache;
+    if (!v.isObject() || !jsonGetString(v, "cache", cache) ||
+        (cache != "hit" && cache != "miss")) {
+        setError(err, "solve result: missing cache provenance");
+        return false;
+    }
+    const JsonValue *rec = v.find("record");
+    RpcSolveResult r;
+    if (!rec || !solutionFromJson(*rec, r.key, r.sol)) {
+        setError(err, "solve result: bad record");
+        return false;
+    }
+    r.cache_hit = cache == "hit";
+    out = std::move(r);
+    return true;
+}
+
+bool
+opFromName(const std::string &name, RpcOp &out)
+{
+    if (name == "solve")
+        out = RpcOp::Solve;
+    else if (name == "solve_network")
+        out = RpcOp::SolveNetwork;
+    else if (name == "stats")
+        out = RpcOp::Stats;
+    else if (name == "shutdown")
+        out = RpcOp::Shutdown;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+rpcOpName(RpcOp op)
+{
+    switch (op) {
+    case RpcOp::Solve: return "solve";
+    case RpcOp::SolveNetwork: return "solve_network";
+    case RpcOp::Stats: return "stats";
+    case RpcOp::Shutdown: return "shutdown";
+    }
+    panic("rpcOpName: bad op");
+}
+
+std::string
+requestToJsonLine(const RpcRequest &req)
+{
+    std::ostringstream oss;
+    oss << "{\"op\":\"" << rpcOpName(req.op) << "\"";
+    appendFingerprints(oss, req.machine_fp, req.settings_fp);
+    switch (req.op) {
+    case RpcOp::Solve:
+        appendProblemFields(oss, req.problem);
+        break;
+    case RpcOp::SolveNetwork:
+        oss << ",\"net\":\"" << jsonEscape(req.net) << "\"";
+        break;
+    case RpcOp::Stats:
+    case RpcOp::Shutdown:
+        break;
+    }
+    oss << "}";
+    return oss.str();
+}
+
+bool
+requestFromJsonLine(const std::string &line, RpcRequest &out,
+                    std::string *err)
+{
+    JsonValue root;
+    if (!jsonParse(line, root) || !root.isObject()) {
+        setError(err, "request is not a JSON object");
+        return false;
+    }
+    std::string op_name;
+    if (!jsonGetString(root, "op", op_name)) {
+        setError(err, "request has no \"op\"");
+        return false;
+    }
+    RpcRequest req;
+    if (!opFromName(op_name, req.op)) {
+        setError(err, "unknown op \"" + op_name + "\"");
+        return false;
+    }
+    if (!fingerprintFromJson(root, "machine", req.machine_fp, err) ||
+        !fingerprintFromJson(root, "settings", req.settings_fp, err))
+        return false;
+    switch (req.op) {
+    case RpcOp::Solve:
+        if (!problemFromJson(root, req.problem, err))
+            return false;
+        break;
+    case RpcOp::SolveNetwork:
+        if (!jsonGetString(root, "net", req.net) || req.net.empty()) {
+            setError(err, "solve_network: missing \"net\"");
+            return false;
+        }
+        break;
+    case RpcOp::Stats:
+    case RpcOp::Shutdown:
+        break;
+    }
+    out = std::move(req);
+    return true;
+}
+
+RpcResponse
+rpcErrorResponse(const std::string &msg)
+{
+    RpcResponse resp;
+    resp.ok = false;
+    resp.error = msg;
+    return resp;
+}
+
+std::string
+responseToJsonLine(const RpcResponse &resp)
+{
+    std::ostringstream oss;
+    if (!resp.ok) {
+        oss << "{\"ok\":false,\"error\":\"" << jsonEscape(resp.error)
+            << "\"}";
+        return oss.str();
+    }
+    oss << "{\"ok\":true,\"op\":\"" << rpcOpName(resp.op) << "\"";
+    char num[32];
+    switch (resp.op) {
+    case RpcOp::Solve:
+        oss << ",\"cache\":\"" << (resp.solve.cache_hit ? "hit" : "miss")
+            << "\"";
+        std::snprintf(num, sizeof(num), "%.17g", resp.solve_seconds);
+        oss << ",\"solve_s\":" << num
+            << ",\"record\":" << solutionToJsonLine(resp.solve.key,
+                                                    resp.solve.sol);
+        break;
+    case RpcOp::SolveNetwork:
+        oss << ",\"plan\":\"" << jsonEscape(resp.plan_text) << "\""
+            << ",\"unique\":" << resp.unique_shapes
+            << ",\"hits\":" << resp.cache_hits
+            << ",\"misses\":" << resp.cache_misses
+            << ",\"evals\":" << resp.solver_evals;
+        std::snprintf(num, sizeof(num), "%.17g", resp.solve_seconds);
+        oss << ",\"solve_s\":" << num << ",\"layers\":[";
+        for (std::size_t i = 0; i < resp.layers.size(); ++i) {
+            if (i)
+                oss << ",";
+            appendSolveResult(oss, resp.layers[i]);
+        }
+        oss << "]";
+        break;
+    case RpcOp::Stats:
+        oss << ",\"machine\":\"" << jsonHex16(resp.machine_fp) << "\""
+            << ",\"settings\":\"" << jsonHex16(resp.settings_fp) << "\""
+            << ",\"machine_name\":\"" << jsonEscape(resp.machine_name)
+            << "\",\"entries\":" << resp.entries
+            << ",\"shards\":" << resp.shards
+            << ",\"lookups_hit\":" << resp.cache.hits
+            << ",\"lookups_miss\":" << resp.cache.misses
+            << ",\"inserts\":" << resp.cache.inserts
+            << ",\"evictions\":" << resp.cache.evictions
+            << ",\"journal_loaded\":" << resp.cache.journal_loaded
+            << ",\"journal_skipped\":" << resp.cache.journal_skipped
+            << ",\"entry_hits\":[";
+        for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
+            if (i)
+                oss << ",";
+            oss << "{\"key\":\"" << jsonEscape(resp.entry_hits[i].key)
+                << "\",\"hits\":" << resp.entry_hits[i].hits << "}";
+        }
+        oss << "]";
+        break;
+    case RpcOp::Shutdown:
+        break;
+    }
+    oss << "}";
+    return oss.str();
+}
+
+bool
+responseFromJsonLine(const std::string &line, RpcResponse &out,
+                     std::string *err)
+{
+    JsonValue root;
+    if (!jsonParse(line, root) || !root.isObject()) {
+        setError(err, "response is not a JSON object");
+        return false;
+    }
+    const JsonValue *ok = root.find("ok");
+    if (!ok || ok->type != JsonValue::Type::Bool) {
+        setError(err, "response has no \"ok\"");
+        return false;
+    }
+    RpcResponse resp;
+    resp.ok = ok->b;
+    if (!resp.ok) {
+        jsonGetString(root, "error", resp.error);
+        if (resp.error.empty())
+            resp.error = "unspecified server error";
+        out = std::move(resp);
+        return true;
+    }
+    std::string op_name;
+    if (!jsonGetString(root, "op", op_name) ||
+        !opFromName(op_name, resp.op)) {
+        setError(err, "response has no valid \"op\"");
+        return false;
+    }
+    switch (resp.op) {
+    case RpcOp::Solve: {
+        // Same shape as one solve_network layer, flattened.
+        if (!solveResultFromJson(root, resp.solve, err))
+            return false;
+        const JsonValue *s = root.find("solve_s");
+        if (!s || !s->isNumber() || s->num < 0) {
+            setError(err, "solve: missing solve_s");
+            return false;
+        }
+        resp.solve_seconds = s->num;
+        break;
+    }
+    case RpcOp::SolveNetwork: {
+        if (!jsonGetString(root, "plan", resp.plan_text) ||
+            !jsonGetInt(root, "unique", resp.unique_shapes) ||
+            !jsonGetInt(root, "hits", resp.cache_hits) ||
+            !jsonGetInt(root, "misses", resp.cache_misses) ||
+            !jsonGetInt(root, "evals", resp.solver_evals)) {
+            setError(err, "solve_network: missing summary fields");
+            return false;
+        }
+        const JsonValue *s = root.find("solve_s");
+        if (!s || !s->isNumber() || s->num < 0) {
+            setError(err, "solve_network: missing solve_s");
+            return false;
+        }
+        resp.solve_seconds = s->num;
+        const JsonValue *layers = root.find("layers");
+        if (!layers || !layers->isArray()) {
+            setError(err, "solve_network: missing layers");
+            return false;
+        }
+        resp.layers.reserve(layers->arr.size());
+        for (const JsonValue &v : layers->arr) {
+            RpcSolveResult r;
+            if (!solveResultFromJson(v, r, err))
+                return false;
+            resp.layers.push_back(std::move(r));
+        }
+        break;
+    }
+    case RpcOp::Stats: {
+        if (!fingerprintFromJson(root, "machine", resp.machine_fp,
+                                 err) ||
+            !fingerprintFromJson(root, "settings", resp.settings_fp, err))
+            return false;
+        jsonGetString(root, "machine_name", resp.machine_name);
+        std::int64_t shards = 0;
+        if (!jsonGetInt(root, "entries", resp.entries) ||
+            !jsonGetInt(root, "shards", shards) ||
+            !jsonGetInt(root, "lookups_hit", resp.cache.hits) ||
+            !jsonGetInt(root, "lookups_miss", resp.cache.misses) ||
+            !jsonGetInt(root, "inserts", resp.cache.inserts) ||
+            !jsonGetInt(root, "evictions", resp.cache.evictions) ||
+            !jsonGetInt(root, "journal_loaded",
+                        resp.cache.journal_loaded) ||
+            !jsonGetInt(root, "journal_skipped",
+                        resp.cache.journal_skipped)) {
+            setError(err, "stats: missing counter fields");
+            return false;
+        }
+        resp.shards = static_cast<int>(shards);
+        const JsonValue *eh = root.find("entry_hits");
+        if (!eh || !eh->isArray()) {
+            setError(err, "stats: missing entry_hits");
+            return false;
+        }
+        for (const JsonValue &v : eh->arr) {
+            RpcEntryHits row;
+            if (!v.isObject() || !jsonGetString(v, "key", row.key) ||
+                !jsonGetInt(v, "hits", row.hits)) {
+                setError(err, "stats: bad entry_hits row");
+                return false;
+            }
+            resp.entry_hits.push_back(std::move(row));
+        }
+        break;
+    }
+    case RpcOp::Shutdown:
+        break;
+    }
+    out = std::move(resp);
+    return true;
+}
+
+} // namespace mopt

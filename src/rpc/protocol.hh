@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The moptd wire protocol: newline-delimited JSON, one object per
+ * request and one per response, over a plain TCP stream.
+ *
+ * Requests (the "op" member selects the operation):
+ *
+ *   {"op":"solve", "machine":"<fp>", "settings":"<fp>",
+ *    "n":1,"k":64,"c":3,"r":7,"s":7,"h":112,"w":112,
+ *    "stride":2,"dilation":1}
+ *   {"op":"solve_network", "machine":"<fp>", "settings":"<fp>",
+ *    "net":"resnet18"}
+ *   {"op":"stats"}
+ *   {"op":"shutdown"}
+ *
+ * "machine" and "settings" are the client's CacheKey fingerprints
+ * (16-digit hex, the journal's encoding). The server compares them
+ * against its own machine spec and search settings and rejects a
+ * mismatch — a client configured for the wrong machine gets a loud
+ * error instead of silently wrong tilings. Either may be omitted to
+ * skip the check (fleet tooling that just drains a queue).
+ *
+ * Responses always carry "ok". Failures: {"ok":false,"error":"..."}.
+ * Successful solves embed the solution in the journal's record format
+ * (solutionToJsonLine) under "record", plus cache provenance:
+ *
+ *   {"ok":true,"op":"solve","cache":"hit"|"miss",
+ *    "solve_s":0.31,"record":{...journal record...}}
+ *   {"ok":true,"op":"solve_network","plan":"<rendered table>",
+ *    "layers":[{"cache":"hit","record":{...}}, ...],
+ *    "unique":11,"hits":11,"misses":0,"solve_s":0.0,"evals":0}
+ *   {"ok":true,"op":"stats","machine":"<fp>","settings":"<fp>",
+ *    "machine_name":"i7-9700K","entries":11,"shards":8,
+ *    "lookups_hit":20,"lookups_miss":11,"inserts":11,"evictions":0,
+ *    "journal_loaded":0,"journal_skipped":0,
+ *    "entry_hits":[{"key":"...","hits":3}, ...]}
+ *   {"ok":true,"op":"shutdown"}
+ *
+ * Framing rules: a request larger than the server's limit (default
+ * 1 MiB) is answered with an error and the connection is dropped;
+ * malformed JSON or an unknown op is answered with an error and the
+ * connection stays usable (the next line re-synchronizes, because
+ * frames are lines).
+ */
+
+#ifndef MOPT_RPC_PROTOCOL_HH
+#define MOPT_RPC_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conv/problem.hh"
+#include "service/solution_cache.hh"
+
+namespace mopt {
+
+/** Operations a server understands. */
+enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown };
+
+/** Printable op name (the wire spelling). */
+std::string rpcOpName(RpcOp op);
+
+/** One parsed request. */
+struct RpcRequest
+{
+    RpcOp op = RpcOp::Solve;
+
+    /** Solve: the shape to optimize (canonical; name ignored). */
+    ConvProblem problem;
+
+    /** SolveNetwork: network name (resnet18 | vgg16 | yolov3). */
+    std::string net;
+
+    /** Client-side CacheKey fingerprints (0 = skip the check). */
+    std::uint64_t machine_fp = 0;
+    std::uint64_t settings_fp = 0;
+};
+
+std::string requestToJsonLine(const RpcRequest &req);
+
+/** False + @p err on malformed input (bad JSON, unknown op, bad
+ *  shape); @p out is untouched on failure. */
+bool requestFromJsonLine(const std::string &line, RpcRequest &out,
+                         std::string *err);
+
+/** One solved layer as it travels over the wire. */
+struct RpcSolveResult
+{
+    CacheKey key;       //!< Identity the server solved (cross-check).
+    CachedSolution sol; //!< Winning configuration.
+    bool cache_hit = false;
+};
+
+/** Per-entry telemetry row of a stats response. */
+struct RpcEntryHits
+{
+    std::string key; //!< CacheKey::str() of the entry.
+    std::int64_t hits = 0;
+};
+
+/** One parsed response (fields populated per op; see file header). */
+struct RpcResponse
+{
+    bool ok = false;
+    std::string error;
+    RpcOp op = RpcOp::Solve;
+
+    // Solve.
+    RpcSolveResult solve;
+    double solve_seconds = 0;
+
+    // SolveNetwork.
+    std::vector<RpcSolveResult> layers; //!< One per input layer.
+    std::string plan_text; //!< NetworkPlan::str() rendering.
+    std::int64_t unique_shapes = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::int64_t solver_evals = 0;
+
+    // Stats.
+    SolutionCacheStats cache;
+    std::int64_t entries = 0;
+    int shards = 0;
+    std::uint64_t machine_fp = 0;
+    std::uint64_t settings_fp = 0;
+    std::string machine_name;
+    std::vector<RpcEntryHits> entry_hits;
+};
+
+/** An error response for @p msg (op-independent). */
+RpcResponse rpcErrorResponse(const std::string &msg);
+
+std::string responseToJsonLine(const RpcResponse &resp);
+
+/** False + @p err on malformed input; @p out untouched on failure. */
+bool responseFromJsonLine(const std::string &line, RpcResponse &out,
+                          std::string *err);
+
+} // namespace mopt
+
+#endif // MOPT_RPC_PROTOCOL_HH

@@ -1,0 +1,306 @@
+#include "rpc/server.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include <sys/socket.h>
+
+#include "common/logging.hh"
+#include "conv/workloads.hh"
+#include "service/cache_key.hh"
+
+namespace mopt {
+
+Server::Server(const MachineSpec &machine, const OptimizerOptions &opts,
+               SolutionCache *cache, ServerOptions options)
+    : machine_(machine), opts_(opts), cache_(cache),
+      options_(std::move(options)),
+      optimizer_(machine_, opts_, cache_),
+      machine_fp_(CacheKey::machineFingerprint(machine_)),
+      settings_fp_(CacheKey::settingsFingerprint(opts_))
+{
+    options_.workers = std::max(1, options_.workers);
+}
+
+Server::~Server()
+{
+    stop();
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_closed_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+}
+
+bool
+Server::start(std::string *err)
+{
+    if (!listener_.listenOn(options_.host, options_.port, err))
+        return false;
+    workers_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    return true;
+}
+
+std::int64_t
+Server::serve()
+{
+    std::int64_t served = 0;
+    for (;;) {
+        TcpSocket conn = listener_.accept();
+        if (!conn.valid())
+            break; // stop() closed the listener (or a fatal error).
+        ++served;
+        counters_.connections.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            queue_.push_back(std::move(conn));
+        }
+        queue_cv_.notify_one();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        queue_closed_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    workers_.clear();
+    return served;
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true, std::memory_order_acq_rel))
+        return;
+    listener_.close();
+    // Half-close in-flight connections so workers blocked in recv see
+    // EOF. Guarded by conns_mu_: fds are unregistered before they are
+    // closed, so we never shut down a recycled descriptor.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const int fd : conn_fds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        TcpSocket conn;
+        {
+            std::unique_lock<std::mutex> lock(queue_mu_);
+            queue_cv_.wait(lock, [this] {
+                return !queue_.empty() || queue_closed_;
+            });
+            if (queue_.empty())
+                return; // Closed and drained.
+            conn = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        if (stopping())
+            continue; // Drop queued connections during shutdown.
+        handleConnection(std::move(conn));
+    }
+}
+
+void
+Server::handleConnection(TcpSocket conn)
+{
+    {
+        // Register-then-recheck under the same lock stop() takes:
+        // either stop() sees this fd in the set and half-closes it,
+        // or we see stopping() here — no window where an idle client
+        // could keep a worker (and thus serve()'s join) blocked.
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conn_fds_.insert(conn.fd());
+        if (stopping()) {
+            conn_fds_.erase(conn.fd());
+            return;
+        }
+    }
+    LineReader reader(conn, options_.max_request_bytes);
+    std::string line;
+    for (;;) {
+        const LineReader::Status st = reader.readLine(line);
+        if (st == LineReader::Status::Eof ||
+            st == LineReader::Status::Error)
+            break;
+        if (st == LineReader::Status::TooLong) {
+            // Framing is gone; answer once and drop the stream.
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+            conn.sendAll(responseToJsonLine(rpcErrorResponse(
+                             "request exceeds " +
+                             std::to_string(options_.max_request_bytes) +
+                             " bytes")) +
+                         "\n");
+            break;
+        }
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue; // Blank keep-alive lines are harmless.
+        counters_.requests.fetch_add(1, std::memory_order_relaxed);
+
+        RpcRequest req;
+        std::string perr;
+        RpcResponse resp;
+        if (!requestFromJsonLine(line, req, &perr)) {
+            // A bad line is the client's bug, not a framing loss: the
+            // next newline re-synchronizes, so keep the connection.
+            resp = rpcErrorResponse(perr);
+        } else {
+            resp = handle(req);
+        }
+        if (!resp.ok)
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        if (!conn.sendAll(responseToJsonLine(resp) + "\n"))
+            break;
+        if (resp.ok && req.op == RpcOp::Shutdown) {
+            stop();
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conn_fds_.erase(conn.fd());
+    }
+}
+
+bool
+Server::checkIdentity(const RpcRequest &req, RpcResponse &resp) const
+{
+    if (req.machine_fp && req.machine_fp != machine_fp_) {
+        resp = rpcErrorResponse(
+            "machine fingerprint mismatch: server optimizes for " +
+            machine_.name + " (" + jsonHex16(machine_fp_) + ")");
+        return false;
+    }
+    if (req.settings_fp && req.settings_fp != settings_fp_) {
+        resp = rpcErrorResponse(
+            "settings fingerprint mismatch: server solves with " +
+            jsonHex16(settings_fp_));
+        return false;
+    }
+    return true;
+}
+
+RpcResponse
+Server::handle(const RpcRequest &req)
+{
+    try {
+        switch (req.op) {
+        case RpcOp::Solve: return handleSolve(req);
+        case RpcOp::SolveNetwork: return handleSolveNetwork(req);
+        case RpcOp::Stats: return handleStats();
+        case RpcOp::Shutdown: {
+            RpcResponse resp;
+            resp.ok = true;
+            resp.op = RpcOp::Shutdown;
+            return resp;
+        }
+        }
+        return rpcErrorResponse("unhandled op");
+    } catch (const FatalError &e) {
+        // User-level failures (unknown network name, ...) belong on
+        // the wire, not in the server's lap.
+        return rpcErrorResponse(e.what());
+    }
+}
+
+RpcResponse
+Server::handleSolve(const RpcRequest &req)
+{
+    RpcResponse resp;
+    if (!checkIdentity(req, resp))
+        return resp;
+    resp.ok = true;
+    resp.op = RpcOp::Solve;
+    const CacheKey key = CacheKey::make(req.problem, machine_, opts_);
+
+    CachedSolution cached;
+    if (cache_ && cache_->lookup(key, &cached)) {
+        resp.solve = RpcSolveResult{key, cached, /*cache_hit=*/true};
+        return resp;
+    }
+    std::lock_guard<std::mutex> lock(solve_mu_);
+    // Double-check: another worker may have solved this key while we
+    // waited for the solve mutex.
+    if (cache_ && cache_->lookup(key, &cached)) {
+        resp.solve = RpcSolveResult{key, cached, /*cache_hit=*/true};
+        return resp;
+    }
+    const OptimizeOutput out = optimizeConv(req.problem, machine_, opts_);
+    checkInvariant(!out.candidates.empty(),
+                   "rpc::Server: optimizeConv returned no candidates");
+    const Candidate &best = out.candidates.front();
+    const CachedSolution sol{best.config, best.predicted.total_seconds,
+                             best.perm_label};
+    if (cache_)
+        cache_->insert(key, sol);
+    resp.solve = RpcSolveResult{key, sol, /*cache_hit=*/false};
+    resp.solve_seconds = out.seconds;
+    return resp;
+}
+
+RpcResponse
+Server::handleSolveNetwork(const RpcRequest &req)
+{
+    RpcResponse resp;
+    if (!checkIdentity(req, resp))
+        return resp;
+    const std::vector<ConvProblem> net = networkByName(req.net);
+
+    NetworkPlan plan;
+    {
+        std::lock_guard<std::mutex> lock(solve_mu_);
+        plan = optimizer_.optimize(net);
+    }
+    resp.ok = true;
+    resp.op = RpcOp::SolveNetwork;
+    resp.plan_text = plan.str();
+    resp.unique_shapes =
+        static_cast<std::int64_t>(plan.stats.unique_shapes);
+    resp.cache_hits = static_cast<std::int64_t>(plan.stats.cache_hits);
+    resp.cache_misses =
+        static_cast<std::int64_t>(plan.stats.cache_misses);
+    resp.solver_evals = plan.stats.solver_evals;
+    resp.solve_seconds = plan.stats.solve_seconds;
+    resp.layers.reserve(plan.layers.size());
+    for (const LayerPlan &lp : plan.layers) {
+        RpcSolveResult r;
+        r.key = CacheKey::make(lp.problem, machine_, opts_);
+        r.sol = CachedSolution{lp.best.config,
+                               lp.best.predicted.total_seconds,
+                               lp.best.perm_label};
+        r.cache_hit = lp.cache_hit;
+        resp.layers.push_back(std::move(r));
+    }
+    return resp;
+}
+
+RpcResponse
+Server::handleStats()
+{
+    RpcResponse resp;
+    resp.ok = true;
+    resp.op = RpcOp::Stats;
+    resp.machine_fp = machine_fp_;
+    resp.settings_fp = settings_fp_;
+    resp.machine_name = machine_.name;
+    if (cache_) {
+        resp.cache = cache_->stats();
+        resp.entries = static_cast<std::int64_t>(cache_->size());
+        resp.shards = cache_->shardCount();
+        for (const SolutionCacheEntryStats &e : cache_->entryStats())
+            resp.entry_hits.push_back(
+                RpcEntryHits{e.key.str(), e.hits});
+    }
+    return resp;
+}
+
+} // namespace mopt

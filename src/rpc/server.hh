@@ -1,0 +1,166 @@
+/**
+ * @file
+ * moptd: the long-lived optimizer server. Accepts connections on a
+ * worker pool and answers the line-delimited JSON protocol
+ * (rpc/protocol.hh) through one shared NetworkOptimizer and one
+ * shared, optionally persistent, SolutionCache.
+ *
+ * Concurrency model: an accept loop (the thread that called serve())
+ * hands connections to N worker threads over a queue; each worker
+ * owns one connection at a time and answers its requests in order.
+ * Cache lookups run lock-free across workers (the cache is sharded);
+ * cache *misses* — actual optimizeConv solves — serialize on one
+ * mutex so every solve gets the full thread-pool width, preserving
+ * the determinism contract documented in docs/ARCHITECTURE.md. A
+ * warm server therefore scales with worker count; a cold one is
+ * bounded by solver throughput either way.
+ *
+ * Shutdown paths: a "shutdown" RPC, or stop() from another thread.
+ * Both close the listener (waking the accept loop) and half-close
+ * every in-flight connection so workers drain promptly.
+ */
+
+#ifndef MOPT_RPC_SERVER_HH
+#define MOPT_RPC_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "rpc/protocol.hh"
+#include "rpc/tcp.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
+
+namespace mopt {
+
+/** Construction-time options of a Server. */
+struct ServerOptions
+{
+    /** Bind address. Loopback by default: exposing the fleet beyond
+     *  the host is a deliberate act. */
+    std::string host = "127.0.0.1";
+
+    /** Listen port; 0 = kernel-assigned (read back via port()). */
+    int port = 0;
+
+    /** Connection-handling worker threads. */
+    int workers = 4;
+
+    /** Requests longer than this (bytes, excluding the newline) are
+     *  answered with an error and the connection is dropped. */
+    std::size_t max_request_bytes = 1 << 20;
+};
+
+/** Monotonic server counters (snapshot-read; updated with relaxed
+ *  atomics by the workers). */
+struct ServerCounters
+{
+    std::atomic<std::int64_t> connections{0};
+    std::atomic<std::int64_t> requests{0};
+    std::atomic<std::int64_t> errors{0}; //!< Error responses sent.
+};
+
+/**
+ * The moptd server. Construct, start() (binds and spawns workers),
+ * then serve() from the thread that should run the accept loop.
+ * Thread-safe: stop() may be called from anywhere, including a
+ * request handler (the shutdown op does exactly that).
+ */
+class Server
+{
+  public:
+    /**
+     * @param machine  machine description every solve targets
+     * @param opts     search settings applied to every solve
+     * @param cache    shared solution cache (not owned; may be null)
+     * @param options  socket and worker configuration
+     */
+    Server(const MachineSpec &machine, const OptimizerOptions &opts,
+           SolutionCache *cache, ServerOptions options = {});
+
+    /** Joins workers; equivalent to stop() + serve() returning. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the worker pool. False + @p err when
+     *  the address cannot be bound. */
+    bool start(std::string *err = nullptr);
+
+    /** The bound port (valid after start()), or -1. */
+    int port() const { return listener_.port(); }
+
+    /**
+     * Run the accept loop on the calling thread until stop() or a
+     * shutdown RPC, then drain the workers. Returns the number of
+     * connections served.
+     */
+    std::int64_t serve();
+
+    /** Request shutdown: close the listener and every connection. */
+    void stop();
+
+    /** True once stop() (or a shutdown RPC) has been requested. */
+    bool stopping() const
+    {
+        return stopping_.load(std::memory_order_acquire);
+    }
+
+    const ServerCounters &counters() const { return counters_; }
+
+    /** Handle one already-parsed request (exposed for unit tests;
+     *  the wire path goes through exactly this). */
+    RpcResponse handle(const RpcRequest &req);
+
+  private:
+    void workerLoop();
+    void handleConnection(TcpSocket conn);
+
+    RpcResponse handleSolve(const RpcRequest &req);
+    RpcResponse handleSolveNetwork(const RpcRequest &req);
+    RpcResponse handleStats();
+
+    /** Fingerprint guard: nonzero client fingerprints must match the
+     *  server's identity. Returns false and fills @p resp on reject. */
+    bool checkIdentity(const RpcRequest &req, RpcResponse &resp) const;
+
+    MachineSpec machine_;
+    OptimizerOptions opts_;
+    SolutionCache *cache_;
+    ServerOptions options_;
+    NetworkOptimizer optimizer_;
+    std::uint64_t machine_fp_;
+    std::uint64_t settings_fp_;
+
+    TcpListener listener_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stopping_{false};
+
+    /** Serializes optimizeConv misses (see file header). */
+    std::mutex solve_mu_;
+
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<TcpSocket> queue_;
+    bool queue_closed_ = false;
+
+    /** fds of live connections, so stop() can half-close them. */
+    std::mutex conns_mu_;
+    std::unordered_set<int> conn_fds_;
+
+    ServerCounters counters_;
+};
+
+} // namespace mopt
+
+#endif // MOPT_RPC_SERVER_HH

@@ -1,0 +1,305 @@
+#include "rpc/tcp.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace mopt {
+
+namespace {
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+void
+setError(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+}
+
+/** getaddrinfo for a numeric-or-named host; nullptr on failure. */
+addrinfo *
+resolve(const std::string &host, int port, bool passive,
+        std::string *err)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = passive ? AI_PASSIVE : 0;
+    addrinfo *res = nullptr;
+    const std::string port_str = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 port_str.c_str(), &hints, &res);
+    if (rc != 0) {
+        setError(err, "resolve " + host + ": " + gai_strerror(rc));
+        return nullptr;
+    }
+    return res;
+}
+
+} // namespace
+
+TcpSocket &
+TcpSocket::operator=(TcpSocket &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+TcpSocket
+TcpSocket::connectTo(const std::string &host, int port, std::string *err)
+{
+    addrinfo *res = resolve(host, port, /*passive=*/false, err);
+    if (!res)
+        return TcpSocket();
+    int fd = -1;
+    std::string last_err = "no addresses";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_err = "socket: " + errnoString();
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_err = "connect: " + errnoString();
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+        setError(err, host + ":" + std::to_string(port) + ": " + last_err);
+        return TcpSocket();
+    }
+    // The protocol is request/response on small lines; latency beats
+    // batching.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpSocket(fd);
+}
+
+bool
+TcpSocket::sendAll(const std::string &data)
+{
+    if (fd_ < 0)
+        return false;
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd_, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+TcpSocket::recvSome(char *buf, std::size_t len)
+{
+    if (fd_ < 0)
+        return -1;
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+void
+TcpSocket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpSocket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+TcpListener::listenOn(const std::string &host, int port, std::string *err)
+{
+    // Re-binding an already-listening instance is only supported when
+    // no accept() is in flight (same contract as the destructor).
+    closeFds();
+    closing_.store(false, std::memory_order_release);
+    addrinfo *res = resolve(host, port, /*passive=*/true, err);
+    if (!res)
+        return false;
+    std::string last_err = "no addresses";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        const int fd =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_err = "socket: " + errnoString();
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 64) != 0) {
+            last_err = "bind/listen: " + errnoString();
+            ::close(fd);
+            continue;
+        }
+        fd_ = fd;
+        break;
+    }
+    ::freeaddrinfo(res);
+    if (fd_ < 0) {
+        setError(err, host + ":" + std::to_string(port) + ": " + last_err);
+        return false;
+    }
+
+    // Learn the kernel-assigned port (meaningful when port was 0).
+    sockaddr_storage sa{};
+    socklen_t sa_len = sizeof(sa);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&sa), &sa_len) ==
+        0) {
+        if (sa.ss_family == AF_INET)
+            port_ = ntohs(reinterpret_cast<sockaddr_in *>(&sa)->sin_port);
+        else if (sa.ss_family == AF_INET6)
+            port_ =
+                ntohs(reinterpret_cast<sockaddr_in6 *>(&sa)->sin6_port);
+    }
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+        setError(err, "pipe: " + errnoString());
+        close();
+        return false;
+    }
+    wake_rd_ = pipe_fds[0];
+    wake_wr_ = pipe_fds[1];
+    return true;
+}
+
+TcpSocket
+TcpListener::accept()
+{
+    for (;;) {
+        if (closing_.load(std::memory_order_acquire)) {
+            // This thread observes the shutdown and is therefore the
+            // one that retires the descriptors (close() never touches
+            // them, so poll() below can never see a recycled number).
+            closeFds();
+            return TcpSocket();
+        }
+        if (fd_ < 0)
+            return TcpSocket();
+        pollfd fds[2];
+        fds[0].fd = fd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_rd_;
+        fds[1].events = POLLIN;
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            closeFds();
+            return TcpSocket();
+        }
+        if (fds[1].revents) { // close() wrote the self-pipe.
+            closeFds();
+            return TcpSocket();
+        }
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            closeFds();
+            return TcpSocket();
+        }
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return TcpSocket(conn);
+    }
+}
+
+void
+TcpListener::close()
+{
+    if (closing_.exchange(true, std::memory_order_acq_rel))
+        return;
+    std::lock_guard<std::mutex> lock(close_mu_);
+    if (wake_wr_ >= 0) {
+        const char b = 'x';
+        [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &b, 1);
+    }
+}
+
+void
+TcpListener::closeFds()
+{
+    std::lock_guard<std::mutex> lock(close_mu_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (wake_rd_ >= 0) {
+        ::close(wake_rd_);
+        wake_rd_ = -1;
+    }
+    if (wake_wr_ >= 0) {
+        ::close(wake_wr_);
+        wake_wr_ = -1;
+    }
+    port_ = -1;
+}
+
+LineReader::Status
+LineReader::readLine(std::string &out)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n', scanned_);
+        if (nl != std::string::npos) {
+            out.assign(buf_, 0, nl);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            buf_.erase(0, nl + 1);
+            scanned_ = 0;
+            return Status::Ok;
+        }
+        scanned_ = buf_.size();
+        if (buf_.size() > max_line_)
+            return Status::TooLong;
+
+        char chunk[4096];
+        const long n = sock_.recvSome(chunk, sizeof(chunk));
+        if (n == 0)
+            return Status::Eof;
+        if (n < 0)
+            return Status::Error;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace mopt

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Thin blocking-socket wrappers for the RPC layer: an RAII connected
+ * socket (TcpSocket), a listener that can be unblocked from another
+ * thread (TcpListener), and a buffered newline framer (LineReader).
+ *
+ * Deliberately minimal — IPv4/IPv6 via getaddrinfo, blocking I/O, no
+ * TLS, no timeouts — because the protocol above it is a trusted-fleet
+ * line protocol, not an internet-facing endpoint. All sends use
+ * MSG_NOSIGNAL so a peer that vanished mid-response surfaces as an
+ * error return instead of SIGPIPE.
+ *
+ * Unblocking a blocked accept() portably is the one subtle part:
+ * TcpListener owns a self-pipe and accept() poll()s {listen fd, pipe};
+ * close() writes the pipe, so a server can be stopped from any thread
+ * without races on the fd number.
+ */
+
+#ifndef MOPT_RPC_TCP_HH
+#define MOPT_RPC_TCP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace mopt {
+
+/** RAII wrapper of one connected (or accepted) stream socket. */
+class TcpSocket
+{
+  public:
+    TcpSocket() = default;
+
+    /** Take ownership of @p fd (-1 = invalid). */
+    explicit TcpSocket(int fd) : fd_(fd) {}
+
+    ~TcpSocket() { close(); }
+
+    TcpSocket(TcpSocket &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    TcpSocket &operator=(TcpSocket &&o) noexcept;
+    TcpSocket(const TcpSocket &) = delete;
+    TcpSocket &operator=(const TcpSocket &) = delete;
+
+    /**
+     * Blocking connect to @p host : @p port. Returns an invalid socket
+     * and fills @p err (when non-null) on failure.
+     */
+    static TcpSocket connectTo(const std::string &host, int port,
+                               std::string *err = nullptr);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send all of @p data; false on any error (peer gone, ...). */
+    bool sendAll(const std::string &data);
+
+    /**
+     * Receive up to @p len bytes. Returns the byte count, 0 on orderly
+     * peer shutdown, -1 on error. Retries EINTR internally.
+     */
+    long recvSome(char *buf, std::size_t len);
+
+    /** Half-close both directions (wakes a blocked peer recv). */
+    void shutdownBoth();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Listening socket; accept() is unblockable via close(). */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+
+    /** Requires that no accept() is in flight (join the accept
+     *  thread first). */
+    ~TcpListener()
+    {
+        close();
+        closeFds();
+    }
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /**
+     * Bind and listen on @p host : @p port (port 0 = ephemeral; the
+     * chosen port is readable via port()). False + @p err on failure.
+     */
+    bool listenOn(const std::string &host, int port,
+                  std::string *err = nullptr);
+
+    /** The bound port (after listenOn), or -1. */
+    int port() const { return port_; }
+
+    bool listening() const { return fd_ >= 0; }
+
+    /**
+     * Block until a connection arrives (returns it) or close() is
+     * called from another thread (returns an invalid socket).
+     *
+     * At most one thread may be in accept() at a time, and after
+     * close() has been observed (accept returned invalid) the caller
+     * must not call accept() again — the observing call closes the
+     * descriptors.
+     */
+    TcpSocket accept();
+
+    /**
+     * Stop listening and wake any blocked accept(). Idempotent and
+     * callable from any thread. Only *signals*: the descriptors are
+     * closed by the accept() call that observes the wakeup (so a
+     * racing accept never polls a recycled fd number), or by the
+     * destructor when no accept() is in flight.
+     */
+    void close();
+
+  private:
+    /** Actually close the descriptors (observing thread only). */
+    void closeFds();
+
+    int fd_ = -1;
+    int wake_rd_ = -1; //!< Self-pipe read end, poll()ed by accept.
+    int wake_wr_ = -1; //!< Self-pipe write end, written by close.
+    int port_ = -1;
+    std::atomic<bool> closing_{false};
+
+    /** Serializes close()'s pipe write against closeFds(), so the
+     *  signal never lands on a closed-and-recycled descriptor. */
+    std::mutex close_mu_;
+};
+
+/**
+ * Buffered newline framing over a TcpSocket: accumulates bytes across
+ * arbitrarily fragmented recvs and yields one line (without the
+ * terminator) per readLine call. A line longer than @p max_line is a
+ * protocol violation: readLine returns TooLong and the stream must be
+ * dropped (resynchronizing on a hostile peer is not worth the code).
+ */
+class LineReader
+{
+  public:
+    enum class Status { Ok, Eof, TooLong, Error };
+
+    LineReader(TcpSocket &sock, std::size_t max_line)
+        : sock_(sock), max_line_(max_line)
+    {}
+
+    Status readLine(std::string &out);
+
+  private:
+    TcpSocket &sock_;
+    std::size_t max_line_;
+    std::string buf_;
+    std::size_t scanned_ = 0; //!< buf_ prefix known to be '\n'-free.
+};
+
+} // namespace mopt
+
+#endif // MOPT_RPC_TCP_HH

@@ -1,321 +1,16 @@
 #include "service/solution_cache.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace mopt {
 
 namespace {
-
-/**
- * Minimal JSON value + recursive-descent parser, just enough for the
- * journal's own output format. Kept private to this translation unit:
- * the journal is the only JSON the library reads.
- */
-struct JsonValue
-{
-    enum class Type { Null, Bool, Number, String, Array, Object };
-    Type type = Type::Null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<JsonValue> arr;
-    std::vector<std::pair<std::string, JsonValue>> obj;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &kv : obj)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s_(text) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipWs();
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        return pos_ == s_.size(); // Trailing garbage is corruption.
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               std::isspace(static_cast<unsigned char>(s_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *lit)
-    {
-        const std::size_t n = std::strlen(lit);
-        if (s_.compare(pos_, n, lit) != 0)
-            return false;
-        pos_ += n;
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-        case '{': return parseObject(out);
-        case '[': return parseArray(out);
-        case '"':
-            out.type = JsonValue::Type::String;
-            return parseString(out.str);
-        case 't':
-            out.type = JsonValue::Type::Bool;
-            out.b = true;
-            return literal("true");
-        case 'f':
-            out.type = JsonValue::Type::Bool;
-            out.b = false;
-            return literal("false");
-        case 'n':
-            out.type = JsonValue::Type::Null;
-            return literal("null");
-        default: return parseNumber(out);
-        }
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (s_[pos_] != '"')
-            return false;
-        ++pos_;
-        out.clear();
-        while (pos_ < s_.size() && s_[pos_] != '"') {
-            char c = s_[pos_++];
-            if (c == '\\') {
-                if (pos_ >= s_.size())
-                    return false;
-                const char e = s_[pos_++];
-                switch (e) {
-                case '"': c = '"'; break;
-                case '\\': c = '\\'; break;
-                case '/': c = '/'; break;
-                case 'n': c = '\n'; break;
-                case 't': c = '\t'; break;
-                case 'r': c = '\r'; break;
-                case 'b': c = '\b'; break;
-                case 'f': c = '\f'; break;
-                case 'u': {
-                    // The journal never emits \u escapes for its own
-                    // keys; decode the code unit as Latin-1 best-effort.
-                    if (pos_ + 4 > s_.size())
-                        return false;
-                    unsigned v = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        const char hc = s_[pos_++];
-                        v <<= 4;
-                        if (hc >= '0' && hc <= '9')
-                            v |= static_cast<unsigned>(hc - '0');
-                        else if (hc >= 'a' && hc <= 'f')
-                            v |= static_cast<unsigned>(hc - 'a' + 10);
-                        else if (hc >= 'A' && hc <= 'F')
-                            v |= static_cast<unsigned>(hc - 'A' + 10);
-                        else
-                            return false;
-                    }
-                    c = static_cast<char>(v & 0xff);
-                    break;
-                }
-                default: return false;
-                }
-            }
-            out += c;
-        }
-        if (pos_ >= s_.size())
-            return false;
-        ++pos_; // Closing quote.
-        return true;
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        const std::size_t start = pos_;
-        if (pos_ < s_.size() && s_[pos_] == '-')
-            ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-                s_[pos_] == '+' || s_[pos_] == '-'))
-            ++pos_;
-        if (pos_ == start)
-            return false;
-        try {
-            std::size_t used = 0;
-            out.num = std::stod(s_.substr(start, pos_ - start), &used);
-            if (used != pos_ - start || !std::isfinite(out.num))
-                return false;
-        } catch (...) {
-            return false;
-        }
-        out.type = JsonValue::Type::Number;
-        return true;
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Array;
-        ++pos_; // '['
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            JsonValue v;
-            skipWs();
-            if (!parseValue(v))
-                return false;
-            out.arr.push_back(std::move(v));
-            skipWs();
-            if (pos_ >= s_.size())
-                return false;
-            if (s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (s_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Object;
-        ++pos_; // '{'
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            std::string key;
-            if (pos_ >= s_.size() || !parseString(key))
-                return false;
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            JsonValue v;
-            if (!parseValue(v))
-                return false;
-            out.obj.emplace_back(std::move(key), std::move(v));
-            skipWs();
-            if (pos_ >= s_.size())
-                return false;
-            if (s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (s_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-hex16(std::uint64_t v)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(v));
-    return buf;
-}
-
-bool
-parseHex16(const std::string &s, std::uint64_t &out)
-{
-    if (s.size() != 16)
-        return false;
-    std::uint64_t v = 0;
-    for (const char c : s) {
-        v <<= 4;
-        if (c >= '0' && c <= '9')
-            v |= static_cast<std::uint64_t>(c - '0');
-        else if (c >= 'a' && c <= 'f')
-            v |= static_cast<std::uint64_t>(c - 'a' + 10);
-        else
-            return false;
-    }
-    out = v;
-    return true;
-}
-
-/** Integer field of @p obj that is an exact whole number. */
-bool
-getInt(const JsonValue &obj, const char *key, std::int64_t &out)
-{
-    const JsonValue *v = obj.find(key);
-    if (!v || v->type != JsonValue::Type::Number)
-        return false;
-    if (v->num != std::floor(v->num) || std::abs(v->num) > 1e15)
-        return false;
-    out = static_cast<std::int64_t>(v->num);
-    return true;
-}
 
 bool
 getTiles(const JsonValue &arr, IntTileVec &out)
@@ -355,7 +50,8 @@ roundUpPow2(std::size_t v)
 } // namespace
 
 std::string
-solutionToJsonLine(const CacheKey &key, const CachedSolution &sol)
+solutionToJsonLine(const CacheKey &key, const CachedSolution &sol,
+                   std::int64_t hits)
 {
     const ConvProblem &p = key.problem;
     std::ostringstream oss;
@@ -364,8 +60,8 @@ solutionToJsonLine(const CacheKey &key, const CachedSolution &sol)
         << ",\"r\":" << p.r << ",\"s\":" << p.s << ",\"h\":" << p.h
         << ",\"w\":" << p.w << ",\"stride\":" << p.stride
         << ",\"dilation\":" << p.dilation
-        << ",\"machine\":\"" << hex16(key.machine_fp) << "\""
-        << ",\"settings\":\"" << hex16(key.settings_fp) << "\""
+        << ",\"machine\":\"" << jsonHex16(key.machine_fp) << "\""
+        << ",\"settings\":\"" << jsonHex16(key.settings_fp) << "\""
         << ",\"perm\":[";
     for (int l = 0; l < NumMemLevels; ++l)
         oss << (l ? "," : "") << "\""
@@ -381,34 +77,45 @@ solutionToJsonLine(const CacheKey &key, const CachedSolution &sol)
     char pred[32];
     std::snprintf(pred, sizeof(pred), "%.17g", sol.predicted_seconds);
     oss << ",\"pred_s\":" << pred << ",\"label\":\""
-        << jsonEscape(sol.perm_label) << "\"}";
+        << jsonEscape(sol.perm_label) << "\"";
+    if (hits > 0)
+        oss << ",\"hits\":" << hits;
+    oss << "}";
     return oss.str();
 }
 
 bool
 solutionFromJsonLine(const std::string &line, CacheKey &key,
-                     CachedSolution &sol)
+                     CachedSolution &sol, std::int64_t *hits)
 {
     JsonValue root;
-    if (!JsonParser(line).parse(root) ||
-        root.type != JsonValue::Type::Object)
+    if (!jsonParse(line, root))
+        return false;
+    return solutionFromJson(root, key, sol, hits);
+}
+
+bool
+solutionFromJson(const JsonValue &root, CacheKey &key,
+                 CachedSolution &sol, std::int64_t *hits)
+{
+    if (root.type != JsonValue::Type::Object)
         return false;
 
     std::int64_t version = 0;
-    if (!getInt(root, "v", version) || version != 1)
+    if (!jsonGetInt(root, "v", version) || version != 1)
         return false;
 
     CacheKey k;
     std::int64_t stride = 0, dilation = 0;
-    if (!getInt(root, "n", k.problem.n) ||
-        !getInt(root, "k", k.problem.k) ||
-        !getInt(root, "c", k.problem.c) ||
-        !getInt(root, "r", k.problem.r) ||
-        !getInt(root, "s", k.problem.s) ||
-        !getInt(root, "h", k.problem.h) ||
-        !getInt(root, "w", k.problem.w) ||
-        !getInt(root, "stride", stride) ||
-        !getInt(root, "dilation", dilation))
+    if (!jsonGetInt(root, "n", k.problem.n) ||
+        !jsonGetInt(root, "k", k.problem.k) ||
+        !jsonGetInt(root, "c", k.problem.c) ||
+        !jsonGetInt(root, "r", k.problem.r) ||
+        !jsonGetInt(root, "s", k.problem.s) ||
+        !jsonGetInt(root, "h", k.problem.h) ||
+        !jsonGetInt(root, "w", k.problem.w) ||
+        !jsonGetInt(root, "stride", stride) ||
+        !jsonGetInt(root, "dilation", dilation))
         return false;
     k.problem.stride = static_cast<int>(stride);
     k.problem.dilation = static_cast<int>(dilation);
@@ -416,9 +123,9 @@ solutionFromJsonLine(const std::string &line, CacheKey &key,
     const JsonValue *machine = root.find("machine");
     const JsonValue *settings = root.find("settings");
     if (!machine || machine->type != JsonValue::Type::String ||
-        !parseHex16(machine->str, k.machine_fp) || !settings ||
+        !jsonParseHex16(machine->str, k.machine_fp) || !settings ||
         settings->type != JsonValue::Type::String ||
-        !parseHex16(settings->str, k.settings_fp))
+        !jsonParseHex16(settings->str, k.settings_fp))
         return false;
 
     CachedSolution s;
@@ -455,6 +162,13 @@ solutionFromJsonLine(const std::string &line, CacheKey &key,
         return false;
     s.perm_label = label->str;
 
+    // "hits" is optional telemetry: absent in journals written before
+    // the field existed, present after any compaction since.
+    std::int64_t entry_hits = 0;
+    const JsonValue *hv = root.find("hits");
+    if (hv && (!jsonGetInt(root, "hits", entry_hits) || entry_hits < 0))
+        return false;
+
     try {
         k.problem.validate();
     } catch (const FatalError &) {
@@ -463,6 +177,8 @@ solutionFromJsonLine(const std::string &line, CacheKey &key,
 
     key = std::move(k);
     sol = std::move(s);
+    if (hits)
+        *hits = entry_hits;
     return true;
 }
 
@@ -486,7 +202,14 @@ SolutionCache::SolutionCache(SolutionCacheOptions opts)
 
 SolutionCache::~SolutionCache()
 {
-    if (journal_.is_open() && journalNeedsCompaction())
+    // Compact on the way out when the journal is oversized — or when
+    // any lookup hit an entry, because per-entry hit counters reach
+    // the file only through compaction and a warm, insert-free run
+    // (the steady state of a serving fleet) would otherwise lose its
+    // telemetry on every clean shutdown.
+    if (journal_.is_open() &&
+        (journalNeedsCompaction() ||
+         hits_.load(std::memory_order_relaxed) > 0))
         compact();
 }
 
@@ -512,6 +235,7 @@ SolutionCache::lookup(const CacheKey &key, CachedSolution *out)
             for (auto &entry_it : it->second) {
                 if (entry_it->key == key) {
                     sh.lru.splice(sh.lru.begin(), sh.lru, entry_it);
+                    ++entry_it->hits;
                     if (out)
                         *out = entry_it->sol;
                     hit = true;
@@ -525,7 +249,8 @@ SolutionCache::lookup(const CacheKey &key, CachedSolution *out)
 }
 
 bool
-SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol)
+SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
+                              std::int64_t hits)
 {
     Shard &sh = *shards_[static_cast<std::size_t>(shardOf(key))];
     const std::uint64_t h = key.hash();
@@ -538,6 +263,11 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol)
             for (auto &entry_it : it->second) {
                 if (entry_it->key == key) {
                     entry_it->sol = sol;
+                    // Hit counts only grow, so max() both preserves a
+                    // live entry's count across a re-insert and takes
+                    // the newest count when journal replay sees the
+                    // same key twice.
+                    entry_it->hits = std::max(entry_it->hits, hits);
                     sh.lru.splice(sh.lru.begin(), sh.lru, entry_it);
                     fresh = false;
                     break;
@@ -545,7 +275,7 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol)
             }
         }
         if (fresh) {
-            sh.lru.push_front(Entry{key, sol});
+            sh.lru.push_front(Entry{key, sol, hits});
             sh.map[h].push_back(sh.lru.begin());
             if (sh.lru.size() > per_shard_capacity_) {
                 const Entry &victim = sh.lru.back();
@@ -606,6 +336,20 @@ SolutionCache::stats() const
     return st;
 }
 
+std::vector<SolutionCacheEntryStats>
+SolutionCache::entryStats() const
+{
+    std::vector<SolutionCacheEntryStats> out;
+    out.reserve(static_cast<std::size_t>(
+        std::max<std::int64_t>(0, live_.load(std::memory_order_relaxed))));
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        for (const Entry &e : sh->lru)
+            out.push_back(SolutionCacheEntryStats{e.key, e.hits});
+    }
+    return out;
+}
+
 void
 SolutionCache::loadJournal()
 {
@@ -621,8 +365,9 @@ SolutionCache::loadJournal()
             ++lines;
             CacheKey key;
             CachedSolution sol;
-            if (solutionFromJsonLine(line, key, sol)) {
-                insertInMemory(key, sol);
+            std::int64_t entry_hits = 0;
+            if (solutionFromJsonLine(line, key, sol, &entry_hits)) {
+                insertInMemory(key, sol, entry_hits);
                 ++loaded;
             } else {
                 ++skipped;
@@ -694,7 +439,8 @@ SolutionCache::compact()
             std::lock_guard<std::mutex> lock(sh->mu);
             // Least recent first, so replay restores the LRU order.
             for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
-                out << solutionToJsonLine(it->key, it->sol) << "\n";
+                out << solutionToJsonLine(it->key, it->sol, it->hits)
+                    << "\n";
                 ++written;
             }
         }

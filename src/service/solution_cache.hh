@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/json.hh"
 #include "model/tile_config.hh"
 #include "service/cache_key.hh"
 
@@ -89,6 +90,18 @@ struct SolutionCacheStats
 };
 
 /**
+ * Per-entry telemetry (snapshot via entryStats()): how often each
+ * live entry has been served since it was inserted (hit counts
+ * survive journal round-trips, so a warm fleet can shed entries that
+ * no longer earn their keep).
+ */
+struct SolutionCacheEntryStats
+{
+    CacheKey key;
+    std::int64_t hits = 0; //!< lookup() hits on this entry.
+};
+
+/**
  * Sharded LRU solution cache. All public member functions are safe to
  * call concurrently from any number of threads.
  */
@@ -97,8 +110,10 @@ class SolutionCache
   public:
     explicit SolutionCache(SolutionCacheOptions opts = {});
 
-    /** Flushes nothing (inserts are journaled eagerly); compacts the
-     *  journal if it exceeds the compaction threshold. */
+    /** Inserts are journaled eagerly, so no data flush is needed;
+     *  compacts the journal when it exceeds the compaction threshold
+     *  or when any entry's hit counter changed (hit counts reach the
+     *  file only through compaction). */
     ~SolutionCache();
 
     SolutionCache(const SolutionCache &) = delete;
@@ -134,6 +149,13 @@ class SolutionCache
     SolutionCacheStats stats() const;
 
     /**
+     * Snapshot of every live entry's key and hit count, most recently
+     * used first within each shard, shards in index order. O(entries);
+     * takes each shard lock once.
+     */
+    std::vector<SolutionCacheEntryStats> entryStats() const;
+
+    /**
      * Rewrite the journal with exactly the live entries, least recent
      * first (so a reload reproduces the LRU order). No-op without a
      * journal.
@@ -145,6 +167,7 @@ class SolutionCache
     {
         CacheKey key;
         CachedSolution sol;
+        std::int64_t hits = 0; //!< lookup() hits on this entry.
     };
 
     struct Shard
@@ -158,8 +181,10 @@ class SolutionCache
 
     /** Insert into the in-memory structure only; returns false when
      *  @p key was already present (value overwritten, no journal
-     *  append needed by the loader). */
-    bool insertInMemory(const CacheKey &key, const CachedSolution &sol);
+     *  append needed by the loader). @p hits seeds the entry's hit
+     *  counter (journal replay restores the persisted count). */
+    bool insertInMemory(const CacheKey &key, const CachedSolution &sol,
+                        std::int64_t hits = 0);
 
     void loadJournal();
     void appendJournalLine(const Entry &e);
@@ -184,16 +209,32 @@ class SolutionCache
     std::atomic<std::int64_t> journal_lines_{0}; //!< Lines in the file.
 };
 
-/** Serialize one (key, solution) pair as a single JSON line. */
+/**
+ * Serialize one (key, solution) pair as a single JSON line. @p hits
+ * > 0 adds a "hits" telemetry field (absent fields read back as 0, so
+ * journals written before the field existed stay loadable). This is
+ * also the RPC wire encoding of a solution record (src/rpc/).
+ */
 std::string solutionToJsonLine(const CacheKey &key,
-                               const CachedSolution &sol);
+                               const CachedSolution &sol,
+                               std::int64_t hits = 0);
 
 /**
  * Parse a journal line produced by solutionToJsonLine. Returns false
  * (leaving outputs untouched) on malformed input of any kind.
+ * @p hits, when non-null, receives the entry's persisted hit count.
  */
 bool solutionFromJsonLine(const std::string &line, CacheKey &key,
-                          CachedSolution &sol);
+                          CachedSolution &sol,
+                          std::int64_t *hits = nullptr);
+
+/**
+ * Parse an already-decoded JSON object in the journal's record format
+ * (the RPC protocol embeds records as nested objects). Same contract
+ * as solutionFromJsonLine.
+ */
+bool solutionFromJson(const JsonValue &root, CacheKey &key,
+                      CachedSolution &sol, std::int64_t *hits = nullptr);
 
 } // namespace mopt
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/flags.hh"
 #include "common/logging.hh"
@@ -210,6 +211,39 @@ TEST(Flags, BoolRejectsStrayToken)
     Flags f(5, const_cast<char **>(argv));
     EXPECT_THROW(f.getBool("verify", false), FatalError);
     EXPECT_FALSE(f.getBool("off", true));
+}
+
+TEST(Flags, RejectsDuplicates)
+{
+    // Both spellings of a repeat are editing accidents; neither value
+    // may silently win.
+    const char *eq[] = {"prog", "--machine=i7", "--machine=i9"};
+    EXPECT_THROW(Flags(3, const_cast<char **>(eq)), FatalError);
+    const char *mixed[] = {"prog", "--machine", "i7", "--machine=i9"};
+    EXPECT_THROW(Flags(4, const_cast<char **>(mixed)), FatalError);
+    const char *bare[] = {"prog", "--verify", "--verify"};
+    EXPECT_THROW(Flags(3, const_cast<char **>(bare)), FatalError);
+}
+
+TEST(Flags, RejectUnknownCatchesTypos)
+{
+    const char *argv[] = {"prog", "--effort=fast", "--top-k=3"};
+    const Flags f(3, const_cast<char **>(argv));
+    f.rejectUnknown({"effort", "top-k", "machine"}); // No throw.
+    EXPECT_THROW(f.rejectUnknown({"effort", "machine"}), FatalError);
+    EXPECT_THROW(f.rejectUnknown({}), FatalError);
+}
+
+TEST(Flags, RejectUnknownIgnoresEnvironment)
+{
+    // MOPT_* environment defaults are shared across tools with
+    // different flag vocabularies; only CLI flags are vetted.
+    ::setenv("MOPT_SOME_SHARED_DEFAULT", "42", 1);
+    const char *argv[] = {"prog", "--effort=fast"};
+    const Flags f(2, const_cast<char **>(argv));
+    EXPECT_TRUE(f.has("some-shared-default")); // Visible as a value...
+    f.rejectUnknown({"effort"});               // ...but not rejected.
+    ::unsetenv("MOPT_SOME_SHARED_DEFAULT");
 }
 
 TEST(ThreadPool, ParallelForCoversAllIndices)

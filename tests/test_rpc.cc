@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Tests of the RPC layer: wire-protocol round trips and rejection of
+ * malformed input, newline framing over fragmented streams, the
+ * moptd server end to end over loopback (cold/warm provenance,
+ * fingerprint guards, corrupt and oversized requests, concurrent
+ * clients, shutdown), and the shard router (stable hash routing,
+ * local fallback when a node is down).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "conv/workloads.hh"
+#include "machine/machine.hh"
+#include "rpc/client.hh"
+#include "rpc/protocol.hh"
+#include "rpc/server.hh"
+#include "rpc/tcp.hh"
+#include "service/cache_key.hh"
+#include "service/network_optimizer.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+smallProblem(std::int64_t k = 32, std::int64_t c = 16, std::int64_t hw = 14)
+{
+    ConvProblem p;
+    p.name = "rpc";
+    p.n = 1;
+    p.k = k;
+    p.c = c;
+    p.r = 3;
+    p.s = 3;
+    p.h = hw;
+    p.w = hw;
+    return p;
+}
+
+OptimizerOptions
+fastOpts()
+{
+    OptimizerOptions o;
+    o.effort = OptimizerOptions::Effort::Fast;
+    o.parallel = true;
+    o.threads = 4;
+    return o;
+}
+
+MachineSpec
+tiny()
+{
+    return machineByName("tiny");
+}
+
+/** A running moptd on an ephemeral loopback port. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServerOptions so = {},
+                        SolutionCacheOptions co = {},
+                        OptimizerOptions opts = fastOpts())
+        : cache_(co), server_(tiny(), opts, &cache_, so)
+    {
+        std::string err;
+        if (!server_.start(&err))
+            fatal("TestServer: " + err);
+        thread_ = std::thread([this] { server_.serve(); });
+    }
+
+    ~TestServer()
+    {
+        server_.stop();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    RpcEndpoint ep() const
+    {
+        return RpcEndpoint{"127.0.0.1", server_.port()};
+    }
+
+    SolutionCache &cache() { return cache_; }
+    Server &server() { return server_; }
+
+    /** Join the serve loop (after a shutdown op or stop()). */
+    void join()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    SolutionCache cache_;
+    Server server_;
+    std::thread thread_;
+};
+
+RpcRequest
+solveRequest(const ConvProblem &p)
+{
+    RpcRequest req;
+    req.op = RpcOp::Solve;
+    req.problem = p;
+    req.machine_fp = CacheKey::machineFingerprint(tiny());
+    req.settings_fp = CacheKey::settingsFingerprint(fastOpts());
+    return req;
+}
+
+TEST(RpcProtocol, RequestRoundTrip)
+{
+    RpcRequest req = solveRequest(smallProblem());
+    RpcRequest back;
+    std::string err;
+    ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(req), back, &err))
+        << err;
+    EXPECT_EQ(back.op, RpcOp::Solve);
+    // The wire strips the layer name: requests travel canonical.
+    EXPECT_EQ(back.problem.k, req.problem.k);
+    EXPECT_EQ(back.problem.h, req.problem.h);
+    EXPECT_EQ(back.machine_fp, req.machine_fp);
+    EXPECT_EQ(back.settings_fp, req.settings_fp);
+
+    RpcRequest net;
+    net.op = RpcOp::SolveNetwork;
+    net.net = "resnet18";
+    ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(net), back, &err));
+    EXPECT_EQ(back.op, RpcOp::SolveNetwork);
+    EXPECT_EQ(back.net, "resnet18");
+    EXPECT_EQ(back.machine_fp, 0u); // Omitted fingerprint = no check.
+
+    for (const RpcOp op : {RpcOp::Stats, RpcOp::Shutdown}) {
+        RpcRequest r;
+        r.op = op;
+        ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(r), back, &err));
+        EXPECT_EQ(back.op, op);
+    }
+}
+
+TEST(RpcProtocol, RequestRejectsMalformed)
+{
+    RpcRequest out;
+    std::string err;
+    EXPECT_FALSE(requestFromJsonLine("not json", out, &err));
+    EXPECT_FALSE(requestFromJsonLine("{\"op\":\"fry\"}", out, &err));
+    EXPECT_NE(err.find("unknown op"), std::string::npos);
+    EXPECT_FALSE(requestFromJsonLine("{\"op\":\"solve\"}", out, &err));
+    EXPECT_FALSE(requestFromJsonLine(
+        "{\"op\":\"solve_network\"}", out, &err));
+    // Shape fields must be sane, not just present.
+    EXPECT_FALSE(requestFromJsonLine(
+        "{\"op\":\"solve\",\"n\":1,\"k\":0,\"c\":1,\"r\":1,\"s\":1,"
+        "\"h\":1,\"w\":1,\"stride\":1,\"dilation\":1}",
+        out, &err));
+    // Fingerprints must be 16 hex digits when present.
+    EXPECT_FALSE(requestFromJsonLine(
+        "{\"op\":\"stats\",\"machine\":\"xyz\"}", out, &err));
+    // A nesting bomb (valid JSON, 100k levels deep) must draw a parse
+    // error, not recurse the handler thread's stack into the ground.
+    const std::string bomb =
+        std::string(100000, '[') + std::string(100000, ']');
+    EXPECT_FALSE(requestFromJsonLine(bomb, out, &err));
+}
+
+TEST(RpcProtocol, ResponseRoundTrips)
+{
+    // Error response.
+    RpcResponse back;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(
+        responseToJsonLine(rpcErrorResponse("busted \"quote\"")), back,
+        &err));
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "busted \"quote\"");
+
+    // Solve response, via a real solve so the record is meaningful.
+    const ConvProblem p = smallProblem();
+    SolutionCache cache;
+    Server server(tiny(), fastOpts(), &cache);
+    const RpcResponse solved = server.handle(solveRequest(p));
+    ASSERT_TRUE(solved.ok);
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(solved), back,
+                                     &err))
+        << err;
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.op, RpcOp::Solve);
+    EXPECT_FALSE(back.solve.cache_hit);
+    EXPECT_EQ(back.solve.sol, solved.solve.sol);
+    EXPECT_EQ(back.solve.key, solved.solve.key);
+
+    // Stats response (entry telemetry included).
+    cache.lookup(back.solve.key, nullptr);
+    RpcRequest stats_req;
+    stats_req.op = RpcOp::Stats;
+    const RpcResponse stats = server.handle(stats_req);
+    ASSERT_TRUE(stats.ok);
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(stats), back,
+                                     &err))
+        << err;
+    EXPECT_EQ(back.op, RpcOp::Stats);
+    EXPECT_EQ(back.entries, 1);
+    ASSERT_EQ(back.entry_hits.size(), 1u);
+    EXPECT_EQ(back.entry_hits[0].hits, 1);
+    EXPECT_EQ(back.machine_name, "tiny");
+}
+
+TEST(RpcProtocol, EndpointListParsing)
+{
+    const auto eps = parseEndpointList("h1:7071, h2:7072,127.0.0.1:80");
+    ASSERT_EQ(eps.size(), 3u);
+    EXPECT_EQ(eps[0].host, "h1");
+    EXPECT_EQ(eps[0].port, 7071);
+    EXPECT_EQ(eps[1].host, "h2");
+    EXPECT_EQ(eps[2].str(), "127.0.0.1:80");
+
+    EXPECT_THROW(parseEndpointList(""), FatalError);
+    EXPECT_THROW(parseEndpointList("hostonly"), FatalError);
+    EXPECT_THROW(parseEndpointList("host:"), FatalError);
+    EXPECT_THROW(parseEndpointList(":7071"), FatalError);
+    EXPECT_THROW(parseEndpointList("h:0"), FatalError);
+    EXPECT_THROW(parseEndpointList("h:70000"), FatalError);
+    EXPECT_THROW(parseEndpointList("h:12x"), FatalError);
+    EXPECT_THROW(parseEndpointList("h1:1,,h2:2"), FatalError);
+}
+
+TEST(RpcTcp, LineReaderReassemblesFragments)
+{
+    TcpListener listener;
+    ASSERT_TRUE(listener.listenOn("127.0.0.1", 0));
+    TcpSocket client = TcpSocket::connectTo("127.0.0.1", listener.port());
+    ASSERT_TRUE(client.valid());
+    TcpSocket served = listener.accept();
+    ASSERT_TRUE(served.valid());
+
+    // Two lines and a CRLF line, delivered in awkward fragments.
+    ASSERT_TRUE(client.sendAll("hel"));
+    ASSERT_TRUE(client.sendAll("lo\nwor"));
+    ASSERT_TRUE(client.sendAll("ld\r\ntail"));
+    client.shutdownBoth(); // Flush EOF after the unterminated tail.
+
+    LineReader reader(served, 1024);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    EXPECT_EQ(line, "hello");
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    EXPECT_EQ(line, "world");
+    // The unterminated tail is not a line; EOF wins.
+    EXPECT_EQ(reader.readLine(line), LineReader::Status::Eof);
+}
+
+TEST(RpcTcp, LineReaderRejectsOversizedLine)
+{
+    TcpListener listener;
+    ASSERT_TRUE(listener.listenOn("127.0.0.1", 0));
+    TcpSocket client = TcpSocket::connectTo("127.0.0.1", listener.port());
+    ASSERT_TRUE(client.valid());
+    TcpSocket served = listener.accept();
+    ASSERT_TRUE(served.valid());
+
+    LineReader reader(served, 64);
+    ASSERT_TRUE(client.sendAll(std::string(256, 'a')));
+    std::string line;
+    EXPECT_EQ(reader.readLine(line), LineReader::Status::TooLong);
+}
+
+TEST(RpcServer, SolveColdThenWarmAcrossConnections)
+{
+    TestServer ts;
+    const ConvProblem p = smallProblem();
+
+    Client a(ts.ep());
+    RpcResponse cold;
+    std::string err;
+    ASSERT_TRUE(a.call(solveRequest(p), cold, &err)) << err;
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_FALSE(cold.solve.cache_hit);
+    EXPECT_GT(cold.solve.sol.predicted_seconds, 0.0);
+
+    // A different connection must see the shared cache.
+    Client b(ts.ep());
+    RpcResponse warm;
+    ASSERT_TRUE(b.call(solveRequest(p), warm, &err)) << err;
+    ASSERT_TRUE(warm.ok);
+    EXPECT_TRUE(warm.solve.cache_hit);
+    EXPECT_EQ(warm.solve.sol, cold.solve.sol);
+    EXPECT_EQ(warm.solve_seconds, 0.0);
+}
+
+TEST(RpcServer, RejectsFingerprintMismatch)
+{
+    TestServer ts;
+    Client c(ts.ep());
+    RpcRequest req = solveRequest(smallProblem());
+    req.machine_fp ^= 1; // Client configured for a different machine.
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("machine fingerprint mismatch"),
+              std::string::npos);
+
+    req = solveRequest(smallProblem());
+    req.settings_fp ^= 1;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("settings fingerprint mismatch"),
+              std::string::npos);
+}
+
+TEST(RpcServer, RejectsUnknownNetwork)
+{
+    TestServer ts;
+    Client c(ts.ep());
+    RpcRequest req;
+    req.op = RpcOp::SolveNetwork;
+    req.net = "skynet";
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+}
+
+TEST(RpcServer, CorruptRequestKeepsConnectionUsable)
+{
+    TestServer ts;
+    TcpSocket sock =
+        TcpSocket::connectTo(ts.ep().host, ts.ep().port);
+    ASSERT_TRUE(sock.valid());
+    LineReader reader(sock, 1 << 20);
+    std::string line;
+
+    ASSERT_TRUE(sock.sendAll("this is not json\n"));
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+
+    // Same connection, next line: a valid request still works.
+    ASSERT_TRUE(sock.sendAll("{\"op\":\"stats\"}\n"));
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.op, RpcOp::Stats);
+}
+
+TEST(RpcServer, OversizedRequestAnsweredAndDropped)
+{
+    ServerOptions so;
+    so.max_request_bytes = 128;
+    TestServer ts(so);
+    TcpSocket sock = TcpSocket::connectTo(ts.ep().host, ts.ep().port);
+    ASSERT_TRUE(sock.valid());
+
+    ASSERT_TRUE(sock.sendAll(std::string(4096, 'x')));
+    LineReader reader(sock, 1 << 20);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("exceeds"), std::string::npos);
+    // Framing is unrecoverable: the server hangs up.
+    EXPECT_EQ(reader.readLine(line), LineReader::Status::Eof);
+
+    // The server itself is unharmed.
+    Client c(ts.ep());
+    RpcRequest req;
+    req.op = RpcOp::Stats;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(RpcServer, ConcurrentClientsAgree)
+{
+    TestServer ts;
+    const std::vector<ConvProblem> problems{
+        smallProblem(32), smallProblem(48), smallProblem(64)};
+
+    // Reference answers, solved through the same server.
+    std::vector<CachedSolution> expected(problems.size());
+    {
+        Client c(ts.ep());
+        for (std::size_t i = 0; i < problems.size(); ++i) {
+            RpcResponse resp;
+            std::string err;
+            ASSERT_TRUE(c.call(solveRequest(problems[i]), resp, &err))
+                << err;
+            ASSERT_TRUE(resp.ok) << resp.error;
+            expected[i] = resp.solve.sol;
+        }
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kCallsPerThread = 6;
+    std::atomic<int> mismatches{0}, failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Client c(ts.ep());
+            for (int i = 0; i < kCallsPerThread; ++i) {
+                const std::size_t pi =
+                    static_cast<std::size_t>(t + i) % problems.size();
+                RpcResponse resp;
+                if (!c.call(solveRequest(problems[pi]), resp) ||
+                    !resp.ok) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                if (!(resp.solve.sol == expected[pi]))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_GE(ts.server().counters().requests.load(),
+              kThreads * kCallsPerThread);
+}
+
+TEST(RpcServer, ShutdownOpStopsServing)
+{
+    TestServer ts;
+    Client c(ts.ep());
+    RpcRequest req;
+    req.op = RpcOp::Shutdown;
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    ts.join(); // serve() must return promptly.
+    EXPECT_TRUE(ts.server().stopping());
+}
+
+TEST(RpcRouter, RoutesByStableHashAcrossFleet)
+{
+    TestServer node0, node1;
+    ShardRouter router({node0.ep(), node1.ep()}, tiny(), fastOpts());
+
+    std::vector<ConvProblem> net;
+    for (int i = 0; i < 6; ++i)
+        net.push_back(smallProblem(16 + 8 * i));
+
+    RouteStats rs;
+    const NetworkPlan plan = router.optimize(net, &rs);
+    EXPECT_EQ(plan.layers.size(), net.size());
+    EXPECT_EQ(rs.unique_shapes, net.size());
+    EXPECT_EQ(rs.fallbacks, 0u);
+    EXPECT_EQ(rs.remote_misses, net.size());
+
+    // Every key must have landed on (only) the node its hash owns.
+    std::size_t expect_node0 = 0;
+    for (const ConvProblem &p : net) {
+        const CacheKey key = CacheKey::make(p, tiny(), fastOpts());
+        if (router.nodeOf(key) == 0)
+            ++expect_node0;
+    }
+    EXPECT_EQ(node0.cache().size(), expect_node0);
+    EXPECT_EQ(node1.cache().size(), net.size() - expect_node0);
+
+    // Warm pass: all remote hits, byte-identical plan.
+    RouteStats warm;
+    const NetworkPlan again = router.optimize(net, &warm);
+    EXPECT_EQ(warm.remote_hits, net.size());
+    EXPECT_EQ(warm.hitRate(), 1.0);
+    EXPECT_EQ(again.str(), plan.str());
+}
+
+TEST(RpcRouter, FallsBackToLocalSolveWhenNodeDown)
+{
+    TestServer alive;
+    // A listener that was closed: connecting to its (now free) port
+    // fails fast with ECONNREFUSED.
+    int dead_port = 0;
+    {
+        TcpListener tmp;
+        ASSERT_TRUE(tmp.listenOn("127.0.0.1", 0));
+        dead_port = tmp.port();
+    }
+    // Pick shapes whose (stable) hashes cover both nodes, so the test
+    // cannot pass vacuously when every key lands on the live node.
+    std::vector<ConvProblem> net;
+    std::size_t on_dead = 0, on_alive = 0;
+    for (int i = 0; (on_dead < 2 || on_alive < 2) && i < 64; ++i) {
+        const ConvProblem p = smallProblem(16 + 8 * i);
+        const CacheKey key = CacheKey::make(p, tiny(), fastOpts());
+        ((key.hash() % 2 == 0) ? on_dead : on_alive)++;
+        net.push_back(p);
+    }
+    ASSERT_GE(on_dead, 2u);
+    ASSERT_GE(on_alive, 2u);
+
+    ShardRouter router(
+        {RpcEndpoint{"127.0.0.1", dead_port}, alive.ep()}, tiny(),
+        fastOpts());
+
+    RouteStats rs;
+    const NetworkPlan plan = router.optimize(net, &rs);
+    EXPECT_EQ(rs.fallbacks + rs.remote_misses, net.size());
+    EXPECT_GT(rs.fallbacks, 0u); // Some keys hash to the dead node.
+
+    // Degraded answers must equal what one healthy node computes.
+    SolutionCache local_cache;
+    const NetworkOptimizer local(tiny(), fastOpts(), &local_cache);
+    EXPECT_EQ(plan.str(), local.optimize(net).str());
+}
+
+TEST(RpcRouter, RefusalIsFatalNotFallback)
+{
+    TestServer ts;
+    OptimizerOptions wrong = fastOpts();
+    wrong.seed += 1; // Different settings fingerprint than the server.
+    ShardRouter router({ts.ep()}, tiny(), wrong);
+    EXPECT_THROW(router.optimize({smallProblem()}), FatalError);
+}
+
+} // namespace
+} // namespace mopt

@@ -182,6 +182,101 @@ TEST(SolutionJson, RejectsMalformedLines)
     EXPECT_FALSE(solutionFromJsonLine(good + "}", key, sol));
 }
 
+TEST(SolutionJson, HitsFieldRoundTripsAndDefaultsToZero)
+{
+    const CacheKey key = keyNumber(1);
+    const CachedSolution sol = solutionNumber(1);
+
+    // Absent field (pre-telemetry journals) reads back as 0.
+    CacheKey k2;
+    CachedSolution s2;
+    std::int64_t hits = -1;
+    ASSERT_TRUE(solutionFromJsonLine(solutionToJsonLine(key, sol), k2,
+                                     s2, &hits));
+    EXPECT_EQ(hits, 0);
+
+    const std::string line = solutionToJsonLine(key, sol, 42);
+    EXPECT_NE(line.find("\"hits\":42"), std::string::npos);
+    ASSERT_TRUE(solutionFromJsonLine(line, k2, s2, &hits));
+    EXPECT_EQ(hits, 42);
+    EXPECT_EQ(k2, key);
+    EXPECT_EQ(s2, sol);
+
+    // A negative count is corruption, not data.
+    std::string bad = line;
+    bad.replace(bad.find("\"hits\":42"), 9, "\"hits\":-7");
+    EXPECT_FALSE(solutionFromJsonLine(bad, k2, s2, &hits));
+}
+
+TEST(SolutionCache, EntryStatsCountPerEntryHits)
+{
+    SolutionCache cache;
+    cache.insert(keyNumber(0), solutionNumber(0));
+    cache.insert(keyNumber(1), solutionNumber(1));
+    for (int i = 0; i < 3; ++i)
+        EXPECT_TRUE(cache.lookup(keyNumber(0), nullptr));
+    EXPECT_TRUE(cache.lookup(keyNumber(1), nullptr));
+    EXPECT_FALSE(cache.lookup(keyNumber(9), nullptr)); // Miss: no entry.
+
+    std::int64_t hits0 = -1, hits1 = -1;
+    for (const SolutionCacheEntryStats &e : cache.entryStats()) {
+        if (e.key == keyNumber(0))
+            hits0 = e.hits;
+        else if (e.key == keyNumber(1))
+            hits1 = e.hits;
+    }
+    EXPECT_EQ(hits0, 3);
+    EXPECT_EQ(hits1, 1);
+    EXPECT_EQ(cache.entryStats().size(), 2u);
+}
+
+TEST(SolutionCache, HitCountsSurviveJournalRoundTrip)
+{
+    const std::string path = tempPath("hits");
+    std::remove(path.c_str());
+    {
+        SolutionCacheOptions co;
+        co.journal_path = path;
+        SolutionCache cache(co);
+        cache.insert(keyNumber(0), solutionNumber(0));
+        cache.insert(keyNumber(1), solutionNumber(1));
+        for (int i = 0; i < 5; ++i)
+            cache.lookup(keyNumber(0), nullptr);
+        // No explicit compact(): counts reach the journal through
+        // compaction, and the destructor must compact when any entry
+        // served a hit — a warm, insert-free run is exactly the case
+        // the telemetry exists for.
+    }
+    {
+        SolutionCacheOptions co;
+        co.journal_path = path;
+        SolutionCache reloaded(co);
+        ASSERT_EQ(reloaded.size(), 2u);
+        std::int64_t hits0 = -1, hits1 = -1;
+        for (const SolutionCacheEntryStats &e : reloaded.entryStats()) {
+            if (e.key == keyNumber(0))
+                hits0 = e.hits;
+            else if (e.key == keyNumber(1))
+                hits1 = e.hits;
+        }
+        EXPECT_EQ(hits0, 5);
+        EXPECT_EQ(hits1, 0);
+        // Warm pass with zero inserts: more hits accumulate...
+        for (int i = 0; i < 2; ++i)
+            reloaded.lookup(keyNumber(1), nullptr);
+    }
+    // ...and survive the next clean shutdown too.
+    SolutionCacheOptions co;
+    co.journal_path = path;
+    SolutionCache again(co);
+    std::int64_t hits1 = -1;
+    for (const SolutionCacheEntryStats &e : again.entryStats())
+        if (e.key == keyNumber(1))
+            hits1 = e.hits;
+    EXPECT_EQ(hits1, 2);
+    std::remove(path.c_str());
+}
+
 TEST(SolutionCache, LruEvictionOrder)
 {
     SolutionCacheOptions co;

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate search-time regressions against a recorded baseline.
+
+Usage:
+    tools/check_bench.py CURRENT.json BASELINE.json \
+        [--metric "MOpt search (s)"] [--max-regress 0.25] \
+        [--min-seconds 0.1]
+
+Both files are BENCH_*.json documents as produced by bench_to_json:
+tables of rows keyed by "Layer". Rows present in both files are
+compared on --metric.
+
+Two-level policy, because CI runners are noisy and absolute wall
+times vary with the host:
+
+  * per-layer: a layer slower than baseline * (1 + max-regress) AND
+    slower by more than min-seconds is flagged;
+  * gate: fail (exit 1) when the geometric mean of the per-layer
+    ratios exceeds (1 + max-regress) and at least one layer is
+    flagged. A uniform slowdown across every layer is a real
+    regression; a single noisy layer on a busy runner is not, and
+    neither is a sub-min-seconds wobble on a suite whose absolute
+    times are tiny.
+
+Exit status: 0 = within budget, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    """Map Layer -> row for every table row in a BENCH_*.json file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rows = {}
+    for table in doc.get("tables", []):
+        for row in table.get("rows", []):
+            layer = row.get("Layer")
+            if layer is not None:
+                rows[str(layer)] = row
+    if not rows:
+        sys.exit(f"error: no Layer-keyed table rows in {path}")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly measured BENCH_*.json")
+    ap.add_argument("baseline", help="recorded baseline BENCH_*.json")
+    ap.add_argument("--metric", default="MOpt search (s)",
+                    help="row field to compare (default: %(default)s)")
+    ap.add_argument("--max-regress", type=float, default=0.25,
+                    help="allowed fractional slowdown (default: 0.25)")
+    ap.add_argument("--min-seconds", type=float, default=0.1,
+                    help="absolute per-layer slack before a layer is "
+                         "flagged (default: 0.1)")
+    args = ap.parse_args()
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        sys.exit("error: current and baseline share no layers")
+
+    ratios = []
+    flagged = []
+    print(f"{'Layer':<8} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for layer in shared:
+        try:
+            base = float(baseline[layer][args.metric])
+            cur = float(current[layer][args.metric])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"error: layer {layer} lacks metric "
+                     f"{args.metric!r} in one of the files")
+        if base <= 0 or cur <= 0:
+            sys.exit(f"error: non-positive {args.metric!r} for {layer}")
+        ratio = cur / base
+        ratios.append(ratio)
+        mark = ""
+        if (ratio > 1 + args.max_regress
+                and cur - base > args.min_seconds):
+            flagged.append(layer)
+            mark = "  <-- slower"
+        print(f"{layer:<8} {base:>10.3f} {cur:>10.3f} {ratio:>7.2f}"
+              f"{mark}")
+
+    geo = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    budget = 1 + args.max_regress
+    print(f"\ngeomean ratio {geo:.3f} (budget {budget:.2f}) over "
+          f"{len(shared)} layer(s)")
+    for layer in flagged:
+        print(f"warning: {layer} regressed beyond the per-layer budget")
+
+    if geo > budget and flagged:
+        print(f"FAIL: {args.metric!r} regressed by "
+              f"{100 * (geo - 1):.0f}% on geomean "
+              f"(budget {100 * args.max_regress:.0f}%)")
+        return 1
+    print("OK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,14 @@
 # Usage: tools/check_docs.sh   (run from anywhere; CI runs it per PR)
 set -euo pipefail
 
+# Run from the repo root regardless of the caller's cwd, so CI steps
+# and local invocations cannot diverge.
 repo=$(cd "$(dirname "$0")/.." && pwd)
-doc=$repo/docs/ARCHITECTURE.md
+cd "$repo"
+doc=docs/ARCHITECTURE.md
 
 if [[ ! -f $doc ]]; then
-    echo "error: $doc is missing" >&2
+    echo "error: $repo/$doc is missing" >&2
     exit 1
 fi
 
@@ -18,7 +21,7 @@ status=0
 
 # Every src/<dir> mentioned in the doc must exist.
 while IFS= read -r ref; do
-    if [[ ! -d $repo/$ref ]]; then
+    if [[ ! -d $ref ]]; then
         echo "error: docs/ARCHITECTURE.md references $ref," \
              "which does not exist" >&2
         status=1
@@ -26,7 +29,7 @@ while IFS= read -r ref; do
 done < <(grep -oE 'src/[a-z_]+' "$doc" | sort -u)
 
 # Every src/<dir> in the tree must be mentioned in the doc.
-for dir in "$repo"/src/*/; do
+for dir in src/*/; do
     name=$(basename "$dir")
     if ! grep -q "src/$name" "$doc"; then
         echo "error: src/$name is not documented in" \

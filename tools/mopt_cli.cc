@@ -12,21 +12,33 @@
  * through the service layer's NetworkOptimizer, deduplicating repeated
  * shapes and (with --cache) persisting solutions across runs.
  *
+ * The `serve` subcommand runs the same service as a long-lived daemon
+ * (moptd) speaking the line-delimited JSON protocol of src/rpc/; the
+ * `query` subcommand is its client, routing across a fleet by stable
+ * cache-key hash and falling back to a local solve when a node is
+ * unreachable.
+ *
  * Examples:
  *   mopt --layer=Y12 --machine=i7
  *   mopt --k=256 --c=128 --image=34 --rs=3 --stride=1 --machine=i9
  *   mopt --layer=R2 --emit-c=conv_r2.c
  *   mopt --layer=M5 --verify --compare
  *   mopt network --net=resnet18 --cache=mopt.cache.json
+ *   mopt serve --port=7071 --cache=mopt.cache.json
+ *   mopt query --connect=host1:7071,host2:7071 --net=resnet18
  */
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "baselines/autotuner.hh"
 #include "baselines/heuristic_lib.hh"
 #include "codegen/c_emitter.hh"
+#include "rpc/client.hh"
+#include "rpc/server.hh"
 #include "common/flags.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -73,6 +85,24 @@ Network mode (optimize every conv layer of a whole network):
   --plan-out=<path>      write the per-layer plan to a file
                          (deterministic; byte-identical cold vs warm)
   plus --machine, --sequential, --effort as above
+
+Serving mode (moptd: long-lived optimizer daemon + fleet client):
+  mopt serve [--port=0] [--host=127.0.0.1] [--workers=4] [options]
+                         answer solve/solve_network/stats/shutdown
+                         requests (line-delimited JSON over TCP);
+                         --cache/--cache-capacity as in network mode
+  mopt query --connect=host:port[,host:port...] <what> [options]
+    <what> is one of:
+      --net=<name>       whole-network plan (routed across the fleet
+                         by stable cache-key hash; a down node falls
+                         back to a local solve)
+      --layer=<name> or explicit dims as above: one shape
+      --stats            print each node's cache/telemetry counters
+      --shutdown         stop each listed node
+    --plan-out=<path>    write the per-layer plan (byte-identical to
+                         a local `mopt network` run)
+  Both sides must agree on --machine/--sequential/--effort: the
+  server rejects fingerprint mismatches loudly.
 )";
 }
 
@@ -102,12 +132,26 @@ pathFlag(const mopt::Flags &flags, const std::string &name)
     return v;
 }
 
+/** The shared --cache/--cache-capacity handling of network/serve. */
+mopt::SolutionCacheOptions
+cacheOptionsFromFlags(const mopt::Flags &flags)
+{
+    mopt::SolutionCacheOptions co;
+    co.capacity = static_cast<std::size_t>(
+        flags.getInt("cache-capacity", 4096));
+    co.journal_path = pathFlag(flags, "cache");
+    return co;
+}
+
 /** The `mopt network` subcommand (argv already shifted past it). */
 int
 runNetwork(int argc, char **argv)
 {
     using namespace mopt;
     const Flags flags(argc, argv);
+    flags.rejectUnknown({"net", "machine", "sequential", "effort",
+                         "top-k", "cache", "cache-capacity", "plan-out",
+                         "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -119,10 +163,7 @@ runNetwork(int argc, char **argv)
     const MachineSpec m = machineByName(flags.getString("machine", "i7"));
     const OptimizerOptions opts = optionsFromFlags(flags);
 
-    SolutionCacheOptions co;
-    co.capacity = static_cast<std::size_t>(
-        flags.getInt("cache-capacity", 4096));
-    co.journal_path = pathFlag(flags, "cache");
+    const SolutionCacheOptions co = cacheOptionsFromFlags(flags);
     SolutionCache cache(co);
 
     std::cout << "Network:  " << net_name << " (" << net.size()
@@ -163,16 +204,340 @@ runNetwork(int argc, char **argv)
     return 0;
 }
 
+/** The `mopt serve` subcommand: run moptd until a shutdown RPC. */
+int
+runServe(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    flags.rejectUnknown({"port", "host", "workers", "machine",
+                         "sequential", "effort", "top-k", "cache",
+                         "cache-capacity", "help"});
+    if (flags.getBool("help", false)) {
+        printUsage();
+        return 0;
+    }
+    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    const OptimizerOptions opts = optionsFromFlags(flags);
+    const SolutionCacheOptions co = cacheOptionsFromFlags(flags);
+    SolutionCache cache(co);
+
+    ServerOptions so;
+    so.host = flags.getString("host", "127.0.0.1");
+    so.port = static_cast<int>(flags.getInt("port", 0));
+    checkUser(so.port >= 0 && so.port <= 65535,
+              "--port must be 0 (ephemeral) .. 65535");
+    so.workers = static_cast<int>(flags.getInt("workers", 4));
+    checkUser(so.workers >= 1 && so.workers <= 256,
+              "--workers must be 1 .. 256");
+
+    Server server(m, opts, &cache, so);
+    std::string err;
+    checkUser(server.start(&err), "moptd: cannot listen: " + err);
+
+    std::cout << "moptd: optimizing for " << m.name << " ("
+              << (opts.parallel ? "parallel" : "sequential") << ", "
+              << flags.getString("effort", "standard") << " effort)\n";
+    if (!co.journal_path.empty())
+        std::cout << "moptd: cache journal " << co.journal_path << " ("
+                  << cache.stats().journal_loaded << " entries loaded)\n";
+    // The smoke harness (and any supervisor) greps this exact line to
+    // learn the bound port, so it must be flushed before serving.
+    std::cout << "moptd: listening on " << so.host << ":"
+              << server.port() << std::endl;
+
+    const std::int64_t served = server.serve();
+
+    const SolutionCacheStats cs = cache.stats();
+    std::cout << "moptd: shut down after " << served << " connections, "
+              << server.counters().requests << " requests ("
+              << server.counters().errors << " errors)\n"
+              << "moptd: cache " << cs.hits << " hits / " << cs.misses
+              << " misses, " << cache.size() << " entries live\n";
+    return 0;
+}
+
+/** Shared by every query path: fleet + solve identity from flags. */
+struct QuerySetup
+{
+    std::vector<mopt::RpcEndpoint> endpoints;
+    mopt::MachineSpec machine;
+    mopt::OptimizerOptions opts;
+};
+
+QuerySetup
+querySetup(const mopt::Flags &flags)
+{
+    using namespace mopt;
+    checkUser(flags.has("connect"),
+              "query mode needs --connect=host:port[,host:port...]");
+    QuerySetup q;
+    q.endpoints = parseEndpointList(flags.getString("connect", ""));
+    q.machine = machineByName(flags.getString("machine", "i7"));
+    q.opts = optionsFromFlags(flags);
+    return q;
+}
+
+/** Print one network plan + provenance summary; honor --plan-out. */
+void
+reportNetworkPlan(const mopt::Flags &flags, const std::string &plan_text,
+                  std::size_t layers, std::size_t unique,
+                  std::size_t hits, std::size_t misses,
+                  std::size_t fallbacks, double solve_seconds)
+{
+    using namespace mopt;
+    std::cout << plan_text << "\n";
+    std::cout << "Layers: " << layers << " (" << unique
+              << " unique shapes)\n"
+              << "Cache: " << hits << " hits, " << misses
+              << " misses (hit rate "
+              << formatDouble(unique ? 100.0 * static_cast<double>(hits) /
+                                           static_cast<double>(unique)
+                                     : 100.0,
+                              1)
+              << "%)\n";
+    if (fallbacks > 0)
+        std::cout << "Fallback: " << fallbacks
+                  << " shape(s) solved locally (node down)\n";
+    std::cout << "Search: " << formatDouble(solve_seconds, 2)
+              << " s of solve time\n";
+    if (flags.has("plan-out")) {
+        const std::string path = pathFlag(flags, "plan-out");
+        std::ofstream f(path);
+        checkUser(f.good(), "cannot open " + path);
+        f << plan_text;
+        std::cout << "Wrote per-layer plan to " << path << "\n";
+    }
+}
+
+/** `mopt query --stats`: each node's counters + hottest entries.
+ *  Exits nonzero when any listed node is unreachable or errors, so a
+ *  monitoring script can trust the status code. */
+int
+queryStats(const QuerySetup &q)
+{
+    using namespace mopt;
+    int rc = 0;
+    for (const RpcEndpoint &ep : q.endpoints) {
+        Client client(ep);
+        RpcRequest req;
+        req.op = RpcOp::Stats;
+        RpcResponse resp;
+        std::string err;
+        if (!client.call(req, resp, &err)) {
+            std::cout << ep.str() << ": unreachable (" << err << ")\n";
+            rc = 1;
+            continue;
+        }
+        if (!resp.ok) {
+            std::cout << ep.str() << ": error: " << resp.error << "\n";
+            rc = 1;
+            continue;
+        }
+        std::cout << ep.str() << ": " << resp.machine_name << ", "
+                  << resp.entries << " entries in " << resp.shards
+                  << " shards; lookups " << resp.cache.hits << " hits / "
+                  << resp.cache.misses << " misses; "
+                  << resp.cache.inserts << " inserts, "
+                  << resp.cache.evictions << " evictions; journal "
+                  << resp.cache.journal_loaded << " loaded / "
+                  << resp.cache.journal_skipped << " skipped\n";
+        // Hottest entries first: the per-entry telemetry a fleet
+        // operator would use to decide what has stopped earning its
+        // cache slot.
+        std::vector<RpcEntryHits> rows = resp.entry_hits;
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const RpcEntryHits &a, const RpcEntryHits &b) {
+                             return a.hits > b.hits;
+                         });
+        const std::size_t top = std::min<std::size_t>(rows.size(), 10);
+        for (std::size_t i = 0; i < top; ++i)
+            std::cout << "  " << rows[i].hits << " hits  "
+                      << rows[i].key << "\n";
+    }
+    return rc;
+}
+
+/** `mopt query --shutdown`: stop every listed node. */
+int
+queryShutdown(const QuerySetup &q)
+{
+    using namespace mopt;
+    int rc = 0;
+    for (const RpcEndpoint &ep : q.endpoints) {
+        Client client(ep);
+        RpcRequest req;
+        req.op = RpcOp::Shutdown;
+        RpcResponse resp;
+        std::string err;
+        if (!client.call(req, resp, &err) || !resp.ok) {
+            std::cout << ep.str() << ": shutdown failed ("
+                      << (err.empty() ? resp.error : err) << ")\n";
+            rc = 1;
+            continue;
+        }
+        std::cout << ep.str() << ": shutting down\n";
+    }
+    return rc;
+}
+
+/** `mopt query --net=...`: whole-network plan through the fleet. */
+int
+queryNetwork(const mopt::Flags &flags, QuerySetup &q)
+{
+    using namespace mopt;
+    const std::string net_name = flags.getString("net", "");
+    const std::vector<ConvProblem> net = networkByName(net_name);
+
+    std::cout << "Network:  " << net_name << " (" << net.size()
+              << " conv layers)\n"
+              << "Fleet:    " << q.endpoints.size() << " node(s)\n\n";
+
+    // One node: a single solve_network round-trip serves the whole
+    // plan from the server's cache. A fleet (or a dead single node):
+    // per-shape routing with local fallback.
+    if (q.endpoints.size() == 1) {
+        Client client(q.endpoints.front());
+        RpcRequest req;
+        req.op = RpcOp::SolveNetwork;
+        req.net = net_name;
+        req.machine_fp = CacheKey::machineFingerprint(q.machine);
+        req.settings_fp = CacheKey::settingsFingerprint(q.opts);
+        RpcResponse resp;
+        std::string err;
+        if (client.call(req, resp, &err)) {
+            checkUser(resp.ok, q.endpoints.front().str() +
+                                   " refused: " + resp.error);
+            reportNetworkPlan(
+                flags, resp.plan_text, resp.layers.size(),
+                static_cast<std::size_t>(resp.unique_shapes),
+                static_cast<std::size_t>(resp.cache_hits),
+                static_cast<std::size_t>(resp.cache_misses), 0,
+                resp.solve_seconds);
+            return 0;
+        }
+        logWarn("moptd node ", q.endpoints.front().str(),
+                " unreachable (", err, "); falling back to local solve");
+    }
+
+    ShardRouter router(q.endpoints, q.machine, q.opts);
+    RouteStats rs;
+    const NetworkPlan plan = router.optimize(net, &rs);
+    reportNetworkPlan(flags, plan.str(), plan.layers.size(),
+                      rs.unique_shapes, rs.remote_hits,
+                      rs.remote_misses + rs.fallbacks, rs.fallbacks,
+                      rs.solve_seconds);
+    return 0;
+}
+
+/** `mopt query --layer=...` (or explicit dims): one shape. */
+int
+queryProblem(QuerySetup &q, const mopt::ConvProblem &p)
+{
+    using namespace mopt;
+    std::cout << "Problem:  " << p.summary() << "\n"
+              << "Fleet:    " << q.endpoints.size() << " node(s)\n\n";
+
+    ShardRouter router(q.endpoints, q.machine, q.opts);
+    RouteStats rs;
+    const NetworkPlan plan = router.optimize({p}, &rs);
+    const LayerPlan &lp = plan.layers.front();
+
+    std::cout << "Served:   "
+              << (rs.fallbacks ? "local fallback (node down)"
+                  : lp.cache_hit ? "cache hit"
+                                 : "solved on demand")
+              << " [node " << router.nodeOf(CacheKey::make(
+                                  p, q.machine, q.opts))
+              << "]\n\n";
+    std::cout << "Best configuration: " << lp.best.perm_label << "\n"
+              << "  L1 " << tilesToString(lp.best.config.tiles[LvlL1])
+              << " L2 " << tilesToString(lp.best.config.tiles[LvlL2])
+              << " L3 " << tilesToString(lp.best.config.tiles[LvlL3])
+              << " par " << tilesToString(lp.best.config.par) << "\n\n"
+              << lp.best.predicted.str() << "\n";
+    return 0;
+}
+
+/** The `mopt query` subcommand: thin client over a moptd fleet. */
+int
+runQuery(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    flags.rejectUnknown({"connect", "net", "layer", "k", "c", "image",
+                         "rs", "stride", "dilation", "batch", "machine",
+                         "sequential", "effort", "top-k", "plan-out",
+                         "stats", "shutdown", "help"});
+    if (flags.getBool("help", false)) {
+        printUsage();
+        return 0;
+    }
+    QuerySetup q = querySetup(flags);
+
+    if (flags.getBool("stats", false))
+        return queryStats(q);
+    if (flags.getBool("shutdown", false))
+        return queryShutdown(q);
+    if (flags.has("net"))
+        return queryNetwork(flags, q);
+
+    ConvProblem p;
+    if (flags.has("layer")) {
+        p = workloadByName(flags.getString("layer", ""));
+    } else if (flags.has("k") && flags.has("c") && flags.has("image") &&
+               flags.has("rs")) {
+        p = ConvProblem::fromImage(
+            "cli", flags.getInt("k", 1), flags.getInt("c", 1),
+            flags.getInt("image", 1), flags.getInt("rs", 1),
+            static_cast<int>(flags.getInt("stride", 1)),
+            flags.getInt("batch", 1));
+        p.dilation = static_cast<int>(flags.getInt("dilation", 1));
+        p.validate();
+    } else {
+        fatal("query mode needs --net, --layer, explicit dims, "
+              "--stats, or --shutdown");
+    }
+    return queryProblem(q, p);
+}
+
+/** Single-layer mode (the default, no subcommand). */
+int
+runSingle(int argc, char **argv);
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace mopt;
-    if (argc > 1 && std::strcmp(argv[1], "network") == 0)
-        return runNetwork(argc - 1, argv + 1);
+    // User errors (bad flags, unreachable fleet, refused solves)
+    // surface as FatalError; report them like a tool, not a crash.
+    try {
+        if (argc > 1 && std::strcmp(argv[1], "network") == 0)
+            return runNetwork(argc - 1, argv + 1);
+        if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+            return runServe(argc - 1, argv + 1);
+        if (argc > 1 && std::strcmp(argv[1], "query") == 0)
+            return runQuery(argc - 1, argv + 1);
+        return runSingle(argc, argv);
+    } catch (const FatalError &e) {
+        std::cerr << "mopt: error: " << e.what() << "\n";
+        return 1;
+    }
+}
 
+namespace {
+
+int
+runSingle(int argc, char **argv)
+{
+    using namespace mopt;
     const Flags flags(argc, argv);
+    flags.rejectUnknown({"layer", "k", "c", "image", "rs", "stride",
+                         "dilation", "batch", "machine", "sequential",
+                         "effort", "top-k", "emit-c", "verify",
+                         "compare", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -272,3 +637,5 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace

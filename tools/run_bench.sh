@@ -10,7 +10,13 @@
 #   bench_name...  specific harnesses (e.g. bench_pruning); default: all
 #
 # Environment: MOPT_BENCH_FULL=1 restores paper-scale parameters.
+#
+# Runs from any cwd: relative -b/-o paths resolve against the repo
+# root, so CI steps and local invocations cannot diverge.
 set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
 
 build_dir=build
 out_dir=""

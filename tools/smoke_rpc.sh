@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the moptd serving stack: start `mopt serve`,
+# query it cold and warm, and assert
+#   1. the served plan is byte-identical to a local `mopt network` run,
+#   2. warm queries report a 100% cache hit rate,
+#   3. the shard router falls back to a local solve (and still returns
+#      the identical plan) when one fleet node is down,
+#   4. stats + shutdown RPCs work.
+#
+# Usage: tools/smoke_rpc.sh [BUILD_DIR]   (default: build)
+#
+# Artifacts (plans, logs) land in BUILD_DIR/rpc_smoke/; the server log
+# is dumped on any failure so CI runs are debuggable post mortem.
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+build_dir=${1:-build}
+mopt=$build_dir/tools/mopt
+if [[ ! -x $mopt ]]; then
+    echo "error: $mopt not found; build first:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j --target mopt_cli" >&2
+    exit 1
+fi
+
+work=$build_dir/rpc_smoke
+rm -rf "$work"
+mkdir -p "$work"
+
+common_args=(--machine i7 --effort fast)
+server_pid=""
+failed=1
+
+cleanup() {
+    if [[ $failed -ne 0 ]]; then
+        echo "==== smoke_rpc FAILED; server log follows ====" >&2
+        cat "$work/server.log" >&2 || true
+        echo "==== end of server log ====" >&2
+    fi
+    if [[ -n $server_pid ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
+
+echo "== local reference plan =="
+"$mopt" network --net resnet18 "${common_args[@]}" \
+    --plan-out "$work/local.txt" > "$work/local.out"
+
+echo "== starting moptd (ephemeral port) =="
+"$mopt" serve --port 0 "${common_args[@]}" \
+    --cache "$work/cache.json" > "$work/server.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^moptd: listening on .*:\([0-9]*\)$/\1/p' \
+        "$work/server.log" 2>/dev/null | head -1)
+    [[ -n $port ]] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "error: server exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z $port ]]; then
+    echo "error: server never reported its port" >&2
+    exit 1
+fi
+echo "   moptd is listening on port $port"
+
+echo "== cold query (expect 0% hit rate, all shapes solved) =="
+"$mopt" query --connect "127.0.0.1:$port" --net resnet18 \
+    "${common_args[@]}" --plan-out "$work/cold.txt" \
+    | tee "$work/cold.out"
+grep -q "hit rate 0.0%" "$work/cold.out" || {
+    echo "error: cold query did not report a 0.0% hit rate" >&2
+    exit 1
+}
+
+echo "== warm query (expect 100% hit rate) =="
+"$mopt" query --connect "127.0.0.1:$port" --net resnet18 \
+    "${common_args[@]}" --plan-out "$work/warm.txt" \
+    | tee "$work/warm.out"
+grep -q "hit rate 100.0%" "$work/warm.out" || {
+    echo "error: warm query did not report a 100.0% hit rate" >&2
+    exit 1
+}
+
+echo "== byte-identical plans: local vs cold vs warm =="
+cmp "$work/local.txt" "$work/cold.txt"
+cmp "$work/local.txt" "$work/warm.txt"
+echo "   identical"
+
+echo "== degraded fleet: one dead node, expect local fallback =="
+# 127.0.0.1:1 is refused immediately on any sane host; shapes whose
+# keys hash to that node must be solved locally, and the assembled
+# plan must still match the reference byte for byte.
+"$mopt" query --connect "127.0.0.1:1,127.0.0.1:$port" --net resnet18 \
+    "${common_args[@]}" --plan-out "$work/degraded.txt" \
+    > "$work/degraded.out" 2>&1
+grep -q "solved locally (node down)" "$work/degraded.out" || {
+    echo "error: degraded query did not report a local fallback" >&2
+    cat "$work/degraded.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/degraded.txt"
+echo "   fallback taken, plan still identical"
+
+echo "== stats RPC =="
+"$mopt" query --connect "127.0.0.1:$port" --stats | tee "$work/stats.out"
+grep -q "entries in" "$work/stats.out"
+
+echo "== shutdown RPC =="
+"$mopt" query --connect "127.0.0.1:$port" --shutdown
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "error: server still running after shutdown RPC" >&2
+    exit 1
+fi
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+failed=0
+echo "smoke_rpc: PASS"
