@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Concurrent-cold serving throughput: K concurrent clients hammer an
+ * in-process moptd over loopback with N cold shapes and the harness
+ * reports end-to-end wall time, solves per second, and how many
+ * duplicate requests the single-flight scheduler coalesced.
+ *
+ * Three scenarios, each against a fresh server + empty cache:
+ *
+ *   serial_cold  8 clients, 8 distinct shapes, --solve-concurrency 1
+ *                   (the historical one-solve-at-a-time behavior)
+ *   conc4_cold   same load, --solve-concurrency 4: distinct cold
+ *                   shapes overlap, each on a quarter of the pool width
+ *   conc4_dup      8 clients, ONE shape, --solve-concurrency 4: the
+ *                   single-flight table must run exactly one solve
+ *
+ * The harness fails (exit 1) when the dedupe invariant breaks or when
+ * any client gets a wrong/failed answer; the speedup is reported, not
+ * gated here (tools/check_bench.py gates the recorded wall times).
+ */
+
+#include <atomic>
+#include <iostream>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/string_util.hh"
+#include "common/table.hh"
+#include "common/timer.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+#include "rpc/client.hh"
+#include "rpc/server.hh"
+#include "service/solution_cache.hh"
+
+namespace {
+
+mopt::ConvProblem
+shapeNumber(int i)
+{
+    mopt::ConvProblem p;
+    p.name = "bench";
+    p.n = 1;
+    p.k = 32 + 16 * i;
+    p.c = 32;
+    p.r = 3;
+    p.s = 3;
+    p.h = 28;
+    p.w = 28;
+    return p;
+}
+
+mopt::OptimizerOptions
+benchOpts()
+{
+    mopt::OptimizerOptions o;
+    o.effort = mopt::OptimizerOptions::Effort::Fast;
+    o.parallel = true;
+    return o;
+}
+
+struct ScenarioResult
+{
+    double wall_seconds = 0;
+    std::int64_t solves = 0;
+    std::int64_t coalesced = 0;
+    int failures = 0;
+    int mismatches = 0;
+};
+
+/** Run @p clients concurrent solve RPCs (client i asks for shape
+ *  indices[i]) against a fresh server with the given solve budget. */
+ScenarioResult
+runScenario(int solve_concurrency, const std::vector<int> &indices)
+{
+    using namespace mopt;
+    SolutionCache cache;
+    ServerOptions so;
+    so.workers = static_cast<int>(indices.size());
+    so.solve_concurrency = solve_concurrency;
+    Server server(machineByName("tiny"), benchOpts(), &cache, so);
+    std::string err;
+    if (!server.start(&err)) {
+        std::cerr << "error: cannot start server: " << err << "\n";
+        std::exit(1);
+    }
+    std::thread serve_thread([&server] { server.serve(); });
+    const RpcEndpoint ep{"127.0.0.1", server.port()};
+
+    const int clients = static_cast<int>(indices.size());
+    std::vector<CachedSolution> sols(indices.size());
+    std::atomic<int> failures{0};
+    std::latch start(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(indices.size());
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            Client client(ep);
+            RpcRequest req;
+            req.op = RpcOp::Solve;
+            req.problem =
+                shapeNumber(indices[static_cast<std::size_t>(t)]);
+            RpcResponse resp;
+            start.arrive_and_wait();
+            if (!client.call(req, resp) || !resp.ok)
+                failures.fetch_add(1);
+            else
+                sols[static_cast<std::size_t>(t)] = resp.solve.sol;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    ScenarioResult r;
+    r.wall_seconds = wall.seconds();
+    r.failures = failures.load();
+    const SolveSchedulerStats ss = server.schedulerStats();
+    r.solves = ss.solves;
+    r.coalesced = ss.coalesced;
+
+    // Every client asking for the same index must hold the same
+    // solution (single-flight + deterministic solver).
+    for (std::size_t a = 0; a < indices.size(); ++a)
+        for (std::size_t b = a + 1; b < indices.size(); ++b)
+            if (indices[a] == indices[b] && !(sols[a] == sols[b]))
+                r.mismatches++;
+
+    server.stop();
+    serve_thread.join();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mopt;
+    benchBanner("Serving throughput: concurrent cold misses",
+                "single-flight solve scheduler (repo extension; no "
+                "paper figure)");
+
+    const int shapes = scaled(8, 16);
+    std::vector<int> distinct, duplicate;
+    for (int i = 0; i < shapes; ++i) {
+        distinct.push_back(i);
+        duplicate.push_back(0);
+    }
+
+    struct Scenario
+    {
+        const char *name;
+        int solve_concurrency;
+        const std::vector<int> *indices;
+        std::int64_t expect_solves;
+    };
+    const Scenario scenarios[] = {
+        {"serial_cold", 1, &distinct, shapes},
+        {"conc4_cold", 4, &distinct, shapes},
+        {"conc4_dup", 4, &duplicate, 1},
+    };
+
+    Table t({"Layer", "clients", "budget", "solves", "coalesced",
+             "wall (s)", "solves/s"});
+    int rc = 0;
+    double serial_wall = 0, conc_wall = 0;
+    for (const Scenario &s : scenarios) {
+        const ScenarioResult r =
+            runScenario(s.solve_concurrency, *s.indices);
+        t.row()
+            .add(s.name)
+            .add(static_cast<long long>(s.indices->size()))
+            .add(static_cast<long long>(s.solve_concurrency))
+            .add(static_cast<long long>(r.solves))
+            .add(static_cast<long long>(r.coalesced))
+            .add(r.wall_seconds, 3)
+            .add(static_cast<double>(r.solves) / r.wall_seconds, 1);
+        if (r.failures || r.mismatches) {
+            std::cerr << "error: " << s.name << ": " << r.failures
+                      << " failed calls, " << r.mismatches
+                      << " mismatched answers\n";
+            rc = 1;
+        }
+        if (r.solves != s.expect_solves) {
+            std::cerr << "error: " << s.name << ": expected "
+                      << s.expect_solves << " solver invocations, got "
+                      << r.solves << " (single-flight broken?)\n";
+            rc = 1;
+        }
+        if (std::string(s.name) == "serial_cold")
+            serial_wall = r.wall_seconds;
+        if (std::string(s.name) == "conc4_cold")
+            conc_wall = r.wall_seconds;
+    }
+    t.print(std::cout);
+    std::cout << "\nConcurrent-cold speedup (serial_cold / "
+                 "conc4_cold): "
+              << formatDouble(serial_wall / conc_wall, 2) << "x on "
+              << std::thread::hardware_concurrency()
+              << " hardware thread(s)\n";
+    return rc;
+}

@@ -35,7 +35,12 @@ main(int argc, char **argv)
 
     // --- Server side: what `mopt serve` runs. -----------------------
     SolutionCache cache; // Add a journal_path to persist across runs.
-    Server server(machine, opts, &cache);
+    ServerOptions so;
+    // Up to two cold shapes solve at once (each on half the pool
+    // width); duplicate concurrent requests always share one solve.
+    // Plans are byte-identical for any budget.
+    so.solve_concurrency = 2;
+    Server server(machine, opts, &cache, so);
     std::string err;
     if (!server.start(&err)) {
         std::cerr << "cannot start server: " << err << "\n";
@@ -80,7 +85,11 @@ main(int argc, char **argv)
     if (client.call(stats_req, stats, &err) && stats.ok) {
         std::cout << stats.machine_name << ": " << stats.entries
                   << " cached entries, lookups " << stats.cache.hits
-                  << " hits / " << stats.cache.misses << " misses\n";
+                  << " hits / " << stats.cache.misses << " misses\n"
+                  << "scheduler: " << stats.sched_solves
+                  << " solves, " << stats.sched_coalesced
+                  << " coalesced (budget " << stats.sched_budget
+                  << ", peak " << stats.sched_peak << ")\n";
         for (std::size_t i = 0; i < stats.entry_hits.size() && i < 3;
              ++i)
             std::cout << "  " << stats.entry_hits[i].hits << " hits  "

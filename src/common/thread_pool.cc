@@ -51,6 +51,14 @@ void
 ThreadPool::parallelFor(std::size_t count,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelForImpl(count, body, workers_.size());
+}
+
+void
+ThreadPool::parallelForImpl(std::size_t count,
+                            const std::function<void(std::size_t)> &body,
+                            std::size_t max_helpers)
+{
     if (count == 0)
         return;
 
@@ -92,7 +100,8 @@ ThreadPool::parallelFor(std::size_t count,
         }
     };
 
-    const std::size_t helpers = std::min(workers_.size(), count);
+    const std::size_t helpers =
+        std::min({workers_.size(), count, max_helpers});
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < helpers; ++i)
@@ -118,6 +127,15 @@ void
 ThreadPool::parallelForIndexed(
     std::size_t count, std::size_t grain,
     const std::function<void(std::size_t, std::size_t, std::size_t)> &body)
+{
+    parallelForIndexedImpl(count, grain, body, workers_.size());
+}
+
+void
+ThreadPool::parallelForIndexedImpl(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)> &body,
+    std::size_t max_helpers)
 {
     if (count == 0)
         return;
@@ -169,7 +187,8 @@ ThreadPool::parallelForIndexed(
     };
 
     const std::size_t chunks = (count + grain - 1) / grain;
-    const std::size_t helpers = std::min(workers_.size(), chunks);
+    const std::size_t helpers =
+        std::min({workers_.size(), chunks, max_helpers});
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < helpers; ++i)

@@ -19,6 +19,7 @@
 #ifndef MOPT_COMMON_THREAD_POOL_HH
 #define MOPT_COMMON_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -33,10 +34,66 @@ namespace mopt {
  * Fixed-size worker pool. Tasks are std::function<void()>; parallelFor
  * blocks until all iterations complete. Exceptions inside tasks
  * propagate out of parallelFor (first one wins).
+ *
+ * Several callers may issue parallel-for calls on one pool
+ * concurrently; their tasks interleave in the shared queue and each
+ * call completes independently (every caller participates in its own
+ * loop, so progress never depends on a helper being dequeued). To
+ * share a pool *fairly*, take a SubWidth handle per caller: it caps
+ * how many helpers one call may recruit, partitioning the pool's
+ * width across concurrent callers (the solve scheduler runs N
+ * concurrent solves at 1/N width each this way).
  */
 class ThreadPool
 {
   public:
+    /**
+     * A width-capped view of a pool: the same parallel-for surface,
+     * but at most width()-1 helper tasks are enqueued per call (the
+     * caller is always the width()-th participant). Worker ids passed
+     * to parallelForIndexed bodies are dense in [0, size()], exactly
+     * as on the full pool, so per-worker scratch sized size()+1 works
+     * unchanged. Copyable; must not outlive the pool.
+     */
+    class SubWidth
+    {
+      public:
+        /** Helper count this handle may recruit (mirrors
+         *  ThreadPool::size(): participants = size() + 1). */
+        std::size_t size() const { return width_ - 1; }
+
+        /** Max participating threads, caller included (>= 1). */
+        std::size_t width() const { return width_; }
+
+        /** ThreadPool::parallelFor, capped to this handle's width. */
+        void parallelFor(std::size_t count,
+                         const std::function<void(std::size_t)> &body)
+        {
+            pool_->parallelForImpl(count, body, width_ - 1);
+        }
+
+        /** ThreadPool::parallelForIndexed, capped to this handle's
+         *  width. Worker ids lie in [0, size()]. */
+        void parallelForIndexed(
+            std::size_t count, std::size_t grain,
+            const std::function<void(std::size_t worker,
+                                     std::size_t begin,
+                                     std::size_t end)> &body)
+        {
+            pool_->parallelForIndexedImpl(count, grain, body,
+                                          width_ - 1);
+        }
+
+      private:
+        friend class ThreadPool;
+        SubWidth(ThreadPool &pool, std::size_t width)
+            : pool_(&pool), width_(width)
+        {}
+
+        ThreadPool *pool_;
+        std::size_t width_; //!< Participants incl. caller; >= 1.
+    };
+
     /** Spawn @p num_threads workers (>= 1). */
     explicit ThreadPool(std::size_t num_threads);
 
@@ -48,6 +105,19 @@ class ThreadPool
 
     /** Number of worker threads. */
     std::size_t size() const { return workers_.size(); }
+
+    /** A handle capped to @p width participating threads (caller
+     *  included), clamped to [1, size() + 1]. */
+    SubWidth subWidth(std::size_t width)
+    {
+        return SubWidth(*this,
+                        std::min(std::max<std::size_t>(width, 1),
+                                 workers_.size() + 1));
+    }
+
+    /** The uncapped handle (width = size() + 1), for callers written
+     *  against the SubWidth surface. */
+    SubWidth fullWidth() { return subWidth(workers_.size() + 1); }
 
     /**
      * Run body(i) for i in [0, count) across the pool and wait for all
@@ -81,6 +151,15 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    void parallelForImpl(std::size_t count,
+                         const std::function<void(std::size_t)> &body,
+                         std::size_t max_helpers);
+    void parallelForIndexedImpl(
+        std::size_t count, std::size_t grain,
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &body,
+        std::size_t max_helpers);
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

@@ -348,6 +348,18 @@ OptimizeOutput
 optimizeConv(const ConvProblem &p, const MachineSpec &m,
              const OptimizerOptions &opts)
 {
+    const std::size_t workers = std::max<std::size_t>(
+        1, opts.threads > 0
+               ? static_cast<std::size_t>(opts.threads)
+               : std::max(1u, std::thread::hardware_concurrency()));
+    ThreadPool pool(workers);
+    return optimizeConv(p, m, opts, pool.fullWidth());
+}
+
+OptimizeOutput
+optimizeConv(const ConvProblem &p, const MachineSpec &m,
+             const OptimizerOptions &opts, ThreadPool::SubWidth pool)
+{
     p.validate();
     m.validate();
     Timer timer;
@@ -360,11 +372,6 @@ optimizeConv(const ConvProblem &p, const MachineSpec &m,
 
     const MultiStartOptions ms = effortOptions(opts.effort, opts.seed);
 
-    const std::size_t workers = std::max<std::size_t>(
-        1, opts.threads > 0
-               ? static_cast<std::size_t>(opts.threads)
-               : std::max(1u, std::thread::hardware_concurrency()));
-    ThreadPool pool(workers);
     std::vector<SolverScratch> scratch(pool.size() + 1);
 
     // Algorithm 1, flattened: each round solves every (unfixed combo,

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "conv/problem.hh"
 #include "machine/machine.hh"
 #include "model/multi_level.hh"
@@ -97,10 +98,25 @@ IntTileVec microkernelTiles(const ConvProblem &p, const MachineSpec &m);
  *  reduction, Sec. 6). */
 Permutation microkernelPermutation();
 
-/** Run the full optimizer for one conv2d operator. */
+/** Run the full optimizer for one conv2d operator. Spawns a private
+ *  ThreadPool sized by opts.threads (0 = hardware) for the duration
+ *  of the call. */
 OptimizeOutput optimizeConv(const ConvProblem &p, const MachineSpec &m,
                             const OptimizerOptions &opts =
                                 OptimizerOptions());
+
+/**
+ * Same optimizer on a caller-provided (possibly width-capped) pool
+ * handle: the sweep fans out across at most pool.width() threads,
+ * caller included, and opts.threads is ignored. This is how the solve
+ * scheduler (src/service/solve_scheduler.hh) runs several solves
+ * concurrently, each on a partition of one shared pool's width. The
+ * result is bit-identical to the private-pool overload for any width
+ * (see docs/ARCHITECTURE.md, "Threading and determinism invariants").
+ */
+OptimizeOutput optimizeConv(const ConvProblem &p, const MachineSpec &m,
+                            const OptimizerOptions &opts,
+                            ThreadPool::SubWidth pool);
 
 } // namespace mopt
 

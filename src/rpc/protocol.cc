@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <utility>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -143,7 +144,8 @@ std::string
 requestToJsonLine(const RpcRequest &req)
 {
     std::ostringstream oss;
-    oss << "{\"op\":\"" << rpcOpName(req.op) << "\"";
+    oss << "{\"v\":" << req.v << ",\"op\":\"" << rpcOpName(req.op)
+        << "\"";
     appendFingerprints(oss, req.machine_fp, req.settings_fp);
     switch (req.op) {
     case RpcOp::Solve:
@@ -169,12 +171,27 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
         setError(err, "request is not a JSON object");
         return false;
     }
+    RpcRequest req;
+    // Version gate first: a future major version may rename every
+    // other field, so nothing else is interpreted until the request
+    // is known to speak our dialect. Absent = 1 (pre-versioning
+    // clients).
+    if (root.find("v") && !jsonGetInt(root, "v", req.v)) {
+        setError(err, "\"v\": expected an integer protocol version");
+        return false;
+    }
+    if (req.v != kRpcProtocolVersion) {
+        setError(err, "unsupported protocol version v=" +
+                          std::to_string(req.v) +
+                          " (this server speaks v=" +
+                          std::to_string(kRpcProtocolVersion) + ")");
+        return false;
+    }
     std::string op_name;
     if (!jsonGetString(root, "op", op_name)) {
         setError(err, "request has no \"op\"");
         return false;
     }
-    RpcRequest req;
     if (!opFromName(op_name, req.op)) {
         setError(err, "unknown op \"" + op_name + "\"");
         return false;
@@ -257,6 +274,11 @@ responseToJsonLine(const RpcResponse &resp)
             << ",\"evictions\":" << resp.cache.evictions
             << ",\"journal_loaded\":" << resp.cache.journal_loaded
             << ",\"journal_skipped\":" << resp.cache.journal_skipped
+            << ",\"sched_solves\":" << resp.sched_solves
+            << ",\"sched_coalesced\":" << resp.sched_coalesced
+            << ",\"sched_inflight\":" << resp.sched_inflight
+            << ",\"sched_peak\":" << resp.sched_peak
+            << ",\"sched_budget\":" << resp.sched_budget
             << ",\"entry_hits\":[";
         for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
             if (i)
@@ -365,6 +387,20 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
             return false;
         }
         resp.shards = static_cast<int>(shards);
+        // Scheduler counters are optional: a pre-scheduler server
+        // simply doesn't send them, and 0 is the honest reading.
+        for (const auto &[key, dst] :
+             {std::pair<const char *, std::int64_t *>{
+                  "sched_solves", &resp.sched_solves},
+              {"sched_coalesced", &resp.sched_coalesced},
+              {"sched_inflight", &resp.sched_inflight},
+              {"sched_peak", &resp.sched_peak},
+              {"sched_budget", &resp.sched_budget}}) {
+            if (root.find(key) && !jsonGetInt(root, key, *dst)) {
+                setError(err, std::string("stats: bad ") + key);
+                return false;
+            }
+        }
         const JsonValue *eh = root.find("entry_hits");
         if (!eh || !eh->isArray()) {
             setError(err, "stats: missing entry_hits");

@@ -5,13 +5,19 @@
  *
  * Requests (the "op" member selects the operation):
  *
- *   {"op":"solve", "machine":"<fp>", "settings":"<fp>",
+ *   {"v":1,"op":"solve", "machine":"<fp>", "settings":"<fp>",
  *    "n":1,"k":64,"c":3,"r":7,"s":7,"h":112,"w":112,
  *    "stride":2,"dilation":1}
- *   {"op":"solve_network", "machine":"<fp>", "settings":"<fp>",
+ *   {"v":1,"op":"solve_network", "machine":"<fp>", "settings":"<fp>",
  *    "net":"resnet18"}
- *   {"op":"stats"}
- *   {"op":"shutdown"}
+ *   {"v":1,"op":"stats"}
+ *   {"v":1,"op":"shutdown"}
+ *
+ * "v" is the protocol major version. This build speaks exactly v1; a
+ * request carrying any other version is refused with a clear error
+ * *before* its fields are interpreted (a future v2 may rename them),
+ * and an absent "v" is treated as 1 so pre-versioning clients keep
+ * working.
  *
  * "machine" and "settings" are the client's CacheKey fingerprints
  * (16-digit hex, the journal's encoding). The server compares them
@@ -33,8 +39,18 @@
  *    "machine_name":"i7-9700K","entries":11,"shards":8,
  *    "lookups_hit":20,"lookups_miss":11,"inserts":11,"evictions":0,
  *    "journal_loaded":0,"journal_skipped":0,
+ *    "sched_solves":11,"sched_coalesced":3,"sched_inflight":0,
+ *    "sched_peak":2,"sched_budget":2,
  *    "entry_hits":[{"key":"...","hits":3}, ...]}
  *   {"ok":true,"op":"shutdown"}
+ *
+ * The "sched_*" members are the server's single-flight solve
+ * scheduler counters (service/solve_scheduler.hh): solver
+ * invocations, requests coalesced onto an in-flight solve, solves
+ * executing right now, the peak observed concurrency, and the
+ * configured --solve-concurrency budget. Clients parse them as
+ * optional (absent reads as 0) so a new client can still drain stats
+ * from a pre-scheduler server.
  *
  * Framing rules: a request larger than the server's limit (default
  * 1 MiB) is answered with an error and the connection is dropped;
@@ -61,9 +77,15 @@ enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown };
 /** Printable op name (the wire spelling). */
 std::string rpcOpName(RpcOp op);
 
+/** The protocol major version this build speaks. */
+constexpr std::int64_t kRpcProtocolVersion = 1;
+
 /** One parsed request. */
 struct RpcRequest
 {
+    /** Protocol major version; absent on the wire parses as 1. */
+    std::int64_t v = kRpcProtocolVersion;
+
     RpcOp op = RpcOp::Solve;
 
     /** Solve: the shape to optimize (canonical; name ignored). */
@@ -126,6 +148,14 @@ struct RpcResponse
     std::uint64_t settings_fp = 0;
     std::string machine_name;
     std::vector<RpcEntryHits> entry_hits;
+
+    // Stats: solve-scheduler counters (optional on the wire; absent
+    // parses as 0 — see the file header).
+    std::int64_t sched_solves = 0;
+    std::int64_t sched_coalesced = 0;
+    std::int64_t sched_inflight = 0;
+    std::int64_t sched_peak = 0;
+    std::int64_t sched_budget = 0;
 };
 
 /** An error response for @p msg (op-independent). */

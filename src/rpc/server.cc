@@ -14,13 +14,18 @@ namespace mopt {
 Server::Server(const MachineSpec &machine, const OptimizerOptions &opts,
                SolutionCache *cache, ServerOptions options)
     : machine_(machine), opts_(opts), cache_(cache),
-      options_(std::move(options)),
-      optimizer_(machine_, opts_, cache_),
+      options_([&options] {
+          options.workers = std::max(1, options.workers);
+          options.solve_concurrency =
+              std::max(1, options.solve_concurrency);
+          return std::move(options);
+      }()),
+      scheduler_(machine_, opts_, cache_,
+                 SolveSchedulerOptions{options_.solve_concurrency}),
+      optimizer_(machine_, opts_, cache_, &scheduler_),
       machine_fp_(CacheKey::machineFingerprint(machine_)),
       settings_fp_(CacheKey::settingsFingerprint(opts_))
-{
-    options_.workers = std::max(1, options_.workers);
-}
+{}
 
 Server::~Server()
 {
@@ -220,30 +225,15 @@ Server::handleSolve(const RpcRequest &req)
         return resp;
     resp.ok = true;
     resp.op = RpcOp::Solve;
-    const CacheKey key = CacheKey::make(req.problem, machine_, opts_);
-
-    CachedSolution cached;
-    if (cache_ && cache_->lookup(key, &cached)) {
-        resp.solve = RpcSolveResult{key, cached, /*cache_hit=*/true};
-        return resp;
-    }
-    std::lock_guard<std::mutex> lock(solve_mu_);
-    // Double-check: another worker may have solved this key while we
-    // waited for the solve mutex.
-    if (cache_ && cache_->lookup(key, &cached)) {
-        resp.solve = RpcSolveResult{key, cached, /*cache_hit=*/true};
-        return resp;
-    }
-    const OptimizeOutput out = optimizeConv(req.problem, machine_, opts_);
-    checkInvariant(!out.candidates.empty(),
-                   "rpc::Server: optimizeConv returned no candidates");
-    const Candidate &best = out.candidates.front();
-    const CachedSolution sol{best.config, best.predicted.total_seconds,
-                             best.perm_label};
-    if (cache_)
-        cache_->insert(key, sol);
-    resp.solve = RpcSolveResult{key, sol, /*cache_hit=*/false};
-    resp.solve_seconds = out.seconds;
+    // The scheduler handles the whole miss path: cache lookup,
+    // coalescing with any in-flight solve of this key (this worker
+    // then blocks on the shared future), or a fresh bounded-
+    // concurrency solve. A coalesced request reports a miss with
+    // zero solve time — the flight's leader paid for it.
+    ScheduledSolve r = scheduler_.solve(req.problem);
+    resp.solve =
+        RpcSolveResult{std::move(r.key), std::move(r.sol), r.cache_hit};
+    resp.solve_seconds = r.solve_seconds;
     return resp;
 }
 
@@ -255,11 +245,10 @@ Server::handleSolveNetwork(const RpcRequest &req)
         return resp;
     const std::vector<ConvProblem> net = networkByName(req.net);
 
-    NetworkPlan plan;
-    {
-        std::lock_guard<std::mutex> lock(solve_mu_);
-        plan = optimizer_.optimize(net);
-    }
+    // No lock: the optimizer submits its miss groups to the shared
+    // scheduler, so concurrent network solves pipeline and their
+    // overlapping shapes coalesce fleet-wide.
+    const NetworkPlan plan = optimizer_.optimize(net);
     resp.ok = true;
     resp.op = RpcOp::SolveNetwork;
     resp.plan_text = plan.str();
@@ -300,6 +289,12 @@ Server::handleStats()
             resp.entry_hits.push_back(
                 RpcEntryHits{e.key.str(), e.hits});
     }
+    const SolveSchedulerStats ss = scheduler_.stats();
+    resp.sched_solves = ss.solves;
+    resp.sched_coalesced = ss.coalesced;
+    resp.sched_inflight = ss.in_flight;
+    resp.sched_peak = ss.peak_concurrency;
+    resp.sched_budget = scheduler_.concurrency();
     return resp;
 }
 

@@ -9,11 +9,16 @@
  * hands connections to N worker threads over a queue; each worker
  * owns one connection at a time and answers its requests in order.
  * Cache lookups run lock-free across workers (the cache is sharded);
- * cache *misses* — actual optimizeConv solves — serialize on one
- * mutex so every solve gets the full thread-pool width, preserving
- * the determinism contract documented in docs/ARCHITECTURE.md. A
- * warm server therefore scales with worker count; a cold one is
- * bounded by solver throughput either way.
+ * cache *misses* — actual optimizeConv solves — go through one shared
+ * SolveScheduler (service/solve_scheduler.hh): duplicate concurrent
+ * requests coalesce onto a single in-flight solve (workers block on
+ * its shared future, not a mutex queue), while distinct shapes solve
+ * concurrently up to the --solve-concurrency budget, each on a
+ * partition of the thread-pool width. Solves are width-independent
+ * (docs/ARCHITECTURE.md), so responses are byte-identical for any
+ * budget, and a budget of 1 reproduces the historical serialized
+ * behavior. A warm server scales with worker count; a cold one now
+ * scales with the solve budget too.
  *
  * Shutdown paths: a "shutdown" RPC, or stop() from another thread.
  * Both close the listener (waking the accept loop) and half-close
@@ -39,6 +44,7 @@
 #include "rpc/tcp.hh"
 #include "service/network_optimizer.hh"
 #include "service/solution_cache.hh"
+#include "service/solve_scheduler.hh"
 
 namespace mopt {
 
@@ -58,6 +64,12 @@ struct ServerOptions
     /** Requests longer than this (bytes, excluding the newline) are
      *  answered with an error and the connection is dropped. */
     std::size_t max_request_bytes = 1 << 20;
+
+    /** Concurrent cold-miss solves (the SolveScheduler budget). 1 =
+     *  the historical one-solve-at-a-time behavior; higher values
+     *  split the solver thread-pool width across that many flights.
+     *  Plans are byte-identical either way. */
+    int solve_concurrency = 1;
 };
 
 /** Monotonic server counters (snapshot-read; updated with relaxed
@@ -118,6 +130,12 @@ class Server
 
     const ServerCounters &counters() const { return counters_; }
 
+    /** The single-flight scheduler's counters (also on the stats RPC). */
+    SolveSchedulerStats schedulerStats() const
+    {
+        return scheduler_.stats();
+    }
+
     /** Handle one already-parsed request (exposed for unit tests;
      *  the wire path goes through exactly this). */
     RpcResponse handle(const RpcRequest &req);
@@ -138,6 +156,11 @@ class Server
     OptimizerOptions opts_;
     SolutionCache *cache_;
     ServerOptions options_;
+
+    /** Single-flight, bounded-concurrency solve admission for every
+     *  miss (both solve and solve_network go through it, so their
+     *  duplicate shapes coalesce against one table). */
+    SolveScheduler scheduler_;
     NetworkOptimizer optimizer_;
     std::uint64_t machine_fp_;
     std::uint64_t settings_fp_;
@@ -145,9 +168,6 @@ class Server
     TcpListener listener_;
     std::vector<std::thread> workers_;
     std::atomic<bool> stopping_{false};
-
-    /** Serializes optimizeConv misses (see file header). */
-    std::mutex solve_mu_;
 
     std::mutex queue_mu_;
     std::condition_variable queue_cv_;

@@ -57,10 +57,22 @@ NetworkPlan::str() const
 
 NetworkOptimizer::NetworkOptimizer(const MachineSpec &machine,
                                    const OptimizerOptions &opts,
-                                   SolutionCache *cache)
-    : machine_(machine), opts_(opts), cache_(cache)
+                                   SolutionCache *cache,
+                                   SolveScheduler *scheduler)
+    : machine_(machine), opts_(opts), cache_(cache),
+      scheduler_(scheduler)
 {
     machine_.validate();
+    if (scheduler_) {
+        // A scheduler built from different settings would cache and
+        // coalesce under keys this optimizer never looks up.
+        checkUser(scheduler_->machineFingerprint() ==
+                          CacheKey::machineFingerprint(machine_) &&
+                      scheduler_->settingsFingerprint() ==
+                          CacheKey::settingsFingerprint(opts_),
+                  "NetworkOptimizer: scheduler was built for a "
+                  "different machine or settings");
+    }
 }
 
 NetworkPlan
@@ -100,45 +112,8 @@ NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
     }
     plan.stats.unique_shapes = groups.size();
 
-    // Solve one representative per group: cache hit -> replay, miss ->
-    // the full optimizeConv pipeline (internally parallel), then
-    // publish into the cache.
-    for (const Group &g : groups) {
-        const ConvProblem &rep = net[g.layers.front()];
-        Candidate best;
-        bool hit = false;
-        double solve_seconds = 0.0;
-
-        CachedSolution cached;
-        if (cache_ && cache_->lookup(g.key, &cached)) {
-            best.config = cached.config;
-            best.perm_label = cached.perm_label;
-            // The breakdown is a pure function of (config, problem,
-            // machine), so a hit reproduces the miss path's numbers
-            // exactly.
-            best.predicted =
-                evalMultiLevel(best.config, rep, machine_, opts_.parallel);
-            hit = true;
-            plan.stats.cache_hits++;
-        } else {
-            const OptimizeOutput out = optimizeConv(rep, machine_, opts_);
-            checkInvariant(!out.candidates.empty(),
-                           "NetworkOptimizer: optimizeConv returned no "
-                           "candidates");
-            best = out.candidates.front();
-            solve_seconds = out.seconds;
-            plan.stats.cache_misses++;
-            plan.stats.solver_evals += out.solver_evals;
-            plan.stats.solve_seconds += out.seconds;
-            if (cache_) {
-                cache_->insert(
-                    g.key,
-                    CachedSolution{best.config,
-                                   best.predicted.total_seconds,
-                                   best.perm_label});
-            }
-        }
-
+    const auto fillGroup = [&](const Group &g, const Candidate &best,
+                               bool hit, double solve_seconds) {
         for (std::size_t li = 0; li < g.layers.size(); ++li) {
             const std::size_t layer = g.layers[li];
             LayerPlan &lp = plan.layers[layer];
@@ -147,6 +122,86 @@ NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
             lp.cache_hit = hit;
             lp.dedup_hit = li > 0;
             lp.solve_seconds = li == 0 ? solve_seconds : 0.0;
+        }
+    };
+
+    if (scheduler_) {
+        // Pipelined: submit every group up front so distinct cold
+        // shapes overlap across the scheduler's concurrency budget
+        // (and duplicates coalesce with any concurrent request for
+        // the same shape), then join in network order. Determinism:
+        // each solve's result is width-independent, so this plan is
+        // byte-identical to the serial path below.
+        std::vector<SolveTicket> tickets;
+        tickets.reserve(groups.size());
+        for (const Group &g : groups)
+            tickets.push_back(scheduler_->submit(net[g.layers.front()]));
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            const Group &g = groups[gi];
+            const ConvProblem &rep = net[g.layers.front()];
+            const ScheduledSolve r = tickets[gi].wait();
+            Candidate best;
+            best.config = r.sol.config;
+            best.perm_label = r.sol.perm_label;
+            // Pure function of (config, problem, machine): identical
+            // numbers whether the group hit, coalesced, or solved.
+            best.predicted = evalMultiLevel(best.config, rep, machine_,
+                                            opts_.parallel);
+            if (r.cache_hit) {
+                plan.stats.cache_hits++;
+            } else {
+                plan.stats.cache_misses++;
+                if (r.coalesced)
+                    plan.stats.coalesced++;
+                plan.stats.solver_evals += r.solver_evals;
+                plan.stats.solve_seconds += r.solve_seconds;
+            }
+            fillGroup(g, best, r.cache_hit, r.solve_seconds);
+        }
+        plan.stats.peak_concurrency =
+            scheduler_->stats().peak_concurrency;
+    } else {
+        // Serial: solve one representative per group in network
+        // order — cache hit -> replay, miss -> the full optimizeConv
+        // pipeline (internally parallel, full pool width), then
+        // publish into the cache.
+        for (const Group &g : groups) {
+            const ConvProblem &rep = net[g.layers.front()];
+            Candidate best;
+            bool hit = false;
+            double solve_seconds = 0.0;
+
+            CachedSolution cached;
+            if (cache_ && cache_->lookup(g.key, &cached)) {
+                best.config = cached.config;
+                best.perm_label = cached.perm_label;
+                // The breakdown is a pure function of (config,
+                // problem, machine), so a hit reproduces the miss
+                // path's numbers exactly.
+                best.predicted = evalMultiLevel(best.config, rep,
+                                                machine_, opts_.parallel);
+                hit = true;
+                plan.stats.cache_hits++;
+            } else {
+                const OptimizeOutput out =
+                    optimizeConv(rep, machine_, opts_);
+                checkInvariant(!out.candidates.empty(),
+                               "NetworkOptimizer: optimizeConv returned "
+                               "no candidates");
+                best = out.candidates.front();
+                solve_seconds = out.seconds;
+                plan.stats.cache_misses++;
+                plan.stats.solver_evals += out.solver_evals;
+                plan.stats.solve_seconds += out.seconds;
+                if (cache_) {
+                    cache_->insert(
+                        g.key,
+                        CachedSolution{best.config,
+                                       best.predicted.total_seconds,
+                                       best.perm_label});
+                }
+            }
+            fillGroup(g, best, hit, solve_seconds);
         }
     }
 

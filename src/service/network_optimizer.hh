@@ -8,12 +8,17 @@
  *
  * Each cache miss is solved by the existing optimizeConv pipeline,
  * which internally fans its (permutation combo x objective x start)
- * work items across ThreadPool::parallelForIndexed; misses are issued
- * one at a time so every solve gets the full pool width and the
- * per-layer results stay deterministic. The returned plan is therefore
- * byte-identical between a cold and a warm run: a hit replays the
- * stored winning ExecConfig and re-derives the cost breakdown from the
- * (deterministic) analytical model.
+ * work items across ThreadPool::parallelForIndexed. Without a
+ * SolveScheduler, misses are issued one at a time so every solve gets
+ * the full pool width; with one, all miss groups are submitted up
+ * front and joined in network order, so an N-miss cold network
+ * pipelines across the scheduler's concurrency budget (and coalesces
+ * with any other request solving the same shape). Either way the
+ * per-layer results are deterministic — optimizeConv is bit-identical
+ * for any worker width — so the returned plan is byte-identical
+ * between serial and pipelined runs, and between a cold and a warm
+ * run: a hit replays the stored winning ExecConfig and re-derives the
+ * cost breakdown from the (deterministic) analytical model.
  */
 
 #ifndef MOPT_SERVICE_NETWORK_OPTIMIZER_HH
@@ -27,6 +32,7 @@
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
 #include "service/solution_cache.hh"
+#include "service/solve_scheduler.hh"
 
 namespace mopt {
 
@@ -50,6 +56,14 @@ struct NetworkPlanStats
     long solver_evals = 0;         //!< Model evaluations across solves.
     double solve_seconds = 0;      //!< Wall time inside optimizeConv.
     double total_seconds = 0;      //!< Wall time of the whole call.
+
+    /** Misses that joined another request's in-flight solve instead
+     *  of running one (scheduler-backed runs only). */
+    std::size_t coalesced = 0;
+
+    /** Scheduler-lifetime peak of simultaneous solves (0 when this
+     *  run solved serially without a scheduler). */
+    int peak_concurrency = 0;
 
     /** cache_hits / unique_shapes (1 when there was nothing to do). */
     double hitRate() const;
@@ -75,21 +89,28 @@ struct NetworkPlan
 /**
  * Batch front-end over optimizeConv. Holds the machine, the search
  * settings, and an optional solution cache shared across calls (and,
- * via its journal, across runs). Thread-safe to the extent that
- * concurrent optimize() calls only share the SolutionCache, which is
- * itself thread-safe.
+ * via its journal, across runs). Thread-safe: concurrent optimize()
+ * calls only share the SolutionCache and SolveScheduler, which are
+ * themselves thread-safe.
  */
 class NetworkOptimizer
 {
   public:
     /**
-     * @param machine  target machine description
-     * @param opts     search settings applied to every layer
-     * @param cache    optional solution cache (not owned; may be null)
+     * @param machine    target machine description
+     * @param opts       search settings applied to every layer
+     * @param cache      optional solution cache (not owned; may be null)
+     * @param scheduler  optional single-flight solve scheduler (not
+     *                   owned). When given, it must be built from the
+     *                   same machine and settings (checked), misses
+     *                   pipeline across its concurrency budget, and
+     *                   @p cache should be the scheduler's cache.
+     *                   When null, misses solve serially in-place.
      */
     NetworkOptimizer(const MachineSpec &machine,
                      const OptimizerOptions &opts,
-                     SolutionCache *cache = nullptr);
+                     SolutionCache *cache = nullptr,
+                     SolveScheduler *scheduler = nullptr);
 
     /** Optimize every layer of @p net (in order, repeats allowed). */
     NetworkPlan optimize(const std::vector<ConvProblem> &net) const;
@@ -101,6 +122,7 @@ class NetworkOptimizer
     MachineSpec machine_;
     OptimizerOptions opts_;
     SolutionCache *cache_;
+    SolveScheduler *scheduler_;
 };
 
 } // namespace mopt

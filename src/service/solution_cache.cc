@@ -275,7 +275,9 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
             }
         }
         if (fresh) {
-            sh.lru.push_front(Entry{key, sol, hits});
+            sh.lru.push_front(
+                Entry{key, sol, hits,
+                      compact_epoch_.load(std::memory_order_relaxed)});
             sh.map[h].push_back(sh.lru.begin());
             if (sh.lru.size() > per_shard_capacity_) {
                 const Entry &victim = sh.lru.back();
@@ -428,6 +430,22 @@ SolutionCache::compact()
     std::lock_guard<std::mutex> journal_lock(journal_mu_);
     const std::string tmp = opts_.journal_path + ".tmp";
     std::int64_t written = 0;
+    std::int64_t shed_count = 0;
+    // Telemetry-driven shedding: a *capacity-limited* cache (at its
+    // entry budget, so every insert is about to evict something)
+    // drops never-hit entries at compaction, keeping the slots — and
+    // the journal — for entries that earn their keep. An unpressured
+    // cache keeps everything, and entries inserted since the previous
+    // compaction (epoch == the current one) are exempt either way: a
+    // cold burst's fresh solutions must not be thrashed away by the
+    // very compaction their inserts trigger. The epoch bump below
+    // starts the next cycle, so this run's survivors become
+    // sheddable the next time pressure persists.
+    const bool shed = static_cast<std::size_t>(std::max<std::int64_t>(
+                          0, live_.load(std::memory_order_relaxed))) >=
+                      opts_.capacity;
+    const std::int64_t epoch =
+        compact_epoch_.fetch_add(1, std::memory_order_relaxed);
     {
         std::ofstream out(tmp, std::ios::out | std::ios::trunc);
         if (!out.is_open()) {
@@ -438,12 +456,35 @@ SolutionCache::compact()
         for (const auto &sh : shards_) {
             std::lock_guard<std::mutex> lock(sh->mu);
             // Least recent first, so replay restores the LRU order.
-            for (auto it = sh->lru.rbegin(); it != sh->lru.rend(); ++it) {
+            for (auto it = sh->lru.end(); it != sh->lru.begin();) {
+                --it;
+                if (shed && it->hits == 0 && it->epoch < epoch) {
+                    auto mit = sh->map.find(it->key.hash());
+                    checkInvariant(mit != sh->map.end(),
+                                   "SolutionCache: shed victim missing "
+                                   "from map");
+                    auto &chain = mit->second;
+                    const auto cit =
+                        std::find(chain.begin(), chain.end(), it);
+                    checkInvariant(cit != chain.end(),
+                                   "SolutionCache: shed victim missing "
+                                   "from chain");
+                    chain.erase(cit);
+                    if (chain.empty())
+                        sh->map.erase(mit);
+                    it = sh->lru.erase(it);
+                    ++shed_count;
+                    continue;
+                }
                 out << solutionToJsonLine(it->key, it->sol, it->hits)
                     << "\n";
                 ++written;
             }
         }
+    }
+    if (shed_count > 0) {
+        live_.fetch_sub(shed_count, std::memory_order_relaxed);
+        evictions_.fetch_add(shed_count, std::memory_order_relaxed);
     }
     if (journal_.is_open())
         journal_.close();

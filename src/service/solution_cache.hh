@@ -159,6 +159,18 @@ class SolutionCache
      * Rewrite the journal with exactly the live entries, least recent
      * first (so a reload reproduces the LRU order). No-op without a
      * journal.
+     *
+     * Telemetry-driven shedding: when the cache is capacity-limited
+     * (live entries at the configured capacity), compaction drops
+     * entries whose hit counter is still zero *and* that have already
+     * survived a previous compaction — they had a full compaction
+     * cycle to be served and never were, so under pressure the slots
+     * and the journal go to entries that earn their keep. Entries
+     * inserted since the last compaction are exempt (a cold burst's
+     * fresh solutions must not be thrashed away by the compaction its
+     * own inserts trigger). Shed entries count as evictions. An
+     * unpressured cache never sheds, and the journal format is
+     * unchanged either way.
      */
     void compact();
 
@@ -168,6 +180,11 @@ class SolutionCache
         CacheKey key;
         CachedSolution sol;
         std::int64_t hits = 0; //!< lookup() hits on this entry.
+
+        /** Value of compact_epoch_ when the entry was inserted; an
+         *  entry is "young" (exempt from zero-hit shedding) until a
+         *  compaction has passed since. */
+        std::int64_t epoch = 0;
     };
 
     struct Shard
@@ -207,6 +224,9 @@ class SolutionCache
     mutable std::mutex journal_mu_;
     std::ofstream journal_;
     std::atomic<std::int64_t> journal_lines_{0}; //!< Lines in the file.
+
+    /** Bumped at each compact(); see Entry::epoch. */
+    std::atomic<std::int64_t> compact_epoch_{0};
 };
 
 /**

@@ -1,0 +1,230 @@
+#include "service/solve_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/timer.hh"
+
+namespace mopt {
+
+namespace {
+
+SolveTicket
+readyTicket(const CacheKey &key, CachedSolution sol)
+{
+    std::promise<ScheduledSolve> p;
+    p.set_value(ScheduledSolve{key, std::move(sol), /*cache_hit=*/true,
+                               /*coalesced=*/false, 0.0, 0});
+    return SolveTicket{p.get_future().share(), /*cache_hit=*/true,
+                       /*coalesced=*/false};
+}
+
+} // namespace
+
+ScheduledSolve
+SolveTicket::wait() const
+{
+    ScheduledSolve r = future.get(); // Rethrows the solve's exception.
+    if (coalesced) {
+        // The flight's leader paid for the solve; this caller only
+        // waited, so its provenance and cost are its own.
+        r.cache_hit = false;
+        r.coalesced = true;
+        r.solve_seconds = 0.0;
+        r.solver_evals = 0;
+    }
+    return r;
+}
+
+SolveScheduler::SolveScheduler(const MachineSpec &machine,
+                               const OptimizerOptions &opts,
+                               SolutionCache *cache,
+                               SolveSchedulerOptions options)
+    : machine_(machine), opts_(opts), cache_(cache),
+      options_(options),
+      machine_fp_(CacheKey::machineFingerprint(machine_)),
+      settings_fp_(CacheKey::settingsFingerprint(opts_)),
+      solve_width_(1),
+      // Each of the `concurrency` runners recruits solve_width_ - 1
+      // helpers, so the pool holds exactly that many threads (min 1:
+      // ThreadPool rejects empty pools, and a width-1 partition never
+      // enqueues into it anyway).
+      pool_([&] {
+          options_.concurrency = std::max(1, options_.concurrency);
+          const std::size_t width = std::max<std::size_t>(
+              1, opts_.threads > 0
+                     ? static_cast<std::size_t>(opts_.threads)
+                     : std::max(1u,
+                                std::thread::hardware_concurrency()));
+          solve_width_ = std::max<std::size_t>(
+              1, width / static_cast<std::size_t>(options_.concurrency));
+          return std::max<std::size_t>(
+              1, static_cast<std::size_t>(options_.concurrency) *
+                     (solve_width_ - 1));
+      }())
+{
+    machine_.validate();
+    runners_.reserve(static_cast<std::size_t>(options_.concurrency));
+    for (int i = 0; i < options_.concurrency; ++i)
+        runners_.emplace_back([this] { runnerLoop(); });
+}
+
+SolveScheduler::~SolveScheduler()
+{
+    std::deque<Flight> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        orphaned.swap(queue_);
+        for (const Flight &f : orphaned)
+            eraseFlight(f.key);
+    }
+    cv_.notify_all();
+    for (Flight &f : orphaned)
+        f.promise.set_exception(std::make_exception_ptr(FatalError(
+            "SolveScheduler: stopped before the solve ran")));
+    for (std::thread &t : runners_)
+        t.join();
+}
+
+const std::shared_future<ScheduledSolve> *
+SolveScheduler::findFlight(const CacheKey &key) const
+{
+    const auto it = flights_.find(key.hash());
+    if (it == flights_.end())
+        return nullptr;
+    for (const FlightRef &f : it->second)
+        if (f.key == key)
+            return &f.future;
+    return nullptr;
+}
+
+void
+SolveScheduler::eraseFlight(const CacheKey &key)
+{
+    const auto it = flights_.find(key.hash());
+    checkInvariant(it != flights_.end(),
+                   "SolveScheduler: flight chain missing");
+    auto &chain = it->second;
+    const auto fit =
+        std::find_if(chain.begin(), chain.end(),
+                     [&](const FlightRef &f) { return f.key == key; });
+    checkInvariant(fit != chain.end(),
+                   "SolveScheduler: flight missing from chain");
+    chain.erase(fit);
+    if (chain.empty())
+        flights_.erase(it);
+}
+
+SolveTicket
+SolveScheduler::submit(const ConvProblem &p)
+{
+    const CacheKey key = CacheKey::make(p, machine_, opts_);
+
+    // Warm fast path: no scheduler lock, just the cache's shard.
+    CachedSolution sol;
+    if (cache_ && cache_->lookup(key, &sol))
+        return readyTicket(key, std::move(sol));
+
+    std::unique_lock<std::mutex> lock(mu_);
+    checkInvariant(!stopping_,
+                   "SolveScheduler: submit after shutdown");
+    if (const std::shared_future<ScheduledSolve> *f = findFlight(key)) {
+        ++coalesced_;
+        return SolveTicket{*f, /*cache_hit=*/false, /*coalesced=*/true};
+    }
+    // The flight we just missed may have completed between the
+    // lock-free lookup and taking mu_ — its leader inserts into the
+    // cache *before* erasing the flight, so re-checking here closes
+    // the window where a finished solve would be run again.
+    if (cache_ && cache_->lookup(key, &sol))
+        return readyTicket(key, std::move(sol));
+
+    Flight flight;
+    flight.key = key;
+    flight.problem = key.problem; // Canonical: names never matter.
+    const auto future = flight.promise.get_future().share();
+    flights_[key.hash()].push_back(FlightRef{key, future});
+    queue_.push_back(std::move(flight));
+    lock.unlock();
+    cv_.notify_one();
+    return SolveTicket{future, /*cache_hit=*/false, /*coalesced=*/false};
+}
+
+ScheduledSolve
+SolveScheduler::solve(const ConvProblem &p)
+{
+    return submit(p).wait();
+}
+
+void
+SolveScheduler::runnerLoop()
+{
+    for (;;) {
+        Flight flight;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // Stopping, and the dtor drained the queue.
+            flight = std::move(queue_.front());
+            queue_.pop_front();
+            ++solves_;
+            ++in_flight_;
+            peak_concurrency_ = std::max(peak_concurrency_, in_flight_);
+        }
+        try {
+            Timer timer;
+            const OptimizeOutput out = optimizeConv(
+                flight.problem, machine_, opts_,
+                pool_.subWidth(solve_width_));
+            checkInvariant(!out.candidates.empty(),
+                           "SolveScheduler: optimizeConv returned no "
+                           "candidates");
+            const Candidate &best = out.candidates.front();
+            ScheduledSolve r;
+            r.key = flight.key;
+            r.sol = CachedSolution{best.config,
+                                   best.predicted.total_seconds,
+                                   best.perm_label};
+            r.solve_seconds = timer.seconds();
+            r.solver_evals = out.solver_evals;
+            // Publish to the cache before retiring the flight: a
+            // request arriving between the two must find one or the
+            // other (see submit()'s double-check).
+            if (cache_)
+                cache_->insert(flight.key, r.sol);
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                eraseFlight(flight.key);
+                --in_flight_;
+            }
+            flight.promise.set_value(std::move(r));
+        } catch (...) {
+            // Retire the flight *before* waking the waiters so the
+            // key is immediately retryable — no poisoned entries.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                eraseFlight(flight.key);
+                --in_flight_;
+            }
+            flight.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+SolveSchedulerStats
+SolveScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SolveSchedulerStats st;
+    st.solves = solves_;
+    st.coalesced = coalesced_;
+    st.in_flight = in_flight_;
+    st.peak_concurrency = peak_concurrency_;
+    return st;
+}
+
+} // namespace mopt

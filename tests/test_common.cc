@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "common/flags.hh"
 #include "common/logging.hh"
@@ -276,6 +278,55 @@ TEST(ThreadPool, PropagatesExceptions)
             throw std::runtime_error("boom");
     }),
                  std::runtime_error);
+}
+
+TEST(ThreadPool, SubWidthCoversAllIndicesWithBoundedWorkerIds)
+{
+    ThreadPool pool(4);
+    ThreadPool::SubWidth half = pool.subWidth(2);
+    EXPECT_EQ(half.width(), 2u);
+    EXPECT_EQ(half.size(), 1u); // One helper; the caller is the other.
+
+    std::vector<std::atomic<int>> hits(101);
+    std::atomic<std::size_t> max_worker{0};
+    half.parallelForIndexed(
+        101, 1, [&](std::size_t w, std::size_t b, std::size_t e) {
+            std::size_t seen = max_worker.load();
+            while (w > seen && !max_worker.compare_exchange_weak(seen, w))
+                ;
+            for (std::size_t i = b; i < e; ++i)
+                hits[i]++;
+        });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+    // Worker ids stay inside the handle's width: scratch sized
+    // size() + 1 is enough, exactly as on the full pool.
+    EXPECT_LE(max_worker.load(), half.size());
+
+    std::atomic<int> count{0};
+    half.parallelFor(57, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 57);
+}
+
+TEST(ThreadPool, SubWidthClampsAndWidthOneRunsInline)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.subWidth(0).width(), 1u);
+    EXPECT_EQ(pool.subWidth(99).width(), pool.size() + 1);
+    EXPECT_EQ(pool.fullWidth().width(), pool.size() + 1);
+
+    // Width 1 recruits no helpers: the body runs on the caller only.
+    ThreadPool::SubWidth solo = pool.subWidth(1);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<int> off_thread{0};
+    solo.parallelForIndexed(
+        16, 1, [&](std::size_t w, std::size_t b, std::size_t e) {
+            if (std::this_thread::get_id() != caller || w != 0)
+                off_thread++;
+            (void)b;
+            (void)e;
+        });
+    EXPECT_EQ(off_thread.load(), 0);
 }
 
 TEST(Logging, FatalThrows)

@@ -143,6 +143,59 @@ TEST(RpcProtocol, RequestRoundTrip)
     }
 }
 
+TEST(RpcProtocol, VersionGate)
+{
+    RpcRequest out;
+    std::string err;
+
+    // An explicit v:1 and an absent v (pre-versioning client) both
+    // parse; the wire form always carries v.
+    ASSERT_TRUE(requestFromJsonLine("{\"v\":1,\"op\":\"stats\"}", out,
+                                    &err))
+        << err;
+    EXPECT_EQ(out.v, 1);
+    ASSERT_TRUE(requestFromJsonLine("{\"op\":\"stats\"}", out, &err))
+        << err;
+    EXPECT_EQ(out.v, 1);
+    EXPECT_NE(requestToJsonLine(out).find("\"v\":1"),
+              std::string::npos);
+
+    // Any other major version is refused before the fields are
+    // interpreted, with a message that names both versions.
+    EXPECT_FALSE(
+        requestFromJsonLine("{\"v\":2,\"op\":\"stats\"}", out, &err));
+    EXPECT_NE(err.find("unsupported protocol version v=2"),
+              std::string::npos);
+    EXPECT_NE(err.find("v=1"), std::string::npos);
+    EXPECT_FALSE(
+        requestFromJsonLine("{\"v\":\"one\",\"op\":\"stats\"}", out,
+                            &err));
+}
+
+TEST(RpcServer, RefusesUnknownProtocolVersion)
+{
+    TestServer ts;
+    TcpSocket sock = TcpSocket::connectTo(ts.ep().host, ts.ep().port);
+    ASSERT_TRUE(sock.valid());
+    LineReader reader(sock, 1 << 20);
+    std::string line;
+
+    ASSERT_TRUE(sock.sendAll("{\"v\":7,\"op\":\"stats\"}\n"));
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("unsupported protocol version"),
+              std::string::npos);
+
+    // Back-compat: the same connection, a version-less v1 request.
+    ASSERT_TRUE(sock.sendAll("{\"op\":\"stats\"}\n"));
+    ASSERT_EQ(reader.readLine(line), LineReader::Status::Ok);
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+}
+
 TEST(RpcProtocol, RequestRejectsMalformed)
 {
     RpcRequest out;
@@ -208,6 +261,23 @@ TEST(RpcProtocol, ResponseRoundTrips)
     ASSERT_EQ(back.entry_hits.size(), 1u);
     EXPECT_EQ(back.entry_hits[0].hits, 1);
     EXPECT_EQ(back.machine_name, "tiny");
+    // Scheduler counters survive the round trip: the one cold solve
+    // above ran through the single-flight scheduler.
+    EXPECT_EQ(back.sched_solves, 1);
+    EXPECT_EQ(back.sched_coalesced, 0);
+    EXPECT_EQ(back.sched_inflight, 0);
+    EXPECT_EQ(back.sched_budget, 1);
+    // A pre-scheduler stats line (no sched_* members) still parses,
+    // reading 0 — rolling-fleet back-compat.
+    std::string legacy = responseToJsonLine(stats);
+    const auto pos = legacy.find(",\"sched_solves\"");
+    const auto end_pos = legacy.find(",\"entry_hits\"");
+    ASSERT_NE(pos, std::string::npos);
+    ASSERT_NE(end_pos, std::string::npos);
+    legacy.erase(pos, end_pos - pos);
+    ASSERT_TRUE(responseFromJsonLine(legacy, back, &err)) << err;
+    EXPECT_EQ(back.sched_solves, 0);
+    EXPECT_EQ(back.sched_budget, 0);
 }
 
 TEST(RpcProtocol, EndpointListParsing)
@@ -426,6 +496,53 @@ TEST(RpcServer, ConcurrentClientsAgree)
     EXPECT_EQ(mismatches.load(), 0);
     EXPECT_GE(ts.server().counters().requests.load(),
               kThreads * kCallsPerThread);
+}
+
+TEST(RpcServer, ConcurrentColdRequestsForOneShapeSolveOnce)
+{
+    ServerOptions so;
+    so.workers = 8;
+    so.solve_concurrency = 2;
+    TestServer ts(so);
+    const ConvProblem p = smallProblem();
+
+    constexpr int kClients = 8;
+    std::atomic<int> failures{0}, mismatches{0};
+    std::vector<CachedSolution> sols(kClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            Client c(ts.ep());
+            RpcResponse resp;
+            if (!c.call(solveRequest(p), resp) || !resp.ok)
+                failures.fetch_add(1);
+            else
+                sols[static_cast<std::size_t>(t)] = resp.solve.sol;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    ASSERT_EQ(failures.load(), 0);
+    for (const CachedSolution &s : sols)
+        if (!(s == sols.front()))
+            mismatches.fetch_add(1);
+    EXPECT_EQ(mismatches.load(), 0);
+
+    // Single flight: eight cold clients, one solver invocation, one
+    // cache entry.
+    EXPECT_EQ(ts.server().schedulerStats().solves, 1);
+    EXPECT_EQ(ts.cache().size(), 1u);
+
+    // The stats RPC reports the same truth over the wire.
+    Client c(ts.ep());
+    RpcRequest req;
+    req.op = RpcOp::Stats;
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_EQ(resp.sched_solves, 1);
+    EXPECT_EQ(resp.sched_budget, 2);
 }
 
 TEST(RpcServer, ShutdownOpStopsServing)

@@ -476,6 +476,11 @@ TEST(SolutionCache, CompactionBoundsJournalAndKeepsLruOrder)
         // lines without compaction (threshold: 2*3 + 16).
         for (int i = 0; i < 40; ++i)
             cache.insert(keyNumber(i), solutionNumber(i));
+        // Touch every survivor (38 last, promoting it): a full cache
+        // sheds cycle-old zero-hit entries at compaction, and this
+        // test is about journal bounding + LRU order, not shedding.
+        ASSERT_TRUE(cache.lookup(keyNumber(37), nullptr));
+        ASSERT_TRUE(cache.lookup(keyNumber(39), nullptr));
         ASSERT_TRUE(cache.lookup(keyNumber(38), nullptr)); // Promote.
         cache.compact();
     }
@@ -503,6 +508,75 @@ TEST(SolutionCache, CompactionBoundsJournalAndKeepsLruOrder)
     reloaded.insert(keyNumber(40), solutionNumber(40));
     EXPECT_TRUE(reloaded.lookup(keyNumber(38), nullptr));
     EXPECT_FALSE(reloaded.lookup(keyNumber(37), nullptr));
+    std::remove(path.c_str());
+}
+
+TEST(SolutionCache, CapacityLimitedCompactionShedsZeroHitEntries)
+{
+    const std::string path = tempPath("shed");
+    std::remove(path.c_str());
+
+    SolutionCacheOptions co;
+    co.capacity = 4;
+    co.shards = 1;
+    co.journal_path = path;
+    {
+        SolutionCache cache(co);
+        for (int i = 0; i < 4; ++i)
+            cache.insert(keyNumber(i), solutionNumber(i));
+        ASSERT_EQ(cache.size(), 4u); // Full: capacity-limited.
+        ASSERT_TRUE(cache.lookup(keyNumber(1), nullptr));
+        ASSERT_TRUE(cache.lookup(keyNumber(3), nullptr));
+
+        const std::int64_t evictions_before = cache.stats().evictions;
+        // Young entries (inserted since the last compaction) are
+        // exempt — the first compaction under pressure sheds nothing,
+        // it only ends their grace cycle.
+        cache.compact();
+        EXPECT_EQ(cache.size(), 4u);
+
+        // Still full at the *next* compaction: the entries that went
+        // a whole cycle without a hit stopped earning their keep; the
+        // hot ones survive, in memory and in the journal.
+        cache.compact();
+        EXPECT_EQ(cache.size(), 2u);
+        EXPECT_EQ(cache.stats().evictions, evictions_before + 2);
+        EXPECT_FALSE(cache.lookup(keyNumber(0), nullptr));
+        EXPECT_FALSE(cache.lookup(keyNumber(2), nullptr));
+        EXPECT_TRUE(cache.lookup(keyNumber(1), nullptr));
+        EXPECT_TRUE(cache.lookup(keyNumber(3), nullptr));
+    }
+
+    // Same journal format: a reload sees exactly the earners, hit
+    // counts intact.
+    SolutionCache reloaded(co);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_TRUE(reloaded.lookup(keyNumber(1), nullptr));
+    EXPECT_TRUE(reloaded.lookup(keyNumber(3), nullptr));
+    std::remove(path.c_str());
+}
+
+TEST(SolutionCache, UnpressuredCompactionKeepsZeroHitEntries)
+{
+    const std::string path = tempPath("noshed");
+    std::remove(path.c_str());
+
+    SolutionCacheOptions co;
+    co.capacity = 16;
+    co.shards = 1;
+    co.journal_path = path;
+    SolutionCache cache(co);
+    for (int i = 0; i < 4; ++i)
+        cache.insert(keyNumber(i), solutionNumber(i));
+    ASSERT_TRUE(cache.lookup(keyNumber(0), nullptr));
+
+    cache.compact();
+
+    // Plenty of headroom: a zero-hit entry may simply be young, so
+    // nothing is shed.
+    EXPECT_EQ(cache.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(cache.lookup(keyNumber(i), nullptr));
     std::remove(path.c_str());
 }
 

@@ -32,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "baselines/autotuner.hh"
@@ -52,6 +53,7 @@
 #include "optimizer/mopt_optimizer.hh"
 #include "service/network_optimizer.hh"
 #include "service/solution_cache.hh"
+#include "service/solve_scheduler.hh"
 #include "tensor/tensor.hh"
 
 namespace {
@@ -84,13 +86,19 @@ Network mode (optimize every conv layer of a whole network):
   --cache-capacity=N     max cached solutions (default 4096)
   --plan-out=<path>      write the per-layer plan to a file
                          (deterministic; byte-identical cold vs warm)
+  --solve-concurrency=N  solve up to N cold shapes at once, each on
+                         1/N of the thread-pool width (default 1 =
+                         serial; the plan is byte-identical either way)
   plus --machine, --sequential, --effort as above
 
 Serving mode (moptd: long-lived optimizer daemon + fleet client):
   mopt serve [--port=0] [--host=127.0.0.1] [--workers=4] [options]
                          answer solve/solve_network/stats/shutdown
                          requests (line-delimited JSON over TCP);
-                         --cache/--cache-capacity as in network mode
+                         --cache/--cache-capacity and
+                         --solve-concurrency as in network mode
+                         (concurrent duplicate requests always share
+                         one solve via the single-flight scheduler)
   mopt query --connect=host:port[,host:port...] <what> [options]
     <what> is one of:
       --net=<name>       whole-network plan (routed across the fleet
@@ -143,6 +151,18 @@ cacheOptionsFromFlags(const mopt::Flags &flags)
     return co;
 }
 
+/** The shared --solve-concurrency handling of network/serve. */
+int
+solveConcurrencyFromFlags(const mopt::Flags &flags)
+{
+    // Range-check before narrowing, so a 2^32+1 doesn't wrap into
+    // a silently-accepted 1.
+    const std::int64_t sc = flags.getInt("solve-concurrency", 1);
+    mopt::checkUser(sc >= 1 && sc <= 64,
+                    "--solve-concurrency must be 1 .. 64");
+    return static_cast<int>(sc);
+}
+
 /** The `mopt network` subcommand (argv already shifted past it). */
 int
 runNetwork(int argc, char **argv)
@@ -151,7 +171,7 @@ runNetwork(int argc, char **argv)
     const Flags flags(argc, argv);
     flags.rejectUnknown({"net", "machine", "sequential", "effort",
                          "top-k", "cache", "cache-capacity", "plan-out",
-                         "help"});
+                         "solve-concurrency", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -165,6 +185,7 @@ runNetwork(int argc, char **argv)
 
     const SolutionCacheOptions co = cacheOptionsFromFlags(flags);
     SolutionCache cache(co);
+    const int solve_concurrency = solveConcurrencyFromFlags(flags);
 
     std::cout << "Network:  " << net_name << " (" << net.size()
               << " conv layers)\n";
@@ -174,9 +195,20 @@ runNetwork(int argc, char **argv)
         std::cout << "Cache:    " << co.journal_path << " ("
                   << cache.stats().journal_loaded
                   << " entries loaded)\n";
+    if (solve_concurrency > 1)
+        std::cout << "Solver:   up to " << solve_concurrency
+                  << " concurrent solves (plan unchanged)\n";
     std::cout << "\n";
 
-    const NetworkOptimizer nopt(m, opts, &cache);
+    // --solve-concurrency 1 keeps the serial in-place miss loop (the
+    // historical behavior); anything higher pipelines misses through
+    // a single-flight scheduler. The plan is byte-identical.
+    std::unique_ptr<SolveScheduler> sched;
+    if (solve_concurrency > 1)
+        sched = std::make_unique<SolveScheduler>(
+            m, opts, &cache,
+            SolveSchedulerOptions{solve_concurrency});
+    const NetworkOptimizer nopt(m, opts, &cache, sched.get());
     const NetworkPlan plan = nopt.optimize(net);
     const std::string plan_text = plan.str();
     std::cout << plan_text << "\n";
@@ -189,8 +221,13 @@ runNetwork(int argc, char **argv)
               << formatDouble(100.0 * st.hitRate(), 1) << "%)\n"
               << "Search: " << formatDouble(st.solve_seconds, 2)
               << " s in " << st.solver_evals << " model evaluations, "
-              << formatDouble(st.total_seconds, 2) << " s total\n"
-              << "Predicted network time: "
+              << formatDouble(st.total_seconds, 2) << " s total\n";
+    if (sched)
+        std::cout << "Scheduler: " << st.cache_misses - st.coalesced
+                  << " solves, " << st.coalesced
+                  << " coalesced, peak " << st.peak_concurrency
+                  << " concurrent\n";
+    std::cout << "Predicted network time: "
               << formatDouble(plan.predictedSeconds() * 1e3, 3)
               << " ms\n";
 
@@ -212,7 +249,7 @@ runServe(int argc, char **argv)
     const Flags flags(argc, argv);
     flags.rejectUnknown({"port", "host", "workers", "machine",
                          "sequential", "effort", "top-k", "cache",
-                         "cache-capacity", "help"});
+                         "cache-capacity", "solve-concurrency", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -230,6 +267,7 @@ runServe(int argc, char **argv)
     so.workers = static_cast<int>(flags.getInt("workers", 4));
     checkUser(so.workers >= 1 && so.workers <= 256,
               "--workers must be 1 .. 256");
+    so.solve_concurrency = solveConcurrencyFromFlags(flags);
 
     Server server(m, opts, &cache, so);
     std::string err;
@@ -237,7 +275,9 @@ runServe(int argc, char **argv)
 
     std::cout << "moptd: optimizing for " << m.name << " ("
               << (opts.parallel ? "parallel" : "sequential") << ", "
-              << flags.getString("effort", "standard") << " effort)\n";
+              << flags.getString("effort", "standard") << " effort, "
+              << so.solve_concurrency << " concurrent solve"
+              << (so.solve_concurrency > 1 ? "s" : "") << ")\n";
     if (!co.journal_path.empty())
         std::cout << "moptd: cache journal " << co.journal_path << " ("
                   << cache.stats().journal_loaded << " entries loaded)\n";
@@ -249,11 +289,15 @@ runServe(int argc, char **argv)
     const std::int64_t served = server.serve();
 
     const SolutionCacheStats cs = cache.stats();
+    const SolveSchedulerStats ss = server.schedulerStats();
     std::cout << "moptd: shut down after " << served << " connections, "
               << server.counters().requests << " requests ("
               << server.counters().errors << " errors)\n"
               << "moptd: cache " << cs.hits << " hits / " << cs.misses
-              << " misses, " << cache.size() << " entries live\n";
+              << " misses, " << cache.size() << " entries live\n"
+              << "moptd: scheduler " << ss.solves << " solves / "
+              << ss.coalesced << " coalesced (peak "
+              << ss.peak_concurrency << " concurrent)\n";
     return 0;
 }
 
@@ -341,7 +385,12 @@ queryStats(const QuerySetup &q)
                   << resp.cache.inserts << " inserts, "
                   << resp.cache.evictions << " evictions; journal "
                   << resp.cache.journal_loaded << " loaded / "
-                  << resp.cache.journal_skipped << " skipped\n";
+                  << resp.cache.journal_skipped << " skipped; "
+                  << "scheduler " << resp.sched_solves << " solves / "
+                  << resp.sched_coalesced << " coalesced (peak "
+                  << resp.sched_peak << ", in flight "
+                  << resp.sched_inflight << ", budget "
+                  << resp.sched_budget << ")\n";
         // Hottest entries first: the per-entry telemetry a fleet
         // operator would use to decide what has stopped earning its
         // cache slot.

@@ -5,7 +5,10 @@
 #   2. warm queries report a 100% cache hit rate,
 #   3. the shard router falls back to a local solve (and still returns
 #      the identical plan) when one fleet node is down,
-#   4. stats + shutdown RPCs work.
+#   4. stats + shutdown RPCs work,
+#   5. concurrent cold clients querying the same net coalesce through
+#      the single-flight scheduler: exactly `unique_shapes` solver
+#      invocations fleet-wide, every plan still byte-identical.
 #
 # Usage: tools/smoke_rpc.sh [BUILD_DIR]   (default: build)
 #
@@ -30,20 +33,47 @@ mkdir -p "$work"
 
 common_args=(--machine i7 --effort fast)
 server_pid=""
+server2_pid=""
 failed=1
 
 cleanup() {
     if [[ $failed -ne 0 ]]; then
-        echo "==== smoke_rpc FAILED; server log follows ====" >&2
-        cat "$work/server.log" >&2 || true
-        echo "==== end of server log ====" >&2
+        for log in "$work/server.log" "$work/server2.log"; do
+            [[ -f $log ]] || continue
+            echo "==== smoke_rpc FAILED; $log follows ====" >&2
+            cat "$log" >&2 || true
+            echo "==== end of $log ====" >&2
+        done
     fi
-    if [[ -n $server_pid ]] && kill -0 "$server_pid" 2>/dev/null; then
-        kill "$server_pid" 2>/dev/null || true
-        wait "$server_pid" 2>/dev/null || true
-    fi
+    for pid in "$server_pid" "$server2_pid"; do
+        if [[ -n $pid ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
 }
 trap cleanup EXIT
+
+# Wait for "moptd: listening on host:PORT" in $1 (the server's log,
+# owned by pid $2) and print the port.
+wait_for_port() {
+    local log=$1 pid=$2 port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/^moptd: listening on .*:\([0-9]*\)$/\1/p' \
+            "$log" 2>/dev/null | head -1)
+        [[ -n $port ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "error: server exited before listening" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z $port ]]; then
+        echo "error: server never reported its port" >&2
+        return 1
+    fi
+    echo "$port"
+}
 
 echo "== local reference plan =="
 "$mopt" network --net resnet18 "${common_args[@]}" \
@@ -54,21 +84,7 @@ echo "== starting moptd (ephemeral port) =="
     --cache "$work/cache.json" > "$work/server.log" 2>&1 &
 server_pid=$!
 
-port=""
-for _ in $(seq 1 100); do
-    port=$(sed -n 's/^moptd: listening on .*:\([0-9]*\)$/\1/p' \
-        "$work/server.log" 2>/dev/null | head -1)
-    [[ -n $port ]] && break
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "error: server exited before listening" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-if [[ -z $port ]]; then
-    echo "error: server never reported its port" >&2
-    exit 1
-fi
+port=$(wait_for_port "$work/server.log" "$server_pid")
 echo "   moptd is listening on port $port"
 
 echo "== cold query (expect 0% hit rate, all shapes solved) =="
@@ -112,6 +128,10 @@ echo "   fallback taken, plan still identical"
 echo "== stats RPC =="
 "$mopt" query --connect "127.0.0.1:$port" --stats | tee "$work/stats.out"
 grep -q "entries in" "$work/stats.out"
+grep -q "scheduler" "$work/stats.out" || {
+    echo "error: stats did not report scheduler counters" >&2
+    exit 1
+}
 
 echo "== shutdown RPC =="
 "$mopt" query --connect "127.0.0.1:$port" --shutdown
@@ -125,6 +145,57 @@ if kill -0 "$server_pid" 2>/dev/null; then
 fi
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
+
+echo "== concurrent cold clients: single-flight dedupe =="
+# A fresh (cold) server with a concurrent solve budget; four parallel
+# clients all ask for the same net at once. The single-flight
+# scheduler must run each unique shape's solve exactly once
+# fleet-wide, and every client must still get the byte-identical plan.
+unique=$(sed -n 's/^Layers: .*(\([0-9]*\) unique shapes)$/\1/p' \
+    "$work/cold.out" | head -1)
+if [[ -z $unique ]]; then
+    echo "error: could not parse unique-shape count from cold query" >&2
+    exit 1
+fi
+"$mopt" serve --port 0 --solve-concurrency 2 "${common_args[@]}" \
+    --cache "$work/cache2.json" > "$work/server2.log" 2>&1 &
+server2_pid=$!
+port2=$(wait_for_port "$work/server2.log" "$server2_pid")
+echo "   cold moptd (budget 2) is listening on port $port2"
+
+conc_pids=()
+for i in 1 2 3 4; do
+    "$mopt" query --connect "127.0.0.1:$port2" --net resnet18 \
+        "${common_args[@]}" --plan-out "$work/conc$i.txt" \
+        > "$work/conc$i.out" 2>&1 &
+    conc_pids+=($!)
+done
+for pid in "${conc_pids[@]}"; do
+    wait "$pid" || {
+        echo "error: a concurrent cold query failed" >&2
+        cat "$work"/conc*.out >&2
+        exit 1
+    }
+done
+for i in 1 2 3 4; do
+    cmp "$work/local.txt" "$work/conc$i.txt"
+done
+echo "   4 concurrent cold plans identical to the local reference"
+
+"$mopt" query --connect "127.0.0.1:$port2" --stats \
+    | tee "$work/stats2.out"
+grep -q "scheduler $unique solves" "$work/stats2.out" || {
+    echo "error: expected exactly $unique solver invocations" \
+         "fleet-wide across the concurrent cold clients" >&2
+    exit 1
+}
+grep -q "; $unique inserts," "$work/stats2.out" || {
+    echo "error: expected exactly $unique cache inserts fleet-wide" >&2
+    exit 1
+}
+"$mopt" query --connect "127.0.0.1:$port2" --shutdown
+wait "$server2_pid" 2>/dev/null || true
+server2_pid=""
 
 failed=0
 echo "smoke_rpc: PASS"
