@@ -13,6 +13,10 @@
  *                   shapes overlap, each on a quarter of the pool width
  *   conc4_dup      8 clients, ONE shape, --solve-concurrency 4: the
  *                   single-flight table must run exactly one solve
+ *   cfg_batch4   4 clients post the same darknet .cfg network (inline
+ *                   IR, batch 4, grouped + depthwise layers) as
+ *                   solve_network RPCs: every unique layer shape must
+ *                   be solved exactly once fleet-wide
  *
  * The harness fails (exit 1) when the dedupe invariant breaks or when
  * any client gets a wrong/failed answer; the speedup is reported, not
@@ -29,6 +33,7 @@
 #include "common/string_util.hh"
 #include "common/table.hh"
 #include "common/timer.hh"
+#include "frontend/cfg_parser.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
 #include "rpc/client.hh"
@@ -133,6 +138,80 @@ runScenario(int solve_concurrency, const std::vector<int> &indices)
     return r;
 }
 
+/** A small darknet config exercising the full ingest path: dense,
+ *  grouped, and depthwise convs plus a [connected] head. */
+const char *kBenchCfg = "[net]\n"
+                        "width=16\nheight=16\nchannels=8\n"
+                        "[convolutional]\nfilters=16\nsize=3\npad=1\n"
+                        "[convolutional]\nfilters=16\nsize=3\npad=1\n"
+                        "groups=4\n"
+                        "[convolutional]\nfilters=16\nsize=3\npad=1\n"
+                        "stride=2\ngroups=16\n"
+                        "[connected]\noutput=10\n";
+
+/** 4 concurrent clients post the same .cfg network (inline IR, batch
+ *  4) as solve_network RPCs against a fresh server. */
+ScenarioResult
+runCfgNetworkScenario(int clients, std::int64_t batch)
+{
+    using namespace mopt;
+    const NetworkDef def = parseCfgText(kBenchCfg, "bench.cfg");
+
+    SolutionCache cache;
+    ServerOptions so;
+    so.workers = clients;
+    so.solve_concurrency = 4;
+    Server server(machineByName("tiny"), benchOpts(), &cache, so);
+    std::string err;
+    if (!server.start(&err)) {
+        std::cerr << "error: cannot start server: " << err << "\n";
+        std::exit(1);
+    }
+    std::thread serve_thread([&server] { server.serve(); });
+    const RpcEndpoint ep{"127.0.0.1", server.port()};
+
+    std::vector<std::string> plans(static_cast<std::size_t>(clients));
+    std::atomic<int> failures{0};
+    std::latch start(clients);
+    Timer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            Client client(ep);
+            RpcRequest req;
+            req.op = RpcOp::SolveNetwork;
+            req.ir = def;
+            req.has_ir = true;
+            req.batch = batch;
+            RpcResponse resp;
+            start.arrive_and_wait();
+            if (!client.call(req, resp) || !resp.ok)
+                failures.fetch_add(1);
+            else
+                plans[static_cast<std::size_t>(t)] = resp.plan_text;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    ScenarioResult r;
+    r.wall_seconds = wall.seconds();
+    r.failures = failures.load();
+    const SolveSchedulerStats ss = server.schedulerStats();
+    r.solves = ss.solves;
+    r.coalesced = ss.coalesced;
+    // Deterministic solves + single-flight: every client must render
+    // the byte-identical plan.
+    for (int t = 1; t < clients; ++t)
+        if (plans[static_cast<std::size_t>(t)] != plans[0])
+            r.mismatches++;
+
+    server.stop();
+    serve_thread.join();
+    return r;
+}
+
 } // namespace
 
 int
@@ -194,6 +273,34 @@ main()
             serial_wall = r.wall_seconds;
         if (std::string(s.name) == "conc4_cold")
             conc_wall = r.wall_seconds;
+    }
+
+    // Batched .cfg network ingest: all 4 layer shapes are distinct,
+    // so 4 clients x 4 layers must still mean exactly 4 solves.
+    {
+        const int clients = 4;
+        const std::int64_t cfg_layers = 4;
+        const ScenarioResult r = runCfgNetworkScenario(clients, 4);
+        t.row()
+            .add("cfg_batch4")
+            .add(static_cast<long long>(clients))
+            .add(4LL)
+            .add(static_cast<long long>(r.solves))
+            .add(static_cast<long long>(r.coalesced))
+            .add(r.wall_seconds, 3)
+            .add(static_cast<double>(r.solves) / r.wall_seconds, 1);
+        if (r.failures || r.mismatches) {
+            std::cerr << "error: cfg_batch4: " << r.failures
+                      << " failed calls, " << r.mismatches
+                      << " mismatched plans\n";
+            rc = 1;
+        }
+        if (r.solves != cfg_layers) {
+            std::cerr << "error: cfg_batch4: expected " << cfg_layers
+                      << " solver invocations, got " << r.solves
+                      << " (single-flight broken?)\n";
+            rc = 1;
+        }
     }
     t.print(std::cout);
     std::cout << "\nConcurrent-cold speedup (serial_cold / "

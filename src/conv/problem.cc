@@ -10,7 +10,7 @@ namespace mopt {
 ConvProblem
 ConvProblem::fromImage(const std::string &name, std::int64_t k,
                        std::int64_t c, std::int64_t image, std::int64_t rs,
-                       int stride, std::int64_t batch)
+                       int stride, std::int64_t batch, std::int64_t groups)
 {
     ConvProblem p;
     p.name = name;
@@ -20,6 +20,7 @@ ConvProblem::fromImage(const std::string &name, std::int64_t k,
     p.r = rs;
     p.s = rs;
     p.stride = stride;
+    p.groups = groups;
     const std::int64_t pad = (rs - 1) / 2;
     p.h = (image + 2 * pad - rs) / stride + 1;
     p.w = p.h;
@@ -35,6 +36,10 @@ ConvProblem::downscaled(std::int64_t max_hw, std::int64_t max_ch) const
     p.w = std::min(w, max_hw);
     p.c = std::min(c, max_ch);
     p.k = std::min(k, max_ch);
+    // Keep the groups divisibility invariant: round channels down to a
+    // multiple of groups (never below one channel per group).
+    p.c = std::max(groups, p.c - p.c % groups);
+    p.k = std::max(groups, p.k - p.k % groups);
     if (p != *this)
         p.name = name + "-ds";
     return p;
@@ -48,6 +53,8 @@ ConvProblem::summary() const
         << " W=" << w << " R=" << r << " S=" << s << " stride=" << stride;
     if (dilation != 1)
         oss << " dilation=" << dilation;
+    if (groups != 1)
+        oss << " groups=" << groups;
     return oss.str();
 }
 
@@ -59,6 +66,10 @@ ConvProblem::validate() const
               "ConvProblem: extents must be >= 1 (" + summary() + ")");
     checkUser(stride >= 1, "ConvProblem: stride must be >= 1");
     checkUser(dilation >= 1, "ConvProblem: dilation must be >= 1");
+    checkUser(groups >= 1, "ConvProblem: groups must be >= 1");
+    checkUser(k % groups == 0 && c % groups == 0,
+              "ConvProblem: groups must divide both K and C (" + summary() +
+                  ")");
 }
 
 } // namespace mopt

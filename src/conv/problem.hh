@@ -36,6 +36,15 @@ struct ConvProblem
     int dilation = 1;    //!< Kernel dilation (same in both spatial dims).
 
     /**
+     * Channel groups (1 = dense conv, c = depthwise). The group index
+     * is an implicit outermost loop: group g reads input channels
+     * [g*c/groups, (g+1)*c/groups) and writes output channels
+     * [g*k/groups, (g+1)*k/groups), so the kernel tensor is
+     * [k][c/groups][r][s]. Must divide both k and c.
+     */
+    std::int64_t groups = 1;
+
+    /**
      * Build a problem from an input image size with "same" padding
      * (pad = (r-1)/2), the convention of the paper's Table 1.
      *
@@ -46,11 +55,13 @@ struct ConvProblem
      * @param rs       kernel height == width
      * @param stride   kernel stride
      * @param batch    batch size
+     * @param groups   channel groups (must divide k and c)
      */
     static ConvProblem fromImage(const std::string &name, std::int64_t k,
                                  std::int64_t c, std::int64_t image,
                                  std::int64_t rs, int stride = 1,
-                                 std::int64_t batch = 1);
+                                 std::int64_t batch = 1,
+                                 std::int64_t groups = 1);
 
     /** Accessed (padded) input extent along h:
      *  (h-1)*stride + (r-1)*dilation + 1. */
@@ -66,15 +77,22 @@ struct ConvProblem
         return (w - 1) * stride + (s - 1) * dilation + 1;
     }
 
-    /** Total multiply-add count: n*k*c*r*s*h*w. */
-    std::int64_t macs() const { return n * k * c * r * s * h * w; }
+    /** Output channels per group. */
+    std::int64_t kPerGroup() const { return k / groups; }
+
+    /** Input channels per group (the kernel tensor's C extent). */
+    std::int64_t cPerGroup() const { return c / groups; }
+
+    /** Total multiply-add count: n*k*(c/groups)*r*s*h*w — each output
+     *  channel only reduces over its own group's input channels. */
+    std::int64_t macs() const { return n * k * cPerGroup() * r * s * h * w; }
 
     /** Floating point operations (2 per MAC). */
     double flops() const { return 2.0 * static_cast<double>(macs()); }
 
     /** Elements of In / Ker / Out. */
     std::int64_t inSize() const { return n * c * inH() * inW(); }
-    std::int64_t kerSize() const { return k * c * r * s; }
+    std::int64_t kerSize() const { return k * cPerGroup() * r * s; }
     std::int64_t outSize() const { return n * k * h * w; }
 
     /**

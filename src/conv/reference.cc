@@ -13,7 +13,7 @@ makeInput(const ConvProblem &p)
 Tensor4
 makeKernel(const ConvProblem &p)
 {
-    return Tensor4(p.k, p.c, p.r, p.s);
+    return Tensor4(p.k, p.cPerGroup(), p.r, p.s);
 }
 
 Tensor4
@@ -26,29 +26,36 @@ void
 referenceConv(const ConvProblem &p, const Tensor4 &in, const Tensor4 &ker,
               Tensor4 &out)
 {
+    const std::int64_t cg = p.cPerGroup();
+    const std::int64_t kg = p.kPerGroup();
     checkUser(in.dim(0) == p.n && in.dim(1) == p.c && in.dim(2) == p.inH() &&
                   in.dim(3) == p.inW(),
               "referenceConv: input shape mismatch");
-    checkUser(ker.dim(0) == p.k && ker.dim(1) == p.c && ker.dim(2) == p.r &&
+    checkUser(ker.dim(0) == p.k && ker.dim(1) == cg && ker.dim(2) == p.r &&
                   ker.dim(3) == p.s,
               "referenceConv: kernel shape mismatch");
     checkUser(out.dim(0) == p.n && out.dim(1) == p.k && out.dim(2) == p.h &&
                   out.dim(3) == p.w,
               "referenceConv: output shape mismatch");
 
+    // Output channel k belongs to group k / kg and reduces only over
+    // that group's input channels [g*cg, (g+1)*cg); with groups == 1
+    // this is the dense 7-loop nest of Eq. 1.
     out.fill(0.0f);
     for (std::int64_t n = 0; n < p.n; ++n)
-        for (std::int64_t k = 0; k < p.k; ++k)
-            for (std::int64_t c = 0; c < p.c; ++c)
+        for (std::int64_t k = 0; k < p.k; ++k) {
+            const std::int64_t c0 = (k / kg) * cg;
+            for (std::int64_t c = 0; c < cg; ++c)
                 for (std::int64_t r = 0; r < p.r; ++r)
                     for (std::int64_t s = 0; s < p.s; ++s)
                         for (std::int64_t h = 0; h < p.h; ++h)
                             for (std::int64_t w = 0; w < p.w; ++w)
                                 out.at(n, k, h, w) +=
-                                    in.at(n, c,
+                                    in.at(n, c0 + c,
                                           h * p.stride + r * p.dilation,
                                           w * p.stride + s * p.dilation) *
                                     ker.at(k, c, r, s);
+        }
 }
 
 } // namespace mopt

@@ -1,7 +1,6 @@
 #include "conv/workloads.hh"
 
 #include "common/logging.hh"
-#include "common/string_util.hh"
 
 namespace mopt {
 
@@ -81,117 +80,8 @@ workloadByName(const std::string &name)
     fatal("unknown workload: " + name);
 }
 
-std::vector<ConvProblem>
-resnet18Network()
-{
-    // Torch-style layer names; each basic-block stage halves the image
-    // and doubles the channels, with a 1x1/2 downsample on the first
-    // block of stages 2-4.
-    std::vector<ConvProblem> net;
-    net.push_back(ConvProblem::fromImage("conv1", 64, 3, 224, 7, 2));
-    for (int b = 0; b < 2; ++b)
-        for (int c = 1; c <= 2; ++c)
-            net.push_back(ConvProblem::fromImage(
-                "layer1." + std::to_string(b) + ".conv" +
-                    std::to_string(c),
-                64, 64, 56, 3));
-    struct Stage
-    {
-        const char *name;
-        std::int64_t ch;
-        std::int64_t image; //!< Input image of the stage's first conv.
-    };
-    const Stage stages[] = {
-        {"layer2", 128, 56}, {"layer3", 256, 28}, {"layer4", 512, 14}};
-    for (const Stage &st : stages) {
-        const std::string prefix(st.name);
-        net.push_back(ConvProblem::fromImage(prefix + ".0.conv1", st.ch,
-                                             st.ch / 2, st.image, 3, 2));
-        net.push_back(ConvProblem::fromImage(prefix + ".0.conv2", st.ch,
-                                             st.ch, st.image / 2, 3));
-        net.push_back(ConvProblem::fromImage(prefix + ".0.downsample",
-                                             st.ch, st.ch / 2, st.image,
-                                             1, 2));
-        net.push_back(ConvProblem::fromImage(prefix + ".1.conv1", st.ch,
-                                             st.ch, st.image / 2, 3));
-        net.push_back(ConvProblem::fromImage(prefix + ".1.conv2", st.ch,
-                                             st.ch, st.image / 2, 3));
-    }
-    return net;
-}
-
-std::vector<ConvProblem>
-vgg16Network()
-{
-    // The 13 3x3 convs of configuration D: 2-2-3-3-3 per stage, image
-    // halved by pooling between stages.
-    std::vector<ConvProblem> net;
-    const struct
-    {
-        int stage;
-        int convs;
-        std::int64_t ch_in;
-        std::int64_t ch;
-        std::int64_t image;
-    } stages[] = {{1, 2, 3, 64, 224},
-                  {2, 2, 64, 128, 112},
-                  {3, 3, 128, 256, 56},
-                  {4, 3, 256, 512, 28},
-                  {5, 3, 512, 512, 14}};
-    for (const auto &st : stages)
-        for (int c = 1; c <= st.convs; ++c)
-            net.push_back(ConvProblem::fromImage(
-                "conv" + std::to_string(st.stage) + "_" +
-                    std::to_string(c),
-                st.ch, c == 1 ? st.ch_in : st.ch, st.image, 3));
-    return net;
-}
-
-std::vector<ConvProblem>
-yolov3Network()
-{
-    // Darknet-53 backbone: a 3x3/2 downsample into each stage, then
-    // residual blocks of (1x1 squeeze, 3x3 expand).
-    std::vector<ConvProblem> net;
-    net.push_back(ConvProblem::fromImage("dark0.conv", 32, 3, 416, 3));
-    const struct
-    {
-        int stage;
-        int blocks;
-        std::int64_t ch;    //!< Stage output channels.
-        std::int64_t image; //!< Input image of the downsample conv.
-    } stages[] = {{1, 1, 64, 416},
-                  {2, 2, 128, 208},
-                  {3, 8, 256, 104},
-                  {4, 8, 512, 52},
-                  {5, 4, 1024, 26}};
-    for (const auto &st : stages) {
-        const std::string prefix = "dark" + std::to_string(st.stage);
-        net.push_back(ConvProblem::fromImage(prefix + ".conv", st.ch,
-                                             st.ch / 2, st.image, 3, 2));
-        for (int b = 0; b < st.blocks; ++b) {
-            const std::string block = prefix + "." + std::to_string(b);
-            net.push_back(ConvProblem::fromImage(
-                block + ".conv1", st.ch / 2, st.ch, st.image / 2, 1));
-            net.push_back(ConvProblem::fromImage(
-                block + ".conv2", st.ch, st.ch / 2, st.image / 2, 3));
-        }
-    }
-    return net;
-}
-
-std::vector<ConvProblem>
-networkByName(const std::string &name)
-{
-    const std::string n = toLower(name);
-    if (n == "resnet18" || n == "resnet-18")
-        return resnet18Network();
-    if (n == "vgg16" || n == "vgg-16")
-        return vgg16Network();
-    if (n == "yolov3" || n == "yolo-v3" || n == "darknet53")
-        return yolov3Network();
-    fatal("unknown network: " + name +
-          " (expected resnet18, vgg16, or yolov3)");
-}
+// The full-network builders declared in workloads.hh are IR
+// constructors now: see src/frontend/registry.cc, which defines each
+// network as a NetworkDef and lowers it.
 
 } // namespace mopt

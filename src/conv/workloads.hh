@@ -15,6 +15,12 @@
  * identical shapes many times (VGG-16's 13 convs collapse to 9 unique
  * shapes, ResNet-18's 20 to 11), which is exactly what the solution
  * cache exploits.
+ *
+ * The network builders below are compatibility wrappers: each network
+ * is *defined* as a frontend NetworkDef IR constructor in
+ * src/frontend/registry.cc (resnet18Def() etc.) and lowered here at
+ * batch 1. Arbitrary models arrive through the same IR via the
+ * darknet .cfg parser (src/frontend/cfg_parser.hh).
  */
 
 #ifndef MOPT_CONV_WORKLOADS_HH
@@ -59,7 +65,7 @@ std::vector<ConvProblem> yolov3Network();
 
 /**
  * Look up a full network by name ("resnet18", "vgg16", "yolov3",
- * case-insensitive).
+ * case-insensitive). Unknown names fail with the list of valid names.
  */
 std::vector<ConvProblem> networkByName(const std::string &name);
 

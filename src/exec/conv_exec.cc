@@ -39,6 +39,9 @@ ExecStats
 runConv(const ConvProblem &p, const Tensor4 &in, const Tensor4 &ker,
         Tensor4 &out, const ExecConfig &cfg, int threads)
 {
+    checkUser(p.groups == 1,
+              "runConv: grouped conv is model-only for now (groups=1 "
+              "required, got " + p.summary() + ")");
     checkUser(out.dim(0) == p.n && out.dim(1) == p.k && out.dim(2) == p.h &&
                   out.dim(3) == p.w,
               "runConv: output shape mismatch");

@@ -1,0 +1,274 @@
+#include "frontend/network_def.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mopt {
+
+const char *
+layerKindName(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::Depthwise:
+        return "depthwise";
+      case LayerKind::Matmul:
+        return "matmul";
+      default:
+        panic("layerKindName: bad kind");
+    }
+}
+
+bool
+layerKindFromName(const std::string &name, LayerKind &out)
+{
+    if (name == "conv")
+        out = LayerKind::Conv;
+    else if (name == "depthwise")
+        out = LayerKind::Depthwise;
+    else if (name == "matmul")
+        out = LayerKind::Matmul;
+    else
+        return false;
+    return true;
+}
+
+std::int64_t
+LayerDef::outH() const
+{
+    return (in_h + 2 * pad - effSize()) / stride + 1;
+}
+
+std::int64_t
+LayerDef::outW() const
+{
+    return (in_w + 2 * pad - effSize()) / stride + 1;
+}
+
+ConvProblem
+LayerDef::toProblem(std::int64_t batch) const
+{
+    checkUser(in_h + 2 * pad >= effSize() && in_w + 2 * pad >= effSize(),
+              "layer " + name + ": kernel (size " + std::to_string(size) +
+                  ", dilation " + std::to_string(dilation) +
+                  ") does not fit the padded " + std::to_string(in_h) +
+                  "x" + std::to_string(in_w) + " input");
+    ConvProblem p;
+    p.name = name;
+    p.n = batch;
+    p.k = filters;
+    p.c = in_c;
+    p.r = size;
+    p.s = size;
+    p.h = outH();
+    p.w = outW();
+    p.stride = stride;
+    p.dilation = dilation;
+    p.groups = groups;
+    p.validate();
+    return p;
+}
+
+NetworkDef::NetworkDef(std::string net_name, std::int64_t c,
+                       std::int64_t h, std::int64_t w)
+    : name(std::move(net_name))
+{
+    checkUser(c >= 1 && h >= 1 && w >= 1,
+              "network " + name + ": input extents must be >= 1");
+    cur_ = {c, h, w};
+}
+
+NetworkDef &
+NetworkDef::conv(const std::string &layer_name, std::int64_t filters,
+                 std::int64_t size, int stride, std::int64_t groups)
+{
+    LayerDef l;
+    l.name = layer_name;
+    l.kind = LayerKind::Conv;
+    l.filters = filters;
+    l.in_c = cur_.c;
+    l.in_h = cur_.h;
+    l.in_w = cur_.w;
+    l.size = size;
+    l.stride = stride;
+    l.groups = groups;
+    l.pad = l.samePad();
+    return layer(l);
+}
+
+NetworkDef &
+NetworkDef::depthwise(const std::string &layer_name, std::int64_t size,
+                      int stride)
+{
+    const std::int64_t ch = cur_.c;
+    conv(layer_name, ch, size, stride, ch);
+    layers.back().kind = LayerKind::Depthwise;
+    return *this;
+}
+
+NetworkDef &
+NetworkDef::matmul(const std::string &layer_name, std::int64_t filters)
+{
+    conv(layer_name, filters, 1);
+    layers.back().kind = LayerKind::Matmul;
+    return *this;
+}
+
+NetworkDef &
+NetworkDef::branchConv(const std::string &layer_name, std::int64_t filters,
+                       std::int64_t in_c, std::int64_t in_hw,
+                       std::int64_t size, int stride)
+{
+    const Cursor saved = cur_;
+    cur_ = {in_c, in_hw, in_hw};
+    conv(layer_name, filters, size, stride);
+    cur_ = saved;
+    return *this;
+}
+
+NetworkDef &
+NetworkDef::layer(const LayerDef &l)
+{
+    layers.push_back(l);
+    cur_ = {l.filters, l.outH(), l.outW()};
+    return *this;
+}
+
+NetworkDef &
+NetworkDef::pool(std::int64_t size, int stride, std::int64_t pad)
+{
+    if (pad < 0)
+        pad = size - 1;
+    checkUser(size >= 1 && stride >= 1,
+              "network " + name + ": pool size/stride must be >= 1");
+    checkUser(cur_.h + pad >= size && cur_.w + pad >= size,
+              "network " + name + ": pool window larger than the " +
+                  std::to_string(cur_.h) + "x" + std::to_string(cur_.w) +
+                  " tensor");
+    cur_.h = (cur_.h + pad - size) / stride + 1;
+    cur_.w = (cur_.w + pad - size) / stride + 1;
+    return *this;
+}
+
+NetworkDef &
+NetworkDef::globalPool()
+{
+    cur_.h = 1;
+    cur_.w = 1;
+    return *this;
+}
+
+std::vector<ConvProblem>
+NetworkDef::lower() const
+{
+    validate();
+    std::vector<ConvProblem> out;
+    out.reserve(layers.size());
+    for (const LayerDef &l : layers)
+        out.push_back(l.toProblem(batch));
+    return out;
+}
+
+void
+NetworkDef::validate() const
+{
+    checkUser(batch >= 1, "network " + name + ": batch must be >= 1");
+    checkUser(!layers.empty(),
+              "network " + name + ": contains no conv-like layers");
+    for (const LayerDef &l : layers)
+        l.toProblem(batch); // validates as a side effect
+}
+
+std::string
+networkDefToJson(const NetworkDef &def)
+{
+    std::ostringstream oss;
+    oss << "{\"name\":\"" << jsonEscape(def.name) << "\",\"layers\":[";
+    bool first = true;
+    for (const LayerDef &l : def.layers) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"name\":\"" << jsonEscape(l.name) << "\",\"kind\":\""
+            << layerKindName(l.kind) << "\",\"k\":" << l.filters
+            << ",\"c\":" << l.in_c << ",\"h\":" << l.in_h
+            << ",\"w\":" << l.in_w << ",\"size\":" << l.size
+            << ",\"stride\":" << l.stride << ",\"dilation\":" << l.dilation
+            << ",\"groups\":" << l.groups << ",\"pad\":" << l.pad << "}";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+namespace {
+
+bool
+fail(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+networkDefFromJson(const JsonValue &v, NetworkDef &def, std::string *err)
+{
+    if (v.type != JsonValue::Type::Object)
+        return fail(err, "network IR: expected a JSON object");
+    NetworkDef out;
+    const JsonValue *name = v.find("name");
+    if (name && name->type == JsonValue::Type::String)
+        out.name = name->str;
+    const JsonValue *layers = v.find("layers");
+    if (!layers || layers->type != JsonValue::Type::Array)
+        return fail(err, "network IR: missing \"layers\" array");
+    for (std::size_t i = 0; i < layers->arr.size(); ++i) {
+        const JsonValue &jl = layers->arr[i];
+        const std::string where =
+            "network IR layer " + std::to_string(i);
+        if (jl.type != JsonValue::Type::Object)
+            return fail(err, where + ": expected an object");
+        LayerDef l;
+        const JsonValue *lname = jl.find("name");
+        if (lname && lname->type == JsonValue::Type::String)
+            l.name = lname->str;
+        const JsonValue *kind = jl.find("kind");
+        if (kind) {
+            if (kind->type != JsonValue::Type::String ||
+                !layerKindFromName(kind->str, l.kind))
+                return fail(err, where + ": bad \"kind\"");
+        }
+        std::int64_t stride = 1, dilation = 1, pad = -1;
+        if (!jsonGetInt(jl, "k", l.filters) ||
+            !jsonGetInt(jl, "c", l.in_c) ||
+            !jsonGetInt(jl, "h", l.in_h) ||
+            !jsonGetInt(jl, "w", l.in_w) || !jsonGetInt(jl, "size", l.size))
+            return fail(err, where + ": missing k/c/h/w/size");
+        if (jl.find("stride") && !jsonGetInt(jl, "stride", stride))
+            return fail(err, where + ": bad \"stride\"");
+        if (jl.find("dilation") && !jsonGetInt(jl, "dilation", dilation))
+            return fail(err, where + ": bad \"dilation\"");
+        if (jl.find("groups") && !jsonGetInt(jl, "groups", l.groups))
+            return fail(err, where + ": bad \"groups\"");
+        if (jl.find("pad") && !jsonGetInt(jl, "pad", pad))
+            return fail(err, where + ": bad \"pad\"");
+        l.stride = static_cast<int>(stride);
+        l.dilation = static_cast<int>(dilation);
+        l.pad = pad < 0 ? l.samePad() : static_cast<int>(pad);
+        out.layers.push_back(l);
+    }
+    try {
+        out.validate();
+    } catch (const FatalError &e) {
+        return fail(err, e.what());
+    }
+    def = std::move(out);
+    return true;
+}
+
+} // namespace mopt

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Network registry: one front door for every way a network can be
+ * named. The three built-in builders (resnet18/vgg16/yolov3) are
+ * expressed as NetworkDef constructors here — `workloads.cc`'s
+ * hand-maintained ConvProblem lists are gone — and `loadNetworkDef`
+ * unifies registered names with darknet `.cfg` paths for the CLI and
+ * the RPC server.
+ */
+
+#ifndef MOPT_FRONTEND_REGISTRY_HH
+#define MOPT_FRONTEND_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/network_def.hh"
+
+namespace mopt {
+
+/** Full ResNet-18 (20 convs incl. downsamples, 224x224 input). */
+NetworkDef resnet18Def();
+
+/** VGG-16 configuration D (13 3x3 convs, 224x224 input). */
+NetworkDef vgg16Def();
+
+/** YOLOv3's Darknet-53 backbone (52 convs, 416x416 input). */
+NetworkDef yolov3Def();
+
+/** Canonical registered names, sorted (for error messages/UIs). */
+std::vector<std::string> registeredNetworkNames();
+
+/**
+ * Look up a built-in NetworkDef by (case-insensitive, alias-friendly)
+ * name; FatalError listing the valid names on a miss.
+ */
+NetworkDef networkDefByName(const std::string &name);
+
+/**
+ * Resolve @p spec — a registered name, or a path to a darknet .cfg
+ * (recognized by a ".cfg" suffix or a '/' in the spec) — to a
+ * NetworkDef. The single entry point for `--net <name|file.cfg>`.
+ */
+NetworkDef loadNetworkDef(const std::string &spec);
+
+/** True when @p spec names a .cfg file rather than a registry entry. */
+bool looksLikeCfgPath(const std::string &spec);
+
+} // namespace mopt
+
+#endif // MOPT_FRONTEND_REGISTRY_HH

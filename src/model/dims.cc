@@ -55,7 +55,12 @@ isReductionDim(Dim d)
 IntTileVec
 problemExtents(const ConvProblem &p)
 {
-    return {p.n, p.k, p.c, p.r, p.s, p.h, p.w};
+    // Channel extents are *per group*: the group index is an implicit
+    // outermost loop over all three tensors, so tiling — and every
+    // per-tile footprint derived from these extents — applies to the
+    // per-group problem. Cost models multiply the enclosing tile count
+    // by p.groups to recover total traffic (see evalMultiLevel).
+    return {p.n, p.kPerGroup(), p.cPerGroup(), p.r, p.s, p.h, p.w};
 }
 
 TileVec

@@ -295,8 +295,10 @@ EvalContext::levelSeconds(int l, const Scratch &s, double &volume,
     }
 
     // Total traffic = per-enclosing-tile volume x number of enclosing
-    // tiles over the whole problem.
-    double count = 1.0;
+    // tiles over the whole problem. Extents are per group; the
+    // implicit group loop multiplies the count by p.groups (a constant
+    // factor, so log-space gradients are unchanged).
+    double count = static_cast<double>(p_->groups);
     for (int d = 0; d < NumDims; ++d) {
         const auto sd = static_cast<std::size_t>(d);
         count *= extents_[sd] / O[sd];

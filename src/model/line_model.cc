@@ -173,7 +173,10 @@ evalMultiLevelLines(const MultiLevelConfig &cfg, const ConvProblem &p,
         const int lvl_line = l == LvlReg ? 1 : line_words;
         const double per_tile = totalDataVolumeLines(
             lt.perm, lt.tiles, outer, p, lvl_line, mode);
-        const double count = tileCount(outer, extents, mode);
+        // Per-group extents: the implicit group loop repeats the tile
+        // walk p.groups times (same scaling as evalMultiLevel).
+        const double count =
+            tileCount(outer, extents, mode) * static_cast<double>(p.groups);
         const double volume = per_tile * count;
         out.volume_words[sl] = volume;
 

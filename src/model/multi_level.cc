@@ -61,10 +61,13 @@ evalMultiLevel(const MultiLevelConfig &cfg, const ConvProblem &p,
             outer = cfg.level[sl + 1].tiles;
 
         // Total traffic = volume per enclosing tile x number of
-        // enclosing tiles over the whole problem.
+        // enclosing tiles over the whole problem. Extents are per
+        // group (see problemExtents); the implicit outermost group
+        // loop repeats the whole per-group tile walk p.groups times.
         const double per_tile =
             totalDataVolume(lt.perm, lt.tiles, outer, p, mode);
-        const double count = tileCount(outer, extents, mode);
+        const double count =
+            tileCount(outer, extents, mode) * static_cast<double>(p.groups);
         const double volume = per_tile * count;
         out.volume_words[sl] = volume;
 

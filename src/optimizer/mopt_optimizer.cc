@@ -333,7 +333,9 @@ IntTileVec
 microkernelTiles(const ConvProblem &p, const MachineSpec &m)
 {
     IntTileVec t{1, 1, 1, 1, 1, 1, 1};
-    t[DimK] = std::min<std::int64_t>(2 * m.vec_lanes, p.k);
+    // Clamp to the per-group K extent: a depthwise layer (k/groups ==
+    // 1) cannot vectorize over output channels at all.
+    t[DimK] = std::min<std::int64_t>(2 * m.vec_lanes, p.kPerGroup());
     t[DimW] = std::min<std::int64_t>(6, p.w);
     return t;
 }

@@ -26,6 +26,10 @@ appendProblemFields(std::ostringstream &oss, const ConvProblem &p)
         << ",\"r\":" << p.r << ",\"s\":" << p.s << ",\"h\":" << p.h
         << ",\"w\":" << p.w << ",\"stride\":" << p.stride
         << ",\"dilation\":" << p.dilation;
+    // Optional, default 1: dense-conv requests stay byte-identical to
+    // the pre-groups wire format.
+    if (p.groups != 1)
+        oss << ",\"groups\":" << p.groups;
 }
 
 bool
@@ -44,6 +48,10 @@ problemFromJson(const JsonValue &root, ConvProblem &out, std::string *err)
     }
     p.stride = static_cast<int>(stride);
     p.dilation = static_cast<int>(dilation);
+    if (root.find("groups") && !jsonGetInt(root, "groups", p.groups)) {
+        setError(err, "solve: non-integer \"groups\"");
+        return false;
+    }
     try {
         p.validate();
     } catch (const FatalError &e) {
@@ -152,7 +160,12 @@ requestToJsonLine(const RpcRequest &req)
         appendProblemFields(oss, req.problem);
         break;
     case RpcOp::SolveNetwork:
-        oss << ",\"net\":\"" << jsonEscape(req.net) << "\"";
+        if (req.has_ir)
+            oss << ",\"ir\":" << networkDefToJson(req.ir);
+        else
+            oss << ",\"net\":\"" << jsonEscape(req.net) << "\"";
+        if (req.batch != 1)
+            oss << ",\"batch\":" << req.batch;
         break;
     case RpcOp::Stats:
     case RpcOp::Shutdown:
@@ -204,12 +217,33 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
         if (!problemFromJson(root, req.problem, err))
             return false;
         break;
-    case RpcOp::SolveNetwork:
-        if (!jsonGetString(root, "net", req.net) || req.net.empty()) {
-            setError(err, "solve_network: missing \"net\"");
+    case RpcOp::SolveNetwork: {
+        const JsonValue *ir = root.find("ir");
+        if (ir) {
+            if (root.find("net")) {
+                setError(err, "solve_network: \"net\" and \"ir\" are "
+                              "mutually exclusive");
+                return false;
+            }
+            std::string ir_err;
+            if (!networkDefFromJson(*ir, req.ir, &ir_err)) {
+                setError(err, "solve_network: bad \"ir\": " + ir_err);
+                return false;
+            }
+            req.has_ir = true;
+        } else if (!jsonGetString(root, "net", req.net) ||
+                   req.net.empty()) {
+            setError(err, "solve_network: missing \"net\" or \"ir\"");
+            return false;
+        }
+        if (root.find("batch") &&
+            (!jsonGetInt(root, "batch", req.batch) || req.batch < 1)) {
+            setError(err, "solve_network: \"batch\" must be a positive "
+                          "integer");
             return false;
         }
         break;
+    }
     case RpcOp::Stats:
     case RpcOp::Shutdown:
         break;

@@ -7,9 +7,11 @@
  *
  *   {"v":1,"op":"solve", "machine":"<fp>", "settings":"<fp>",
  *    "n":1,"k":64,"c":3,"r":7,"s":7,"h":112,"w":112,
- *    "stride":2,"dilation":1}
+ *    "stride":2,"dilation":1,"groups":8}
  *   {"v":1,"op":"solve_network", "machine":"<fp>", "settings":"<fp>",
- *    "net":"resnet18"}
+ *    "net":"resnet18", "batch":8}
+ *   {"v":1,"op":"solve_network", "machine":"<fp>", "settings":"<fp>",
+ *    "ir":{"name":"tiny","layers":[...]}, "batch":4}
  *   {"v":1,"op":"stats"}
  *   {"v":1,"op":"shutdown"}
  *
@@ -17,7 +19,12 @@
  * request carrying any other version is refused with a clear error
  * *before* its fields are interpreted (a future v2 may rename them),
  * and an absent "v" is treated as 1 so pre-versioning clients keep
- * working.
+ * working. The groups/batch/ir extensions stay inside v1 because
+ * every one of them is optional with today's semantics as the
+ * default: an absent "groups" is a dense conv, an absent "batch" is
+ * 1, and "ir" (an inline frontend NetworkDef, networkDefToJson's
+ * format) is an *alternative* to "net" — exactly one of the two must
+ * be present, and old clients only ever send "net".
  *
  * "machine" and "settings" are the client's CacheKey fingerprints
  * (16-digit hex, the journal's encoding). The server compares them
@@ -67,6 +74,7 @@
 #include <vector>
 
 #include "conv/problem.hh"
+#include "frontend/network_def.hh"
 #include "service/solution_cache.hh"
 
 namespace mopt {
@@ -91,8 +99,17 @@ struct RpcRequest
     /** Solve: the shape to optimize (canonical; name ignored). */
     ConvProblem problem;
 
-    /** SolveNetwork: network name (resnet18 | vgg16 | yolov3). */
+    /** SolveNetwork: registered network name; empty when @ref ir is
+     *  carried instead. */
     std::string net;
+
+    /** SolveNetwork: inline network IR (when @ref has_ir). */
+    NetworkDef ir;
+    bool has_ir = false;
+
+    /** SolveNetwork: batch size applied to the network (absent on the
+     *  wire parses as 1, the pre-batch semantics). */
+    std::int64_t batch = 1;
 
     /** Client-side CacheKey fingerprints (0 = skip the check). */
     std::uint64_t machine_fp = 0;

@@ -6,7 +6,7 @@
 #include <sys/socket.h>
 
 #include "common/logging.hh"
-#include "conv/workloads.hh"
+#include "frontend/registry.hh"
 #include "service/cache_key.hh"
 
 namespace mopt {
@@ -243,7 +243,11 @@ Server::handleSolveNetwork(const RpcRequest &req)
     RpcResponse resp;
     if (!checkIdentity(req, resp))
         return resp;
-    const std::vector<ConvProblem> net = networkByName(req.net);
+    // Name or inline IR, at the request's batch size: an absent wire
+    // batch is 1, so legacy name-only requests keep their semantics.
+    NetworkDef def = req.has_ir ? req.ir : networkDefByName(req.net);
+    def.batch = req.batch;
+    const std::vector<ConvProblem> net = def.lower();
 
     // No lock: the optimizer submits its miss groups to the shared
     // scheduler, so concurrent network solves pipeline and their

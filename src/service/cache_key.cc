@@ -99,6 +99,11 @@ CacheKey::hash() const
     h = fnv1aU64(static_cast<std::uint64_t>(problem.w), h);
     h = fnv1aU64(static_cast<std::uint64_t>(problem.stride), h);
     h = fnv1aU64(static_cast<std::uint64_t>(problem.dilation), h);
+    // groups participates unconditionally: hashes are recomputed at
+    // runtime (never persisted), so folding it in cannot invalidate
+    // old journals, and grouped shapes must never collide with their
+    // dense twins.
+    h = fnv1aU64(static_cast<std::uint64_t>(problem.groups), h);
     h = fnv1aU64(machine_fp, h);
     h = fnv1aU64(settings_fp, h);
     return h;

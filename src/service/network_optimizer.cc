@@ -37,10 +37,14 @@ NetworkPlan::str() const
     for (const LayerPlan &lp : layers) {
         const ConvProblem &p = lp.problem;
         std::ostringstream shape;
+        if (p.n > 1)
+            shape << "N" << p.n << " ";
         shape << "K" << p.k << " C" << p.c << " H" << p.h << " R"
               << p.r;
         if (p.stride > 1)
             shape << "/" << p.stride;
+        if (p.groups > 1)
+            shape << " g" << p.groups;
         t.row()
             .add(p.name)
             .add(shape.str())
@@ -73,6 +77,12 @@ NetworkOptimizer::NetworkOptimizer(const MachineSpec &machine,
                   "NetworkOptimizer: scheduler was built for a "
                   "different machine or settings");
     }
+}
+
+NetworkPlan
+NetworkOptimizer::optimize(const NetworkDef &net) const
+{
+    return optimize(net.lower());
 }
 
 NetworkPlan

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "conv/problem.hh"
+#include "frontend/network_def.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
 #include "service/solution_cache.hh"
@@ -114,6 +115,11 @@ class NetworkOptimizer
 
     /** Optimize every layer of @p net (in order, repeats allowed). */
     NetworkPlan optimize(const std::vector<ConvProblem> &net) const;
+
+    /** Optimize a frontend NetworkDef (any model the IR can express —
+     *  registered builders, parsed .cfg files, inline RPC payloads) at
+     *  its batch size. */
+    NetworkPlan optimize(const NetworkDef &net) const;
 
     const MachineSpec &machine() const { return machine_; }
     const OptimizerOptions &options() const { return opts_; }

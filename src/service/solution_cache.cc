@@ -59,8 +59,12 @@ solutionToJsonLine(const CacheKey &key, const CachedSolution &sol,
         << ",\"n\":" << p.n << ",\"k\":" << p.k << ",\"c\":" << p.c
         << ",\"r\":" << p.r << ",\"s\":" << p.s << ",\"h\":" << p.h
         << ",\"w\":" << p.w << ",\"stride\":" << p.stride
-        << ",\"dilation\":" << p.dilation
-        << ",\"machine\":\"" << jsonHex16(key.machine_fp) << "\""
+        << ",\"dilation\":" << p.dilation;
+    // Written only when != 1 so dense-conv journal lines stay
+    // byte-identical to the v1 format; absent parses as 1 below.
+    if (p.groups != 1)
+        oss << ",\"groups\":" << p.groups;
+    oss << ",\"machine\":\"" << jsonHex16(key.machine_fp) << "\""
         << ",\"settings\":\"" << jsonHex16(key.settings_fp) << "\""
         << ",\"perm\":[";
     for (int l = 0; l < NumMemLevels; ++l)
@@ -119,6 +123,10 @@ solutionFromJson(const JsonValue &root, CacheKey &key,
         return false;
     k.problem.stride = static_cast<int>(stride);
     k.problem.dilation = static_cast<int>(dilation);
+    k.problem.groups = 1; // pre-groups journals carry no field
+    if (root.find("groups") &&
+        !jsonGetInt(root, "groups", k.problem.groups))
+        return false;
 
     const JsonValue *machine = root.find("machine");
     const JsonValue *settings = root.find("settings");

@@ -48,6 +48,7 @@
 #include "conv/reference.hh"
 #include "conv/workloads.hh"
 #include "exec/conv_exec.hh"
+#include "frontend/registry.hh"
 #include "machine/machine.hh"
 #include "model/multi_level.hh"
 #include "optimizer/mopt_optimizer.hh"
@@ -67,7 +68,8 @@ printUsage()
 Problem selection (one of):
   --layer=<name>     Table-1 operator (Y0..Y23, R1..R12, M1..M9)
   --k= --c= --image= --rs= [--stride=1] [--dilation=1] [--batch=1]
-                     explicit shape (image = input H == W)
+  [--groups=1]       explicit shape (image = input H == W; groups must
+                     divide k and c — groups=c is depthwise)
 
 Options:
   --machine=i7|i9|tiny   machine preset (default i7)
@@ -80,7 +82,13 @@ Options:
   --help                 this text
 
 Network mode (optimize every conv layer of a whole network):
-  mopt network --net=resnet18|vgg16|yolov3 [options]
+  mopt network --net=<name|file.cfg> [--batch=N] [options]
+  --net=<name>           registered network (resnet18|vgg16|yolov3) or
+                         a darknet-style .cfg file ([net]/[convolutional]
+                         with filters/size/stride/pad/groups; unknown
+                         sections are skipped loudly)
+  --batch=N              batch size for every layer (default: the
+                         .cfg's [net] batch, else 1)
   --cache=<path>         persistent solution cache (JSON journal);
                          repeated shapes and repeated runs hit it
   --cache-capacity=N     max cached solutions (default 4096)
@@ -101,9 +109,11 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
                          one solve via the single-flight scheduler)
   mopt query --connect=host:port[,host:port...] <what> [options]
     <what> is one of:
-      --net=<name>       whole-network plan (routed across the fleet
+      --net=<name|file.cfg> [--batch=N]
+                         whole-network plan (routed across the fleet
                          by stable cache-key hash; a down node falls
-                         back to a local solve)
+                         back to a local solve; a .cfg network is sent
+                         to a single node as an inline IR payload)
       --layer=<name> or explicit dims as above: one shape
       --stats            print each node's cache/telemetry counters
       --shutdown         stop each listed node
@@ -163,23 +173,36 @@ solveConcurrencyFromFlags(const mopt::Flags &flags)
     return static_cast<int>(sc);
 }
 
+/** Resolve --net (name or .cfg path) + --batch into a NetworkDef. */
+mopt::NetworkDef
+networkFromFlags(const mopt::Flags &flags)
+{
+    using namespace mopt;
+    NetworkDef def = loadNetworkDef(flags.getString("net", ""));
+    if (flags.has("batch")) {
+        def.batch = flags.getInt("batch", 1);
+        checkUser(def.batch >= 1, "--batch must be >= 1");
+    }
+    return def;
+}
+
 /** The `mopt network` subcommand (argv already shifted past it). */
 int
 runNetwork(int argc, char **argv)
 {
     using namespace mopt;
     const Flags flags(argc, argv);
-    flags.rejectUnknown({"net", "machine", "sequential", "effort",
-                         "top-k", "cache", "cache-capacity", "plan-out",
-                         "solve-concurrency", "help"});
+    flags.rejectUnknown({"net", "batch", "machine", "sequential",
+                         "effort", "top-k", "cache", "cache-capacity",
+                         "plan-out", "solve-concurrency", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
     }
     checkUser(flags.has("net"),
-              "network mode needs --net=resnet18|vgg16|yolov3");
-    const std::string net_name = flags.getString("net", "");
-    const std::vector<ConvProblem> net = networkByName(net_name);
+              "network mode needs --net=<name|file.cfg>");
+    const NetworkDef def = networkFromFlags(flags);
+    const std::vector<ConvProblem> net = def.lower();
     const MachineSpec m = machineByName(flags.getString("machine", "i7"));
     const OptimizerOptions opts = optionsFromFlags(flags);
 
@@ -187,8 +210,11 @@ runNetwork(int argc, char **argv)
     SolutionCache cache(co);
     const int solve_concurrency = solveConcurrencyFromFlags(flags);
 
-    std::cout << "Network:  " << net_name << " (" << net.size()
-              << " conv layers)\n";
+    std::cout << "Network:  " << def.name << " (" << net.size()
+              << " conv layers";
+    if (def.batch > 1)
+        std::cout << ", batch " << def.batch;
+    std::cout << ")\n";
     std::cout << "Machine:  " << m.name << " (" << m.cores << " cores, "
               << m.vec_lanes << "-lane SIMD)\n";
     if (!co.journal_path.empty())
@@ -435,11 +461,15 @@ int
 queryNetwork(const mopt::Flags &flags, QuerySetup &q)
 {
     using namespace mopt;
-    const std::string net_name = flags.getString("net", "");
-    const std::vector<ConvProblem> net = networkByName(net_name);
+    const std::string net_spec = flags.getString("net", "");
+    const NetworkDef def = networkFromFlags(flags);
+    const std::vector<ConvProblem> net = def.lower();
 
-    std::cout << "Network:  " << net_name << " (" << net.size()
-              << " conv layers)\n"
+    std::cout << "Network:  " << def.name << " (" << net.size()
+              << " conv layers";
+    if (def.batch > 1)
+        std::cout << ", batch " << def.batch;
+    std::cout << ")\n"
               << "Fleet:    " << q.endpoints.size() << " node(s)\n\n";
 
     // One node: a single solve_network round-trip serves the whole
@@ -449,7 +479,15 @@ queryNetwork(const mopt::Flags &flags, QuerySetup &q)
         Client client(q.endpoints.front());
         RpcRequest req;
         req.op = RpcOp::SolveNetwork;
-        req.net = net_name;
+        // A registered name resolves identically server-side; a .cfg
+        // exists only on this client, so ship the lowered IR inline.
+        if (looksLikeCfgPath(net_spec)) {
+            req.ir = def;
+            req.has_ir = true;
+        } else {
+            req.net = net_spec;
+        }
+        req.batch = def.batch;
         req.machine_fp = CacheKey::machineFingerprint(q.machine);
         req.settings_fp = CacheKey::settingsFingerprint(q.opts);
         RpcResponse resp;
@@ -515,9 +553,9 @@ runQuery(int argc, char **argv)
     using namespace mopt;
     const Flags flags(argc, argv);
     flags.rejectUnknown({"connect", "net", "layer", "k", "c", "image",
-                         "rs", "stride", "dilation", "batch", "machine",
-                         "sequential", "effort", "top-k", "plan-out",
-                         "stats", "shutdown", "help"});
+                         "rs", "stride", "dilation", "batch", "groups",
+                         "machine", "sequential", "effort", "top-k",
+                         "plan-out", "stats", "shutdown", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -540,7 +578,7 @@ runQuery(int argc, char **argv)
             "cli", flags.getInt("k", 1), flags.getInt("c", 1),
             flags.getInt("image", 1), flags.getInt("rs", 1),
             static_cast<int>(flags.getInt("stride", 1)),
-            flags.getInt("batch", 1));
+            flags.getInt("batch", 1), flags.getInt("groups", 1));
         p.dilation = static_cast<int>(flags.getInt("dilation", 1));
         p.validate();
     } else {
@@ -584,9 +622,9 @@ runSingle(int argc, char **argv)
     using namespace mopt;
     const Flags flags(argc, argv);
     flags.rejectUnknown({"layer", "k", "c", "image", "rs", "stride",
-                         "dilation", "batch", "machine", "sequential",
-                         "effort", "top-k", "emit-c", "verify",
-                         "compare", "help"});
+                         "dilation", "batch", "groups", "machine",
+                         "sequential", "effort", "top-k", "emit-c",
+                         "verify", "compare", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -602,7 +640,7 @@ runSingle(int argc, char **argv)
             "cli", flags.getInt("k", 1), flags.getInt("c", 1),
             flags.getInt("image", 1), flags.getInt("rs", 1),
             static_cast<int>(flags.getInt("stride", 1)),
-            flags.getInt("batch", 1));
+            flags.getInt("batch", 1), flags.getInt("groups", 1));
         p.dilation = static_cast<int>(flags.getInt("dilation", 1));
         p.validate();
     } else {

@@ -8,7 +8,10 @@
 #   4. stats + shutdown RPCs work,
 #   5. concurrent cold clients querying the same net coalesce through
 #      the single-flight scheduler: exactly `unique_shapes` solver
-#      invocations fleet-wide, every plan still byte-identical.
+#      invocations fleet-wide, every plan still byte-identical,
+#   6. a darknet .cfg network (inline-IR payload, batch 4, grouped +
+#      depthwise layers) solves cold, replays warm at 100% hits, and
+#      both plans are byte-identical to a local `mopt network` solve.
 #
 # Usage: tools/smoke_rpc.sh [BUILD_DIR]   (default: build)
 #
@@ -109,6 +112,32 @@ echo "== byte-identical plans: local vs cold vs warm =="
 cmp "$work/local.txt" "$work/cold.txt"
 cmp "$work/local.txt" "$work/warm.txt"
 echo "   identical"
+
+echo "== .cfg ingest: tiny.cfg at batch 4, cold then warm =="
+# The .cfg travels to the server as an inline-IR payload (the server
+# has no filesystem view of the client's config). Its grouped and
+# depthwise layers are new cache keys, so the first query is cold even
+# on the warmed-up server.
+cfg=tests/data/tiny.cfg
+"$mopt" network --net "$cfg" --batch 4 "${common_args[@]}" \
+    --plan-out "$work/cfg_local.txt" > "$work/cfg_local.out" 2>&1
+"$mopt" query --connect "127.0.0.1:$port" --net "$cfg" --batch 4 \
+    "${common_args[@]}" --plan-out "$work/cfg_cold.txt" \
+    2>/dev/null | tee "$work/cfg_cold.out"
+grep -q "hit rate 0.0%" "$work/cfg_cold.out" || {
+    echo "error: cold .cfg query did not report a 0.0% hit rate" >&2
+    exit 1
+}
+"$mopt" query --connect "127.0.0.1:$port" --net "$cfg" --batch 4 \
+    "${common_args[@]}" --plan-out "$work/cfg_warm.txt" \
+    2>/dev/null | tee "$work/cfg_warm.out"
+grep -q "hit rate 100.0%" "$work/cfg_warm.out" || {
+    echo "error: warm .cfg query did not report a 100.0% hit rate" >&2
+    exit 1
+}
+cmp "$work/cfg_local.txt" "$work/cfg_cold.txt"
+cmp "$work/cfg_local.txt" "$work/cfg_warm.txt"
+echo "   .cfg plans identical (local vs served, cold vs warm)"
 
 echo "== degraded fleet: one dead node, expect local fallback =="
 # 127.0.0.1:1 is refused immediately on any sane host; shapes whose
