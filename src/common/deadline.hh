@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deadline: a point in monotonic time that bounds blocking work, and
+ * the exception that reports running past one.
+ *
+ * Lives in common/ because both layers of the serving stack speak it:
+ * the socket layer (rpc/tcp.hh) bounds poll() waits with it, and the
+ * service layer (service/solve_scheduler.hh, network_optimizer)
+ * bounds future waits with it — without either depending on the
+ * other. One Deadline threaded through a multi-step operation
+ * (connect, send, solve, await response) naturally budgets the whole
+ * operation rather than resetting the clock at each step.
+ */
+
+#ifndef MOPT_COMMON_DEADLINE_HH
+#define MOPT_COMMON_DEADLINE_HH
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace mopt {
+
+/** A monotonic-clock deadline; infinite by default. Cheap to copy. */
+class Deadline
+{
+  public:
+    /** No deadline: block forever (the historical behavior). */
+    static Deadline never() { return Deadline(); }
+
+    /** A deadline @p ms milliseconds from now. Negative clamps to 0
+     *  (already expired); use never() for "no deadline", not -1. */
+    static Deadline in(long ms)
+    {
+        Deadline d;
+        d.infinite_ = false;
+        d.at_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms < 0 ? 0 : ms);
+        return d;
+    }
+
+    bool infinite() const { return infinite_; }
+
+    bool expired() const { return !infinite_ && remainingMs() == 0; }
+
+    /** Milliseconds until the deadline, clamped to >= 0; meaningless
+     *  (0) for an infinite deadline — check infinite() first. */
+    long remainingMs() const
+    {
+        if (infinite_)
+            return 0;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                at_ - std::chrono::steady_clock::now())
+                .count();
+        return left < 0 ? 0 : static_cast<long>(left);
+    }
+
+    /**
+     * The timeout to hand poll(): -1 (block) when infinite, else the
+     * remaining milliseconds capped at @p cap_ms when @p cap_ms >= 0.
+     * An expired deadline yields 0 (poll returns immediately).
+     */
+    int pollTimeout(int cap_ms = -1) const
+    {
+        if (infinite_)
+            return cap_ms;
+        long left = remainingMs();
+        if (cap_ms >= 0 && left > cap_ms)
+            left = cap_ms;
+        return static_cast<int>(left);
+    }
+
+  private:
+    Deadline() = default;
+
+    bool infinite_ = true;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+/**
+ * Thrown when work was abandoned because its Deadline expired. A
+ * subtype of FatalError so existing catch sites degrade to a plain
+ * user error; sites that care (the RPC server, which answers with a
+ * machine-readable deadline_exceeded code) catch this type first.
+ */
+class DeadlineExceeded : public FatalError
+{
+  public:
+    explicit DeadlineExceeded(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+} // namespace mopt
+
+#endif // MOPT_COMMON_DEADLINE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -12,6 +13,31 @@
 #include "service/cache_key.hh"
 
 namespace mopt {
+
+namespace {
+
+/** Poll slice while alternating between two hedged calls: long enough
+ *  to avoid spinning, short enough that the loser's answer is
+ *  abandoned promptly once the winner lands. */
+constexpr long kHedgePollSliceMs = 20;
+
+/** Backoff cap: retries are for transient blips; anything that needs
+ *  longer than this is the mark-down path's problem. */
+constexpr long kMaxBackoffMs = 2000;
+
+/** Doubling backoff with up to +50% jitter for retry @p attempt
+ *  (1-based). */
+long
+backoffDelayMs(const FleetOptions &policy, int attempt, Rng &rng)
+{
+    long base = policy.backoff_ms > 0 ? policy.backoff_ms : 1;
+    for (int i = 1; i < attempt && base < kMaxBackoffMs; ++i)
+        base *= 2;
+    base = std::min(base, kMaxBackoffMs);
+    return base + rng.uniformInt(0, base / 2);
+}
+
+} // namespace
 
 std::vector<RpcEndpoint>
 parseEndpointList(const std::string &csv)
@@ -43,44 +69,138 @@ Client::Client(RpcEndpoint ep, std::size_t max_response_bytes)
     : ep_(std::move(ep)), max_response_bytes_(max_response_bytes)
 {}
 
-bool
-Client::call(const RpcRequest &req, RpcResponse &out, std::string *err)
+Client::Client(Client &&o) noexcept
+    : ep_(std::move(o.ep_)), max_response_bytes_(o.max_response_bytes_),
+      sock_(std::move(o.sock_)), rng_(o.rng_)
 {
+    // reader_ references o.sock_, so an in-flight call cannot move;
+    // drop it (the moved-from client is dead anyway).
+    o.reader_.reset();
+}
+
+Client &
+Client::operator=(Client &&o) noexcept
+{
+    if (this != &o) {
+        reader_.reset();
+        o.reader_.reset();
+        ep_ = std::move(o.ep_);
+        max_response_bytes_ = o.max_response_bytes_;
+        sock_ = std::move(o.sock_);
+        rng_ = o.rng_;
+    }
+    return *this;
+}
+
+bool
+Client::startCall(const RpcRequest &req, std::string *err, Deadline dl)
+{
+    reader_.reset(); // A previous call's leftovers never frame into
+                     // this one.
     if (!sock_.valid()) {
-        sock_ = TcpSocket::connectTo(ep_.host, ep_.port, err);
+        sock_ = TcpSocket::connectTo(ep_.host, ep_.port, err, dl);
         if (!sock_.valid())
             return false;
     }
-    if (!sock_.sendAll(requestToJsonLine(req) + "\n")) {
+    if (!sock_.sendAll(requestToJsonLine(req) + "\n", dl)) {
         if (err)
             *err = ep_.str() + ": send failed";
         disconnect();
         return false;
     }
-    // One response line per request; a fresh reader per call is fine
-    // because the server never sends unsolicited bytes.
-    LineReader reader(sock_, max_response_bytes_);
+    reader_ =
+        std::make_unique<LineReader>(sock_, max_response_bytes_);
+    return true;
+}
+
+Client::CallWait
+Client::waitResponse(RpcResponse &out, std::string *err, Deadline dl)
+{
+    if (!reader_) {
+        if (err)
+            *err = ep_.str() + ": no call in flight";
+        return CallWait::Transport;
+    }
     std::string line;
-    const LineReader::Status st = reader.readLine(line);
+    const LineReader::Status st = reader_->readLine(line, dl);
+    if (st == LineReader::Status::Timeout)
+        return CallWait::Timeout; // Partial bytes stay buffered.
     if (st != LineReader::Status::Ok) {
         if (err)
             *err = ep_.str() + ": connection lost awaiting response";
-        disconnect();
-        return false;
+        abandon();
+        return CallWait::Transport;
     }
+    reader_.reset(); // Call complete.
     std::string perr;
     if (!responseFromJsonLine(line, out, &perr)) {
         if (err)
             *err = ep_.str() + ": bad response: " + perr;
         disconnect();
-        return false;
+        return CallWait::Transport;
     }
-    return true;
+    return CallWait::Ready;
+}
+
+void
+Client::abandon()
+{
+    // The response (whole or partial) may still arrive on this
+    // stream; dropping the connection is the only way to keep it from
+    // framing into the next call.
+    reader_.reset();
+    sock_.close();
+}
+
+bool
+Client::call(const RpcRequest &req, RpcResponse &out, std::string *err,
+             Deadline dl)
+{
+    if (!startCall(req, err, dl))
+        return false;
+    const CallWait w = waitResponse(out, err, dl);
+    if (w == CallWait::Ready)
+        return true;
+    if (w == CallWait::Timeout) {
+        if (err)
+            *err = ep_.str() + ": timed out awaiting response";
+        abandon();
+    }
+    return false;
+}
+
+bool
+Client::callRetrying(const RpcRequest &req, const FleetOptions &policy,
+                     RpcResponse &out, std::string *err,
+                     std::size_t *retries_out)
+{
+    for (int attempt = 0;; ++attempt) {
+        if (attempt > 0) {
+            if (retries_out)
+                ++*retries_out;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffDelayMs(policy, attempt, rng_)));
+        }
+        const Deadline dl = policy.deadline_ms > 0
+                                ? Deadline::in(policy.deadline_ms)
+                                : Deadline::never();
+        if (call(req, out, err, dl)) {
+            // Only an explicit overload shed is retryable; any other
+            // refusal means retrying can't fix the question.
+            if (out.ok || out.code != RpcErrorCode::Overloaded ||
+                attempt >= policy.max_retries)
+                return true;
+            continue;
+        }
+        if (attempt >= policy.max_retries)
+            return false;
+    }
 }
 
 void
 Client::disconnect()
 {
+    reader_.reset();
     sock_.close();
 }
 
@@ -95,17 +215,18 @@ RouteStats::hitRate() const
 
 ShardRouter::ShardRouter(std::vector<RpcEndpoint> endpoints,
                          const MachineSpec &machine,
-                         const OptimizerOptions &opts)
-    : machine_(machine), opts_(opts),
+                         const OptimizerOptions &opts, FleetOptions fleet)
+    : fleet_(fleet), machine_(machine), opts_(opts),
       machine_fp_(CacheKey::machineFingerprint(machine)),
-      settings_fp_(CacheKey::settingsFingerprint(opts))
+      settings_fp_(CacheKey::settingsFingerprint(opts)),
+      rng_(fleet.seed)
 {
     checkUser(!endpoints.empty(), "ShardRouter: no endpoints");
     machine_.validate();
     clients_.reserve(endpoints.size());
     for (RpcEndpoint &ep : endpoints)
         clients_.emplace_back(std::move(ep));
-    node_down_.assign(clients_.size(), false);
+    health_.assign(clients_.size(), NodeHealth{});
 }
 
 std::size_t
@@ -114,33 +235,225 @@ ShardRouter::nodeOf(const CacheKey &key) const
     return static_cast<std::size_t>(key.hash() % clients_.size());
 }
 
+bool
+ShardRouter::nodeUp(std::size_t node) const
+{
+    const NodeHealth &h = health_[node];
+    // A down node past its quarantine is offered again: the next call
+    // routed here is the half-open probe, and markDown() re-arms the
+    // quarantine if it fails.
+    return !h.down ||
+           std::chrono::steady_clock::now() >= h.retry_at;
+}
+
+void
+ShardRouter::markDown(std::size_t node)
+{
+    health_[node].down = true;
+    health_[node].retry_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            fleet_.markdown_ms > 0 ? fleet_.markdown_ms : 0);
+}
+
+std::size_t
+ShardRouter::nextUpNode(std::size_t primary) const
+{
+    const std::size_t n = clients_.size();
+    for (std::size_t off = 1; off < n; ++off) {
+        const std::size_t node = (primary + off) % n;
+        if (nodeUp(node))
+            return node;
+    }
+    return n;
+}
+
+std::vector<RouteNodeState>
+ShardRouter::nodeStates() const
+{
+    std::vector<RouteNodeState> out;
+    out.reserve(clients_.size());
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        RouteNodeState st;
+        st.endpoint = clients_[i].endpoint();
+        st.down = health_[i].down && now < health_[i].retry_at;
+        if (st.down)
+            st.retry_in_ms = static_cast<long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    health_[i].retry_at - now)
+                    .count());
+        out.push_back(std::move(st));
+    }
+    return out;
+}
+
+ShardRouter::Attempt
+ShardRouter::finishResponse(std::size_t node, const RpcResponse &resp,
+                            RouteStats &stats, RpcSolveResult &out)
+{
+    if (!resp.ok) {
+        if (resp.code == RpcErrorCode::Overloaded)
+            return Attempt::Overloaded;
+        // A *refusal* is a fleet misconfiguration (wrong machine,
+        // wrong settings, bad shape); silently solving locally would
+        // mask it on every future query. Fail loudly.
+        checkUser(false, "moptd node " +
+                             clients_[node].endpoint().str() +
+                             " refused solve: " + resp.error);
+    }
+    health_[node].down = false; // The answer proves the node up.
+    (resp.solve.cache_hit ? stats.remote_hits : stats.remote_misses)++;
+    stats.solve_seconds += resp.solve_seconds;
+    out = resp.solve;
+    return Attempt::Done;
+}
+
+ShardRouter::Attempt
+ShardRouter::attemptHedged(std::size_t primary, const RpcRequest &req,
+                           RouteStats &stats, RpcSolveResult &out)
+{
+    Client &pc = clients_[primary];
+    const Deadline dl = fleet_.deadline_ms > 0
+                            ? Deadline::in(fleet_.deadline_ms)
+                            : Deadline::never();
+    std::string err;
+    if (!pc.startCall(req, &err, dl)) {
+        logWarn("moptd node ", pc.endpoint().str(),
+                " unreachable (", err, ")");
+        markDown(primary);
+        return Attempt::Transport;
+    }
+
+    // Phase 1: wait for the primary alone, up to the hedge threshold
+    // (or the whole deadline when hedging is off or there is nowhere
+    // to hedge to).
+    const std::size_t secondary =
+        fleet_.hedge_ms > 0 ? nextUpNode(primary) : clients_.size();
+    const bool can_hedge = secondary < clients_.size();
+    RpcResponse resp;
+    Deadline first = dl;
+    if (can_hedge) {
+        const Deadline hedge_at = Deadline::in(fleet_.hedge_ms);
+        if (dl.infinite() ||
+            hedge_at.remainingMs() < dl.remainingMs())
+            first = hedge_at;
+    }
+    Client::CallWait w = pc.waitResponse(resp, &err, first);
+    if (w == Client::CallWait::Ready)
+        return finishResponse(primary, resp, stats, out);
+    if (w == Client::CallWait::Transport) {
+        logWarn("moptd node ", pc.endpoint().str(), " unreachable (",
+                err, ")");
+        markDown(primary);
+        return Attempt::Transport;
+    }
+    if (!can_hedge) {
+        // Timeout with nowhere to hedge: the node is slow past the
+        // whole budget — quarantine it and let the caller fall back.
+        logWarn("moptd node ", pc.endpoint().str(),
+                " timed out after ", fleet_.deadline_ms, " ms");
+        pc.abandon();
+        markDown(primary);
+        return Attempt::Transport;
+    }
+
+    // Phase 2: primary is slow, not (yet) dead. Fire the hedge and
+    // poll both in slices; first answer wins, the loser is abandoned.
+    // Byte-identical plans make either answer correct.
+    stats.hedges++;
+    Client &sc = clients_[secondary];
+    std::string serr;
+    bool primary_live = true;
+    bool secondary_live = sc.startCall(req, &serr, dl);
+    if (!secondary_live)
+        markDown(secondary);
+    while ((primary_live || secondary_live) && !dl.expired()) {
+        if (primary_live) {
+            const Deadline slice =
+                Deadline::in(std::min(kHedgePollSliceMs,
+                                      std::max(1L, dl.remainingMs())));
+            w = pc.waitResponse(resp, &err, slice);
+            if (w == Client::CallWait::Ready) {
+                if (secondary_live)
+                    sc.abandon();
+                return finishResponse(primary, resp, stats, out);
+            }
+            if (w == Client::CallWait::Transport) {
+                markDown(primary);
+                primary_live = false;
+            }
+        }
+        if (secondary_live) {
+            const Deadline slice =
+                Deadline::in(std::min(kHedgePollSliceMs,
+                                      std::max(1L, dl.remainingMs())));
+            w = sc.waitResponse(resp, &serr, slice);
+            if (w == Client::CallWait::Ready) {
+                if (primary_live)
+                    pc.abandon();
+                stats.hedge_wins++;
+                return finishResponse(secondary, resp, stats, out);
+            }
+            if (w == Client::CallWait::Transport) {
+                markDown(secondary);
+                secondary_live = false;
+            }
+        }
+    }
+    // Deadline expired with neither leg answering (or both legs died
+    // on transport): quarantine whatever is still silent.
+    if (primary_live) {
+        pc.abandon();
+        markDown(primary);
+    }
+    if (secondary_live) {
+        sc.abandon();
+        markDown(secondary);
+    }
+    logWarn("moptd node ", pc.endpoint().str(),
+            " (and hedge) timed out after ", fleet_.deadline_ms,
+            " ms");
+    return Attempt::Transport;
+}
+
 RpcSolveResult
 ShardRouter::solveOne(const CacheKey &key, RouteStats &stats)
 {
     const std::size_t node = nodeOf(key);
-    if (!node_down_[node]) {
-        RpcRequest req;
-        req.op = RpcOp::Solve;
-        req.problem = key.problem;
-        req.machine_fp = machine_fp_;
-        req.settings_fp = settings_fp_;
-        RpcResponse resp;
-        std::string err;
-        if (clients_[node].call(req, resp, &err)) {
-            // A *refusal* is a fleet misconfiguration (wrong machine,
-            // wrong settings, bad shape); silently solving locally
-            // would mask it on every future query. Fail loudly.
-            checkUser(resp.ok, "moptd node " +
-                                   clients_[node].endpoint().str() +
-                                   " refused solve: " + resp.error);
-            (resp.solve.cache_hit ? stats.remote_hits
-                                  : stats.remote_misses)++;
-            stats.solve_seconds += resp.solve_seconds;
-            return resp.solve;
+    RpcRequest req;
+    req.op = RpcOp::Solve;
+    req.problem = key.problem;
+    req.machine_fp = machine_fp_;
+    req.settings_fp = settings_fp_;
+    req.deadline_ms = fleet_.deadline_ms;
+
+    if (nodeUp(node)) {
+        RpcSolveResult result;
+        for (int attempt = 0; attempt <= fleet_.max_retries;
+             ++attempt) {
+            if (attempt > 0) {
+                stats.retries++;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoffDelayMs(fleet_, attempt, rng_)));
+                // No nodeUp() re-check here: this key's own retry IS
+                // the re-probe. The quarantine exists to keep *other*
+                // keys from routing onto a dead node, not to veto a
+                // deliberate backoff-paced re-attempt; a truly dead
+                // node fails each probe fast (refused) or at worst
+                // costs one deadline (blackholed), bounded by
+                // max_retries.
+            }
+            const Attempt a =
+                attemptHedged(node, req, stats, result);
+            if (a == Attempt::Done)
+                return result;
+            // Overloaded and Transport both retry (the next attempt
+            // re-probes or hedges); exhausted retries fall through to
+            // the local solve.
         }
         logWarn("moptd node ", clients_[node].endpoint().str(),
-                " unreachable (", err, "); falling back to local solve");
-        node_down_[node] = true;
+                " unavailable; falling back to local solve");
     }
     // Local fallback: the same deterministic pipeline the server
     // runs, so the plan is byte-identical, just paid for locally.
@@ -163,7 +476,6 @@ ShardRouter::optimize(const std::vector<ConvProblem> &net,
                       RouteStats *stats_out)
 {
     Timer total;
-    std::fill(node_down_.begin(), node_down_.end(), false);
 
     NetworkPlan plan;
     plan.layers.resize(net.size());
@@ -228,6 +540,7 @@ ShardRouter::optimize(const std::vector<ConvProblem> &net,
 
     plan.stats.solve_seconds = rstats.solve_seconds;
     plan.stats.total_seconds = total.seconds();
+    rstats.nodes = nodeStates();
     if (stats_out)
         *stats_out = rstats;
     return plan;

@@ -118,6 +118,18 @@ solveResultFromJson(const JsonValue &v, RpcSolveResult &out,
     return true;
 }
 
+RpcErrorCode
+errorCodeFromName(const std::string &name)
+{
+    if (name == "overloaded")
+        return RpcErrorCode::Overloaded;
+    if (name == "deadline_exceeded")
+        return RpcErrorCode::DeadlineExceeded;
+    // Unknown codes read as None: a newer server's refinement of
+    // "refused" must not change an old client's (fatal) handling.
+    return RpcErrorCode::None;
+}
+
 bool
 opFromName(const std::string &name, RpcOp &out)
 {
@@ -149,12 +161,27 @@ rpcOpName(RpcOp op)
 }
 
 std::string
+rpcErrorCodeName(RpcErrorCode code)
+{
+    switch (code) {
+    case RpcErrorCode::None: return "";
+    case RpcErrorCode::Overloaded: return "overloaded";
+    case RpcErrorCode::DeadlineExceeded: return "deadline_exceeded";
+    }
+    panic("rpcErrorCodeName: bad code");
+}
+
+std::string
 requestToJsonLine(const RpcRequest &req)
 {
     std::ostringstream oss;
     oss << "{\"v\":" << req.v << ",\"op\":\"" << rpcOpName(req.op)
         << "\"";
     appendFingerprints(oss, req.machine_fp, req.settings_fp);
+    // Optional, default 0 = none: deadline-less requests stay
+    // byte-identical to the pre-deadline wire format.
+    if (req.deadline_ms > 0)
+        oss << ",\"deadline_ms\":" << req.deadline_ms;
     switch (req.op) {
     case RpcOp::Solve:
         appendProblemFields(oss, req.problem);
@@ -212,6 +239,13 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
     if (!fingerprintFromJson(root, "machine", req.machine_fp, err) ||
         !fingerprintFromJson(root, "settings", req.settings_fp, err))
         return false;
+    if (root.find("deadline_ms") &&
+        (!jsonGetInt(root, "deadline_ms", req.deadline_ms) ||
+         req.deadline_ms < 0)) {
+        setError(err, "\"deadline_ms\": expected a non-negative "
+                      "integer");
+        return false;
+    }
     switch (req.op) {
     case RpcOp::Solve:
         if (!problemFromJson(root, req.problem, err))
@@ -253,11 +287,12 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
 }
 
 RpcResponse
-rpcErrorResponse(const std::string &msg)
+rpcErrorResponse(const std::string &msg, RpcErrorCode code)
 {
     RpcResponse resp;
     resp.ok = false;
     resp.error = msg;
+    resp.code = code;
     return resp;
 }
 
@@ -267,7 +302,11 @@ responseToJsonLine(const RpcResponse &resp)
     std::ostringstream oss;
     if (!resp.ok) {
         oss << "{\"ok\":false,\"error\":\"" << jsonEscape(resp.error)
-            << "\"}";
+            << "\"";
+        if (resp.code != RpcErrorCode::None)
+            oss << ",\"code\":\"" << rpcErrorCodeName(resp.code)
+                << "\"";
+        oss << "}";
         return oss.str();
     }
     oss << "{\"ok\":true,\"op\":\"" << rpcOpName(resp.op) << "\"";
@@ -313,6 +352,9 @@ responseToJsonLine(const RpcResponse &resp)
             << ",\"sched_inflight\":" << resp.sched_inflight
             << ",\"sched_peak\":" << resp.sched_peak
             << ",\"sched_budget\":" << resp.sched_budget
+            << ",\"srv_shed_overload\":" << resp.srv_shed_overload
+            << ",\"srv_shed_client\":" << resp.srv_shed_client
+            << ",\"srv_shed_deadline\":" << resp.srv_shed_deadline
             << ",\"entry_hits\":[";
         for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
             if (i)
@@ -349,6 +391,9 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
         jsonGetString(root, "error", resp.error);
         if (resp.error.empty())
             resp.error = "unspecified server error";
+        std::string code;
+        if (jsonGetString(root, "code", code))
+            resp.code = errorCodeFromName(code);
         out = std::move(resp);
         return true;
     }
@@ -421,15 +466,19 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
             return false;
         }
         resp.shards = static_cast<int>(shards);
-        // Scheduler counters are optional: a pre-scheduler server
-        // simply doesn't send them, and 0 is the honest reading.
+        // Scheduler and admission counters are optional: an older
+        // server simply doesn't send them, and 0 is the honest
+        // reading.
         for (const auto &[key, dst] :
              {std::pair<const char *, std::int64_t *>{
                   "sched_solves", &resp.sched_solves},
               {"sched_coalesced", &resp.sched_coalesced},
               {"sched_inflight", &resp.sched_inflight},
               {"sched_peak", &resp.sched_peak},
-              {"sched_budget", &resp.sched_budget}}) {
+              {"sched_budget", &resp.sched_budget},
+              {"srv_shed_overload", &resp.srv_shed_overload},
+              {"srv_shed_client", &resp.srv_shed_client},
+              {"srv_shed_deadline", &resp.srv_shed_deadline}}) {
             if (root.find(key) && !jsonGetInt(root, key, *dst)) {
                 setError(err, std::string("stats: bad ") + key);
                 return false;

@@ -15,6 +15,14 @@
  *   {"v":1,"op":"stats"}
  *   {"v":1,"op":"shutdown"}
  *
+ * Any request may carry an optional "deadline_ms": the client's
+ * remaining per-request budget in milliseconds at send time. The
+ * server refuses work it cannot finish in time (an expired deadline is
+ * answered immediately) and bounds its own solve wait by it, so a
+ * slow solve is answered with an explicit deadline_exceeded error
+ * instead of a response the client already gave up on. Absent = no
+ * deadline (the pre-deadline semantics), which keeps this inside v1.
+ *
  * "v" is the protocol major version. This build speaks exactly v1; a
  * request carrying any other version is refused with a clear error
  * *before* its fields are interpreted (a future v2 may rename them),
@@ -33,7 +41,14 @@
  * error instead of silently wrong tilings. Either may be omitted to
  * skip the check (fleet tooling that just drains a queue).
  *
- * Responses always carry "ok". Failures: {"ok":false,"error":"..."}.
+ * Responses always carry "ok". Failures: {"ok":false,"error":"..."},
+ * optionally with a machine-readable "code" naming *why* — today
+ * "overloaded" (the server shed the request under admission control;
+ * retrying after backoff is correct) or "deadline_exceeded" (the
+ * request's own budget ran out; retrying with the same budget will
+ * likely fail again). An absent or unrecognized code reads as a plain
+ * refusal, so old clients keep treating every failure as fatal and a
+ * v1 client talking to a newer server degrades safely.
  * Successful solves embed the solution in the journal's record format
  * (solutionToJsonLine) under "record", plus cache provenance:
  *
@@ -48,6 +63,7 @@
  *    "journal_loaded":0,"journal_skipped":0,
  *    "sched_solves":11,"sched_coalesced":3,"sched_inflight":0,
  *    "sched_peak":2,"sched_budget":2,
+ *    "srv_shed_overload":0,"srv_shed_client":0,"srv_shed_deadline":0,
  *    "entry_hits":[{"key":"...","hits":3}, ...]}
  *   {"ok":true,"op":"shutdown"}
  *
@@ -55,9 +71,11 @@
  * scheduler counters (service/solve_scheduler.hh): solver
  * invocations, requests coalesced onto an in-flight solve, solves
  * executing right now, the peak observed concurrency, and the
- * configured --solve-concurrency budget. Clients parse them as
- * optional (absent reads as 0) so a new client can still drain stats
- * from a pre-scheduler server.
+ * configured --solve-concurrency budget. The "srv_shed_*" members are
+ * the admission-control shed counters (requests refused for pending
+ * budget, per-client cap, or an already-expired deadline). Clients
+ * parse all of these as optional (absent reads as 0) so a new client
+ * can still drain stats from a pre-scheduler server.
  *
  * Framing rules: a request larger than the server's limit (default
  * 1 MiB) is answered with an error and the connection is dropped;
@@ -84,6 +102,19 @@ enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown };
 
 /** Printable op name (the wire spelling). */
 std::string rpcOpName(RpcOp op);
+
+/**
+ * Machine-readable failure cause on an error response. None covers
+ * both "no code sent" and "code we don't recognize" — either way the
+ * failure is a plain refusal, fatal to the caller. The distinction
+ * matters to the retry policy: Overloaded is explicitly retryable
+ * (after backoff, or on another shard), DeadlineExceeded means the
+ * budget itself ran out.
+ */
+enum class RpcErrorCode { None, Overloaded, DeadlineExceeded };
+
+/** Wire spelling of @p code ("" for None — the field is omitted). */
+std::string rpcErrorCodeName(RpcErrorCode code);
 
 /** The protocol major version this build speaks. */
 constexpr std::int64_t kRpcProtocolVersion = 1;
@@ -114,6 +145,11 @@ struct RpcRequest
     /** Client-side CacheKey fingerprints (0 = skip the check). */
     std::uint64_t machine_fp = 0;
     std::uint64_t settings_fp = 0;
+
+    /** Remaining client budget in ms at send time; 0 = no deadline
+     *  (absent on the wire). The server refuses work it cannot finish
+     *  in time. */
+    std::int64_t deadline_ms = 0;
 };
 
 std::string requestToJsonLine(const RpcRequest &req);
@@ -143,6 +179,11 @@ struct RpcResponse
 {
     bool ok = false;
     std::string error;
+
+    /** Why the call failed (None unless the server sent a code the
+     *  client recognizes). Only meaningful when !ok. */
+    RpcErrorCode code = RpcErrorCode::None;
+
     RpcOp op = RpcOp::Solve;
 
     // Solve.
@@ -173,10 +214,17 @@ struct RpcResponse
     std::int64_t sched_inflight = 0;
     std::int64_t sched_peak = 0;
     std::int64_t sched_budget = 0;
+
+    // Stats: admission-control counters (optional on the wire; absent
+    // parses as 0 — a pre-admission server simply never shed).
+    std::int64_t srv_shed_overload = 0; //!< Refused: pending budget.
+    std::int64_t srv_shed_client = 0;   //!< Refused: per-client cap.
+    std::int64_t srv_shed_deadline = 0; //!< Refused: budget expired.
 };
 
 /** An error response for @p msg (op-independent). */
-RpcResponse rpcErrorResponse(const std::string &msg);
+RpcResponse rpcErrorResponse(const std::string &msg,
+                             RpcErrorCode code = RpcErrorCode::None);
 
 std::string responseToJsonLine(const RpcResponse &resp);
 

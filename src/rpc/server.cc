@@ -18,6 +18,9 @@ Server::Server(const MachineSpec &machine, const OptimizerOptions &opts,
           options.workers = std::max(1, options.workers);
           options.solve_concurrency =
               std::max(1, options.solve_concurrency);
+          options.max_pending_conns =
+              std::max(1, options.max_pending_conns);
+          options.max_per_client = std::max(0, options.max_per_client);
           return std::move(options);
       }()),
       scheduler_(machine_, opts_, cache_,
@@ -62,11 +65,30 @@ Server::serve()
             break; // stop() closed the listener (or a fatal error).
         ++served;
         counters_.connections.fetch_add(1, std::memory_order_relaxed);
+        bool admitted = false;
         {
             std::lock_guard<std::mutex> lock(queue_mu_);
-            queue_.push_back(std::move(conn));
+            if (static_cast<int>(queue_.size()) <
+                options_.max_pending_conns) {
+                queue_.push_back(std::move(conn));
+                admitted = true;
+            }
         }
-        queue_cv_.notify_one();
+        if (admitted) {
+            queue_cv_.notify_one();
+        } else {
+            // Every worker is busy and the backlog is full: refuse
+            // now, explicitly, rather than let the queue (and every
+            // queued client's latency) grow without bound.
+            counters_.shed_overload.fetch_add(
+                1, std::memory_order_relaxed);
+            shedConnection(std::move(conn),
+                           "server overloaded: pending-connection "
+                           "budget (" +
+                               std::to_string(
+                                   options_.max_pending_conns) +
+                               ") exhausted");
+        }
     }
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
@@ -86,12 +108,27 @@ Server::stop()
     if (stopping_.exchange(true, std::memory_order_acq_rel))
         return;
     listener_.close();
-    // Half-close in-flight connections so workers blocked in recv see
-    // EOF. Guarded by conns_mu_: fds are unregistered before they are
-    // closed, so we never shut down a recycled descriptor.
+    // Read-side half-close of in-flight connections: workers blocked
+    // in recv see EOF and drain, but a response mid-write still
+    // flushes (SHUT_RDWR would truncate it — the client would see a
+    // transport error on work the server actually finished). Guarded
+    // by conns_mu_: fds are unregistered before they are closed, so
+    // we never shut down a recycled descriptor.
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (const int fd : conn_fds_)
-        ::shutdown(fd, SHUT_RDWR);
+        ::shutdown(fd, SHUT_RD);
+}
+
+void
+Server::shedConnection(TcpSocket conn, const std::string &msg)
+{
+    const RpcResponse resp =
+        rpcErrorResponse(msg, RpcErrorCode::Overloaded);
+    counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    conn.sendAll(responseToJsonLine(resp) + "\n",
+                 Deadline::in(options_.shed_write_ms));
+    // RAII closes the socket; a client too slow to take the error
+    // line just sees the close.
 }
 
 void
@@ -118,18 +155,55 @@ Server::workerLoop()
 void
 Server::handleConnection(TcpSocket conn)
 {
+    const int fd = conn.fd();
     {
         // Register-then-recheck under the same lock stop() takes:
         // either stop() sees this fd in the set and half-closes it,
         // or we see stopping() here — no window where an idle client
         // could keep a worker (and thus serve()'s join) blocked.
         std::lock_guard<std::mutex> lock(conns_mu_);
-        conn_fds_.insert(conn.fd());
+        conn_fds_.insert(fd);
         if (stopping()) {
-            conn_fds_.erase(conn.fd());
+            conn_fds_.erase(fd);
             return;
         }
     }
+
+    // Per-client admission: cap concurrent connections per peer host
+    // (ports stripped — one client opens many ephemeral ports) so a
+    // single runaway client cannot occupy every worker.
+    std::string client_ip;
+    if (options_.max_per_client > 0) {
+        client_ip = conn.peerAddress();
+        const std::size_t colon = client_ip.rfind(':');
+        if (colon != std::string::npos)
+            client_ip.erase(colon);
+        bool over = false;
+        {
+            std::lock_guard<std::mutex> lock(clients_mu_);
+            over = ++client_conns_[client_ip] >
+                   options_.max_per_client;
+        }
+        if (over) {
+            {
+                std::lock_guard<std::mutex> lock(clients_mu_);
+                --client_conns_[client_ip];
+            }
+            {
+                std::lock_guard<std::mutex> lock(conns_mu_);
+                conn_fds_.erase(fd);
+            }
+            counters_.shed_client.fetch_add(1,
+                                            std::memory_order_relaxed);
+            shedConnection(std::move(conn),
+                           "server overloaded: per-client connection "
+                           "cap (" +
+                               std::to_string(options_.max_per_client) +
+                               ") reached");
+            return;
+        }
+    }
+
     LineReader reader(conn, options_.max_request_bytes);
     std::string line;
     for (;;) {
@@ -170,9 +244,14 @@ Server::handleConnection(TcpSocket conn)
             break;
         }
     }
+    if (options_.max_per_client > 0) {
+        std::lock_guard<std::mutex> lock(clients_mu_);
+        if (--client_conns_[client_ip] == 0)
+            client_conns_.erase(client_ip);
+    }
     {
         std::lock_guard<std::mutex> lock(conns_mu_);
-        conn_fds_.erase(conn.fd());
+        conn_fds_.erase(fd);
     }
 }
 
@@ -197,10 +276,16 @@ Server::checkIdentity(const RpcRequest &req, RpcResponse &resp) const
 RpcResponse
 Server::handle(const RpcRequest &req)
 {
+    // The client sends its *remaining* budget at send time; the clock
+    // on it starts here. Network transit time is the client's margin
+    // to keep (it knows its own absolute deadline, we don't).
+    const Deadline dl = req.deadline_ms > 0
+                            ? Deadline::in(req.deadline_ms)
+                            : Deadline::never();
     try {
         switch (req.op) {
-        case RpcOp::Solve: return handleSolve(req);
-        case RpcOp::SolveNetwork: return handleSolveNetwork(req);
+        case RpcOp::Solve: return handleSolve(req, dl);
+        case RpcOp::SolveNetwork: return handleSolveNetwork(req, dl);
         case RpcOp::Stats: return handleStats();
         case RpcOp::Shutdown: {
             RpcResponse resp;
@@ -210,6 +295,13 @@ Server::handle(const RpcRequest &req)
         }
         }
         return rpcErrorResponse("unhandled op");
+    } catch (const DeadlineExceeded &e) {
+        // Machine-readable: the client's own budget ran out, which is
+        // not the server's failure — retrying with the same budget on
+        // a warmer cache may well succeed.
+        counters_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+        return rpcErrorResponse(e.what(),
+                                RpcErrorCode::DeadlineExceeded);
     } catch (const FatalError &e) {
         // User-level failures (unknown network name, ...) belong on
         // the wire, not in the server's lap.
@@ -218,7 +310,7 @@ Server::handle(const RpcRequest &req)
 }
 
 RpcResponse
-Server::handleSolve(const RpcRequest &req)
+Server::handleSolve(const RpcRequest &req, const Deadline &dl)
 {
     RpcResponse resp;
     if (!checkIdentity(req, resp))
@@ -229,8 +321,12 @@ Server::handleSolve(const RpcRequest &req)
     // coalescing with any in-flight solve of this key (this worker
     // then blocks on the shared future), or a fresh bounded-
     // concurrency solve. A coalesced request reports a miss with
-    // zero solve time — the flight's leader paid for it.
-    ScheduledSolve r = scheduler_.solve(req.problem);
+    // zero solve time — the flight's leader paid for it. The wait is
+    // deadline-bounded; an abandoned flight still lands in the cache.
+    const SolveTicket ticket = scheduler_.submit(req.problem);
+    ScheduledSolve r;
+    if (!ticket.waitFor(dl, r))
+        throw DeadlineExceeded("solve ran past its deadline");
     resp.solve =
         RpcSolveResult{std::move(r.key), std::move(r.sol), r.cache_hit};
     resp.solve_seconds = r.solve_seconds;
@@ -238,7 +334,7 @@ Server::handleSolve(const RpcRequest &req)
 }
 
 RpcResponse
-Server::handleSolveNetwork(const RpcRequest &req)
+Server::handleSolveNetwork(const RpcRequest &req, const Deadline &dl)
 {
     RpcResponse resp;
     if (!checkIdentity(req, resp))
@@ -251,8 +347,9 @@ Server::handleSolveNetwork(const RpcRequest &req)
 
     // No lock: the optimizer submits its miss groups to the shared
     // scheduler, so concurrent network solves pipeline and their
-    // overlapping shapes coalesce fleet-wide.
-    const NetworkPlan plan = optimizer_.optimize(net);
+    // overlapping shapes coalesce fleet-wide. Throws DeadlineExceeded
+    // past dl (handle() turns that into the wire code).
+    const NetworkPlan plan = optimizer_.optimize(net, dl);
     resp.ok = true;
     resp.op = RpcOp::SolveNetwork;
     resp.plan_text = plan.str();
@@ -299,6 +396,12 @@ Server::handleStats()
     resp.sched_inflight = ss.in_flight;
     resp.sched_peak = ss.peak_concurrency;
     resp.sched_budget = scheduler_.concurrency();
+    resp.srv_shed_overload =
+        counters_.shed_overload.load(std::memory_order_relaxed);
+    resp.srv_shed_client =
+        counters_.shed_client.load(std::memory_order_relaxed);
+    resp.srv_shed_deadline =
+        counters_.shed_deadline.load(std::memory_order_relaxed);
     return resp;
 }
 

@@ -20,9 +20,20 @@
  * behavior. A warm server scales with worker count; a cold one now
  * scales with the solve budget too.
  *
+ * Admission control: the accept loop sheds connections past a bounded
+ * pending budget, and workers shed connections past the per-client
+ * cap — both with an explicit "overloaded" refusal (protocol.hh error
+ * code) so a well-behaved client backs off and retries another shard
+ * instead of timing out blind. A request carrying "deadline_ms" is
+ * refused up front when already expired and bounds the worker's solve
+ * wait; either way the worker answers "deadline_exceeded" instead of
+ * burning time on an answer nobody is waiting for.
+ *
  * Shutdown paths: a "shutdown" RPC, or stop() from another thread.
- * Both close the listener (waking the accept loop) and half-close
- * every in-flight connection so workers drain promptly.
+ * Both close the listener (waking the accept loop) and read-side
+ * half-close every in-flight connection: workers blocked in recv see
+ * EOF and drain promptly, while responses already being written still
+ * flush — in-flight work completes, new work is refused.
  */
 
 #ifndef MOPT_RPC_SERVER_HH
@@ -35,6 +46,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -70,6 +82,23 @@ struct ServerOptions
      *  split the solver thread-pool width across that many flights.
      *  Plans are byte-identical either way. */
     int solve_concurrency = 1;
+
+    /** Bound on accepted connections awaiting a worker. Past it the
+     *  accept loop answers "overloaded" (code on the wire) and closes
+     *  instead of queueing unboundedly — shedding early keeps the
+     *  refusal latency flat while the fleet retries elsewhere. */
+    int max_pending_conns = 128;
+
+    /** Concurrent connections served per client address (peer IP);
+     *  0 = unlimited. The cap stops one misbehaving client from
+     *  occupying every worker; excess connections are refused with
+     *  the same "overloaded" code. */
+    int max_per_client = 0;
+
+    /** Budget for writing a refusal to a client being shed (ms). The
+     *  shed path runs on the accept thread, so a client too slow to
+     *  take even the error line is simply dropped. */
+    long shed_write_ms = 1000;
 };
 
 /** Monotonic server counters (snapshot-read; updated with relaxed
@@ -79,6 +108,12 @@ struct ServerCounters
     std::atomic<std::int64_t> connections{0};
     std::atomic<std::int64_t> requests{0};
     std::atomic<std::int64_t> errors{0}; //!< Error responses sent.
+
+    // Admission control (each shed also counts toward errors when a
+    // refusal was actually written).
+    std::atomic<std::int64_t> shed_overload{0}; //!< Pending budget hit.
+    std::atomic<std::int64_t> shed_client{0};   //!< Per-client cap hit.
+    std::atomic<std::int64_t> shed_deadline{0}; //!< Deadline expired.
 };
 
 /**
@@ -144,8 +179,14 @@ class Server
     void workerLoop();
     void handleConnection(TcpSocket conn);
 
-    RpcResponse handleSolve(const RpcRequest &req);
-    RpcResponse handleSolveNetwork(const RpcRequest &req);
+    /** Refuse @p conn with an "overloaded" error line (write bounded
+     *  by shed_write_ms) and close it. Runs on the accept thread or a
+     *  worker, never blocks past the budget. */
+    void shedConnection(TcpSocket conn, const std::string &msg);
+
+    RpcResponse handleSolve(const RpcRequest &req, const Deadline &dl);
+    RpcResponse handleSolveNetwork(const RpcRequest &req,
+                                   const Deadline &dl);
     RpcResponse handleStats();
 
     /** Fingerprint guard: nonzero client fingerprints must match the
@@ -177,6 +218,11 @@ class Server
     /** fds of live connections, so stop() can half-close them. */
     std::mutex conns_mu_;
     std::unordered_set<int> conn_fds_;
+
+    /** Peer IP -> connections currently being served (per-client
+     *  admission cap). */
+    std::mutex clients_mu_;
+    std::unordered_map<std::string, int> client_conns_;
 
     ServerCounters counters_;
 };

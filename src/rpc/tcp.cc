@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -49,6 +50,91 @@ resolve(const std::string &host, int port, bool passive,
     return res;
 }
 
+bool
+setNonBlocking(int fd, bool on)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return flags == want || ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+/**
+ * Wait for @p events on @p fd until @p dl. Returns >0 when ready, 0 on
+ * deadline expiry, <0 on poll error. EINTR just re-polls: the deadline
+ * is absolute, so a signal storm cannot extend the wait.
+ */
+int
+pollFd(int fd, short events, const Deadline &dl)
+{
+    for (;;) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = events;
+        pfd.revents = 0;
+        const int rc = ::poll(&pfd, 1, dl.pollTimeout());
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (rc == 0)
+            return 0;
+        return 1;
+    }
+}
+
+/**
+ * Finish a non-blocking connect on @p fd before @p dl: wait for
+ * writability, then read SO_ERROR for the real outcome. True on a
+ * fully established connection.
+ */
+bool
+awaitConnect(int fd, const Deadline &dl, std::string *last_err)
+{
+    const int rc = pollFd(fd, POLLOUT, dl);
+    if (rc < 0) {
+        *last_err = "connect poll: " + errnoString();
+        return false;
+    }
+    if (rc == 0) {
+        *last_err = "connect: timed out";
+        return false;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        *last_err = "getsockopt: " + errnoString();
+        return false;
+    }
+    if (so_error != 0) {
+        *last_err =
+            std::string("connect: ") + std::strerror(so_error);
+        return false;
+    }
+    return true;
+}
+
+std::string
+addrToString(const sockaddr_storage &sa)
+{
+    char host[INET6_ADDRSTRLEN] = {0};
+    int port = 0;
+    if (sa.ss_family == AF_INET) {
+        const auto *in = reinterpret_cast<const sockaddr_in *>(&sa);
+        ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+        port = ntohs(in->sin_port);
+    } else if (sa.ss_family == AF_INET6) {
+        const auto *in6 = reinterpret_cast<const sockaddr_in6 *>(&sa);
+        ::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host));
+        port = ntohs(in6->sin6_port);
+    } else {
+        return "?";
+    }
+    return std::string(host) + ":" + std::to_string(port);
+}
+
 } // namespace
 
 TcpSocket &
@@ -63,7 +149,8 @@ TcpSocket::operator=(TcpSocket &&o) noexcept
 }
 
 TcpSocket
-TcpSocket::connectTo(const std::string &host, int port, std::string *err)
+TcpSocket::connectTo(const std::string &host, int port, std::string *err,
+                     Deadline dl)
 {
     addrinfo *res = resolve(host, port, /*passive=*/false, err);
     if (!res)
@@ -76,11 +163,33 @@ TcpSocket::connectTo(const std::string &host, int port, std::string *err)
             last_err = "socket: " + errnoString();
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        // Non-blocking connect + poll so the handshake honors the
+        // deadline (a blackholed SYN otherwise blocks for the
+        // kernel's multi-minute default). The socket itself stays
+        // blocking afterward; I/O deadlines come from poll() in
+        // sendAll/recvSome, not O_NONBLOCK.
+        if (!setNonBlocking(fd, true)) {
+            last_err = "fcntl: " + errnoString();
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        const int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        bool ok = rc == 0;
+        if (!ok && errno == EINPROGRESS)
+            ok = awaitConnect(fd, dl, &last_err);
+        else if (!ok)
+            last_err = "connect: " + errnoString();
+        if (ok && !setNonBlocking(fd, false)) {
+            last_err = "fcntl: " + errnoString();
+            ok = false;
+        }
+        if (ok)
             break;
-        last_err = "connect: " + errnoString();
         ::close(fd);
         fd = -1;
+        if (dl.expired())
+            break; // Don't burn the caller's budget on more addresses.
     }
     ::freeaddrinfo(res);
     if (fd < 0) {
@@ -95,12 +204,17 @@ TcpSocket::connectTo(const std::string &host, int port, std::string *err)
 }
 
 bool
-TcpSocket::sendAll(const std::string &data)
+TcpSocket::sendAll(const std::string &data, Deadline dl)
 {
     if (fd_ < 0)
         return false;
     std::size_t off = 0;
     while (off < data.size()) {
+        if (!dl.infinite()) {
+            const int rc = pollFd(fd_, POLLOUT, dl);
+            if (rc <= 0)
+                return false; // Timeout or poll error: give up.
+        }
         const ssize_t n = ::send(fd_, data.data() + off,
                                  data.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
@@ -114,10 +228,17 @@ TcpSocket::sendAll(const std::string &data)
 }
 
 long
-TcpSocket::recvSome(char *buf, std::size_t len)
+TcpSocket::recvSome(char *buf, std::size_t len, Deadline dl)
 {
     if (fd_ < 0)
         return -1;
+    if (!dl.infinite()) {
+        const int rc = pollFd(fd_, POLLIN, dl);
+        if (rc < 0)
+            return -1;
+        if (rc == 0)
+            return kTimedOut;
+    }
     for (;;) {
         const ssize_t n = ::recv(fd_, buf, len, 0);
         if (n < 0 && errno == EINTR)
@@ -126,11 +247,31 @@ TcpSocket::recvSome(char *buf, std::size_t len)
     }
 }
 
+std::string
+TcpSocket::peerAddress() const
+{
+    if (fd_ < 0)
+        return "?";
+    sockaddr_storage sa{};
+    socklen_t sa_len = sizeof(sa);
+    if (::getpeername(fd_, reinterpret_cast<sockaddr *>(&sa), &sa_len) !=
+        0)
+        return "?";
+    return addrToString(sa);
+}
+
 void
 TcpSocket::shutdownBoth()
 {
     if (fd_ >= 0)
         ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpSocket::shutdownRead()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
 }
 
 void
@@ -276,7 +417,7 @@ TcpListener::closeFds()
 }
 
 LineReader::Status
-LineReader::readLine(std::string &out)
+LineReader::readLine(std::string &out, Deadline dl)
 {
     for (;;) {
         const std::size_t nl = buf_.find('\n', scanned_);
@@ -293,9 +434,11 @@ LineReader::readLine(std::string &out)
             return Status::TooLong;
 
         char chunk[4096];
-        const long n = sock_.recvSome(chunk, sizeof(chunk));
+        const long n = sock_.recvSome(chunk, sizeof(chunk), dl);
         if (n == 0)
             return Status::Eof;
+        if (n == TcpSocket::kTimedOut)
+            return Status::Timeout;
         if (n < 0)
             return Status::Error;
         buf_.append(chunk, static_cast<std::size_t>(n));

@@ -5,10 +5,20 @@
  * thread (TcpListener), and a buffered newline framer (LineReader).
  *
  * Deliberately minimal — IPv4/IPv6 via getaddrinfo, blocking I/O, no
- * TLS, no timeouts — because the protocol above it is a trusted-fleet
- * line protocol, not an internet-facing endpoint. All sends use
+ * TLS — because the protocol above it is a trusted-fleet line
+ * protocol, not an internet-facing endpoint. All sends use
  * MSG_NOSIGNAL so a peer that vanished mid-response surfaces as an
  * error return instead of SIGPIPE.
+ *
+ * Every potentially-blocking operation (connect, send, recv, and
+ * therefore readLine) takes a Deadline (common/deadline.hh): a
+ * monotonic-clock point in time that poll() bounds the wait against.
+ * Deadline::never() reproduces the historical fully-blocking
+ * behavior, so a peer that stalls, blackholes, or half-opens can
+ * never hang a caller that set one — the call returns a
+ * distinguishable timeout instead. The failure model built on top
+ * (client retries/hedging, server admission control, src/rpc/client.hh
+ * and server.hh) assumes exactly this property.
  *
  * Unblocking a blocked accept() portably is the one subtle part:
  * TcpListener owns a self-pipe and accept() poll()s {listen fd, pipe};
@@ -24,12 +34,17 @@
 #include <mutex>
 #include <string>
 
+#include "common/deadline.hh"
+
 namespace mopt {
 
 /** RAII wrapper of one connected (or accepted) stream socket. */
 class TcpSocket
 {
   public:
+    /** recvSome return value when the deadline expired first. */
+    static constexpr long kTimedOut = -2;
+
     TcpSocket() = default;
 
     /** Take ownership of @p fd (-1 = invalid). */
@@ -43,26 +58,42 @@ class TcpSocket
     TcpSocket &operator=(const TcpSocket &) = delete;
 
     /**
-     * Blocking connect to @p host : @p port. Returns an invalid socket
-     * and fills @p err (when non-null) on failure.
+     * Connect to @p host : @p port, giving up at @p dl (a half-open
+     * listener or a blackholed SYN then surfaces as an error instead
+     * of hanging for the kernel's minutes-long default). Returns an
+     * invalid socket and fills @p err (when non-null) on failure.
      */
     static TcpSocket connectTo(const std::string &host, int port,
-                               std::string *err = nullptr);
+                               std::string *err = nullptr,
+                               Deadline dl = Deadline::never());
 
     bool valid() const { return fd_ >= 0; }
     int fd() const { return fd_; }
 
-    /** Send all of @p data; false on any error (peer gone, ...). */
-    bool sendAll(const std::string &data);
+    /** Send all of @p data before @p dl; false on any error or on
+     *  deadline expiry (a stalled peer with a full receive window
+     *  cannot wedge the caller). */
+    bool sendAll(const std::string &data,
+                 Deadline dl = Deadline::never());
 
     /**
      * Receive up to @p len bytes. Returns the byte count, 0 on orderly
-     * peer shutdown, -1 on error. Retries EINTR internally.
+     * peer shutdown, -1 on error, kTimedOut (-2) when @p dl expired
+     * with no data. Retries EINTR internally.
      */
-    long recvSome(char *buf, std::size_t len);
+    long recvSome(char *buf, std::size_t len,
+                  Deadline dl = Deadline::never());
+
+    /** Peer address ("ip:port", or "?" when unavailable) — the
+     *  identity the server's per-client admission control keys on. */
+    std::string peerAddress() const;
 
     /** Half-close both directions (wakes a blocked peer recv). */
     void shutdownBoth();
+
+    /** Half-close the read side only: the peer's sends see EOF while
+     *  our pending response can still be written (graceful drain). */
+    void shutdownRead();
 
     void close();
 
@@ -139,17 +170,30 @@ class TcpListener
  * terminator) per readLine call. A line longer than @p max_line is a
  * protocol violation: readLine returns TooLong and the stream must be
  * dropped (resynchronizing on a hostile peer is not worth the code).
+ *
+ * readLine takes a Deadline; Timeout means the deadline expired with
+ * the line still incomplete — the partial bytes stay buffered, so a
+ * caller polling in slices (the hedging client) can keep calling with
+ * later deadlines and lose nothing.
  */
 class LineReader
 {
   public:
-    enum class Status { Ok, Eof, TooLong, Error };
+    enum class Status { Ok, Eof, TooLong, Error, Timeout };
 
     LineReader(TcpSocket &sock, std::size_t max_line)
         : sock_(sock), max_line_(max_line)
     {}
 
-    Status readLine(std::string &out);
+    Status readLine(std::string &out, Deadline dl = Deadline::never());
+
+    /** Drop buffered bytes (after a reconnect: stale bytes from the
+     *  previous connection must not frame into the new stream). */
+    void reset()
+    {
+        buf_.clear();
+        scanned_ = 0;
+    }
 
   private:
     TcpSocket &sock_;

@@ -80,13 +80,14 @@ NetworkOptimizer::NetworkOptimizer(const MachineSpec &machine,
 }
 
 NetworkPlan
-NetworkOptimizer::optimize(const NetworkDef &net) const
+NetworkOptimizer::optimize(const NetworkDef &net, Deadline dl) const
 {
-    return optimize(net.lower());
+    return optimize(net.lower(), dl);
 }
 
 NetworkPlan
-NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
+NetworkOptimizer::optimize(const std::vector<ConvProblem> &net,
+                           Deadline dl) const
 {
     Timer total;
     NetworkPlan plan;
@@ -149,7 +150,16 @@ NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
         for (std::size_t gi = 0; gi < groups.size(); ++gi) {
             const Group &g = groups[gi];
             const ConvProblem &rep = net[g.layers.front()];
-            const ScheduledSolve r = tickets[gi].wait();
+            ScheduledSolve r;
+            if (!tickets[gi].waitFor(dl, r)) {
+                // The remaining flights keep running and will land in
+                // the cache; only this caller's answer is abandoned.
+                throw DeadlineExceeded(
+                    "network solve ran past its deadline (" +
+                    std::to_string(groups.size() - gi) + " of " +
+                    std::to_string(groups.size()) +
+                    " shapes still outstanding)");
+            }
             Candidate best;
             best.config = r.sol.config;
             best.perm_label = r.sol.perm_label;
@@ -180,6 +190,13 @@ NetworkOptimizer::optimize(const std::vector<ConvProblem> &net) const
             Candidate best;
             bool hit = false;
             double solve_seconds = 0.0;
+
+            // A running optimizeConv cannot be interrupted, so the
+            // serial path enforces the deadline between solves: the
+            // overshoot is bounded by one solve.
+            if (dl.expired())
+                throw DeadlineExceeded(
+                    "network solve ran past its deadline");
 
             CachedSolution cached;
             if (cache_ && cache_->lookup(g.key, &cached)) {

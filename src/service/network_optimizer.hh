@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.hh"
 #include "conv/problem.hh"
 #include "frontend/network_def.hh"
 #include "machine/machine.hh"
@@ -113,13 +114,21 @@ class NetworkOptimizer
                      SolutionCache *cache = nullptr,
                      SolveScheduler *scheduler = nullptr);
 
-    /** Optimize every layer of @p net (in order, repeats allowed). */
-    NetworkPlan optimize(const std::vector<ConvProblem> &net) const;
+    /**
+     * Optimize every layer of @p net (in order, repeats allowed),
+     * giving up at @p dl: when the deadline expires with solves still
+     * outstanding, throws DeadlineExceeded. The abandoned flights keep
+     * running on the scheduler and land in the cache, so a retry of
+     * the same network converges instead of starting over.
+     */
+    NetworkPlan optimize(const std::vector<ConvProblem> &net,
+                         Deadline dl = Deadline::never()) const;
 
     /** Optimize a frontend NetworkDef (any model the IR can express —
      *  registered builders, parsed .cfg files, inline RPC payloads) at
      *  its batch size. */
-    NetworkPlan optimize(const NetworkDef &net) const;
+    NetworkPlan optimize(const NetworkDef &net,
+                         Deadline dl = Deadline::never()) const;
 
     const MachineSpec &machine() const { return machine_; }
     const OptimizerOptions &options() const { return opts_; }

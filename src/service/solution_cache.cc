@@ -1,5 +1,8 @@
 #include "service/solution_cache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -11,6 +14,39 @@
 namespace mopt {
 
 namespace {
+
+/**
+ * fsync @p path (a file or, with O_DIRECTORY, its parent). A rename
+ * is only durable once the *directory* entry is on disk; the file's
+ * bytes only once the file is. False (with a warning) on failure —
+ * compaction proceeds, the window just stays open.
+ */
+bool
+syncPath(const std::string &path, int open_flags)
+{
+    const int fd = ::open(path.c_str(), open_flags);
+    if (fd < 0) {
+        logWarn("SolutionCache: cannot open ", path, " for fsync");
+        return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    if (!ok)
+        logWarn("SolutionCache: fsync ", path, " failed");
+    ::close(fd);
+    return ok;
+}
+
+/** Parent directory of @p path ("." when it has none). */
+std::string
+parentDir(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
 
 bool
 getTiles(const JsonValue &arr, IntTileVec &out)
@@ -496,11 +532,20 @@ SolutionCache::compact()
     }
     if (journal_.is_open())
         journal_.close();
+    // Crash-safety order: the tmp file's bytes must be on disk
+    // *before* the rename makes it the journal, and the rename itself
+    // is only durable once the directory entry is synced. A kill -9
+    // (or power cut) at any point leaves either the complete old
+    // journal or the complete new one — never a short or empty file
+    // under the journal's name.
+    syncPath(tmp, O_RDONLY);
     if (std::rename(tmp.c_str(), opts_.journal_path.c_str()) != 0) {
         logWarn("SolutionCache: rename to ", opts_.journal_path,
                 " failed; journal left uncompacted");
         std::remove(tmp.c_str());
     } else {
+        syncPath(parentDir(opts_.journal_path),
+                 O_RDONLY | O_DIRECTORY);
         journal_lines_ = written;
     }
     journal_.open(opts_.journal_path, std::ios::out | std::ios::app);

@@ -1,6 +1,7 @@
 #include "service/solve_scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/logging.hh"
@@ -35,6 +36,19 @@ SolveTicket::wait() const
         r.solver_evals = 0;
     }
     return r;
+}
+
+bool
+SolveTicket::waitFor(const Deadline &dl, ScheduledSolve &out) const
+{
+    if (!dl.infinite()) {
+        const auto st = future.wait_for(
+            std::chrono::milliseconds(dl.remainingMs()));
+        if (st != std::future_status::ready)
+            return false;
+    }
+    out = wait();
+    return true;
 }
 
 SolveScheduler::SolveScheduler(const MachineSpec &machine,

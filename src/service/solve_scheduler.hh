@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.hh"
 #include "common/thread_pool.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
@@ -105,6 +106,16 @@ struct SolveTicket
     /** Block for the result; zero the cost fields unless this ticket
      *  is the flight that paid for them. */
     ScheduledSolve wait() const;
+
+    /**
+     * wait(), but give up at @p dl: false on expiry (the result lands
+     * in @p out only on true). The flight itself keeps running — its
+     * result still reaches the cache — only *this* waiter abandons
+     * it, which is exactly what a deadline-bounded server worker
+     * wants: answer the client "too late" now, serve the shape from
+     * cache next time.
+     */
+    bool waitFor(const Deadline &dl, ScheduledSolve &out) const;
 };
 
 /**

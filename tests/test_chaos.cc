@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Fault-injection tests of the serving stack, driven through the
+ * Faultline proxy (src/rpc/faultline.hh): every nasty thing a network
+ * does — swallowed responses, torn frames, corrupted bytes, stalls,
+ * blackholes — on a deterministic schedule, with the assertions the
+ * failure model promises: no call outlives its deadline (bounded by
+ * 2x), retries and hedges converge on plans byte-identical to a
+ * fault-free run, counters tell the truth, and the cache journal
+ * comes back uncorrupted. Plus direct edge-path coverage of the TCP
+ * layer: EINTR during a blocked read, fragmented frames, oversized
+ * lines through the proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "machine/machine.hh"
+#include "rpc/client.hh"
+#include "rpc/faultline.hh"
+#include "rpc/protocol.hh"
+#include "rpc/server.hh"
+#include "rpc/tcp.hh"
+#include "service/cache_key.hh"
+#include "service/network_optimizer.hh"
+#include "service/solution_cache.hh"
+
+namespace mopt {
+namespace {
+
+ConvProblem
+smallProblem(std::int64_t k = 32, std::int64_t c = 16,
+             std::int64_t hw = 14)
+{
+    ConvProblem p;
+    p.name = "chaos";
+    p.n = 1;
+    p.k = k;
+    p.c = c;
+    p.r = 3;
+    p.s = 3;
+    p.h = hw;
+    p.w = hw;
+    return p;
+}
+
+OptimizerOptions
+fastOpts()
+{
+    OptimizerOptions o;
+    o.effort = OptimizerOptions::Effort::Fast;
+    o.parallel = true;
+    o.threads = 4;
+    return o;
+}
+
+MachineSpec
+tiny()
+{
+    return machineByName("tiny");
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "mopt_chaos_" + name + "_" +
+           std::to_string(::getpid()) + ".json";
+}
+
+/** A running moptd on an ephemeral loopback port. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServerOptions so = {},
+                        SolutionCacheOptions co = {},
+                        OptimizerOptions opts = fastOpts())
+        : cache_(co), server_(tiny(), opts, &cache_, so)
+    {
+        std::string err;
+        if (!server_.start(&err))
+            fatal("TestServer: " + err);
+        thread_ = std::thread([this] { server_.serve(); });
+    }
+
+    ~TestServer()
+    {
+        server_.stop();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    RpcEndpoint ep() const
+    {
+        return RpcEndpoint{"127.0.0.1", server_.port()};
+    }
+
+    SolutionCache &cache() { return cache_; }
+    Server &server() { return server_; }
+
+  private:
+    SolutionCache cache_;
+    Server server_;
+    std::thread thread_;
+};
+
+RpcRequest
+solveRequest(const ConvProblem &p)
+{
+    RpcRequest req;
+    req.op = RpcOp::Solve;
+    req.problem = p;
+    req.machine_fp = CacheKey::machineFingerprint(tiny());
+    req.settings_fp = CacheKey::settingsFingerprint(fastOpts());
+    return req;
+}
+
+/** A proxy in front of @p upstream with the given fault schedule. */
+FaultlineOptions
+proxyTo(const RpcEndpoint &upstream, std::vector<FaultKind> schedule)
+{
+    FaultlineOptions fo;
+    fo.upstream_host = upstream.host;
+    fo.upstream_port = upstream.port;
+    fo.schedule = std::move(schedule);
+    return fo;
+}
+
+long
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+TEST(Chaos, BlackholeIsBoundedByDeadline)
+{
+    // No server at all behind this fault: the connection accepts and
+    // then answers nothing, forever. Only the deadline gets out.
+    FaultlineOptions fo;
+    fo.upstream_port = 1; // Never contacted by a blackhole.
+    fo.schedule = {FaultKind::Blackhole};
+    FaultlineProxy proxy(fo);
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    constexpr long kDeadlineMs = 500;
+    Client c(RpcEndpoint{"127.0.0.1", proxy.port()});
+    RpcResponse resp;
+    const auto start = std::chrono::steady_clock::now();
+    const bool ok = c.call(solveRequest(smallProblem()), resp, &err,
+                           Deadline::in(kDeadlineMs));
+    const long took = elapsedMs(start);
+    EXPECT_FALSE(ok);
+    // The acceptance bound: within 2x the configured deadline.
+    EXPECT_LE(took, 2 * kDeadlineMs);
+    EXPECT_EQ(proxy.stats().blackholes, 1);
+}
+
+TEST(Chaos, DroppedResponseIsRetriedAndConvergesViaCache)
+{
+    TestServer ts;
+    FaultlineProxy proxy(
+        proxyTo(ts.ep(), {FaultKind::Drop, FaultKind::None}));
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    // Connection 0 delivers the request and loses the answer: the
+    // server has *processed* it. The retry (connection 1, clean) must
+    // converge on the very answer the first attempt computed.
+    FleetOptions policy;
+    policy.deadline_ms = 30000;
+    policy.max_retries = 2;
+    policy.backoff_ms = 10;
+    Client c(RpcEndpoint{"127.0.0.1", proxy.port()});
+    RpcResponse resp;
+    std::size_t retries = 0;
+    ASSERT_TRUE(c.callRetrying(solveRequest(smallProblem()), policy,
+                               resp, &err, &retries))
+        << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(retries, 1u);
+    // The first attempt's solve landed in the cache before its
+    // response was written, so the retry is a hit — work is never
+    // repeated, only the answer's delivery.
+    EXPECT_TRUE(resp.solve.cache_hit);
+    EXPECT_EQ(proxy.stats().drops, 1);
+    EXPECT_EQ(ts.server().schedulerStats().solves, 1);
+}
+
+TEST(Chaos, GarbageAndTornResponsesAreRejectedThenRetried)
+{
+    TestServer ts;
+    FaultlineProxy proxy(proxyTo(
+        ts.ep(),
+        {FaultKind::Garbage, FaultKind::PartialWrite, FaultKind::None}));
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    FleetOptions policy;
+    policy.deadline_ms = 30000;
+    policy.max_retries = 3;
+    policy.backoff_ms = 10;
+    Client c(RpcEndpoint{"127.0.0.1", proxy.port()});
+    RpcResponse resp;
+    std::size_t retries = 0;
+    ASSERT_TRUE(c.callRetrying(solveRequest(smallProblem()), policy,
+                               resp, &err, &retries))
+        << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    // Garbage (unparseable frame) and a torn frame each cost one
+    // retry; neither is ever trusted as an answer.
+    EXPECT_EQ(retries, 2u);
+    EXPECT_EQ(proxy.stats().garbage, 1);
+    EXPECT_EQ(proxy.stats().partial_writes, 1);
+
+    // The answer equals a fault-free solve of the same shape.
+    Client direct(ts.ep());
+    RpcResponse clean;
+    ASSERT_TRUE(direct.call(solveRequest(smallProblem()), clean, &err))
+        << err;
+    EXPECT_EQ(resp.solve.sol, clean.solve.sol);
+}
+
+TEST(Chaos, PlanByteIdenticalUnderFaultsAndJournalSurvives)
+{
+    const std::string journal = tempPath("journal");
+    std::remove(journal.c_str());
+    std::vector<ConvProblem> net{smallProblem(16), smallProblem(32),
+                                 smallProblem(48)};
+    std::string plan_under_faults;
+    {
+        SolutionCacheOptions co;
+        co.journal_path = journal;
+        TestServer ts({}, co);
+        // Three faults up front, then a long clean tail (the schedule
+        // cycles by connection index; the tail keeps reconnects from
+        // re-entering the fault prefix).
+        std::vector<FaultKind> schedule{FaultKind::Drop,
+                                        FaultKind::Garbage,
+                                        FaultKind::PartialWrite};
+        schedule.resize(32, FaultKind::None);
+        FaultlineProxy proxy(proxyTo(ts.ep(), std::move(schedule)));
+        std::string err;
+        ASSERT_TRUE(proxy.start(&err)) << err;
+
+        FleetOptions fleet;
+        fleet.deadline_ms = 60000;
+        fleet.max_retries = 5;
+        fleet.backoff_ms = 10;
+        ShardRouter router({RpcEndpoint{"127.0.0.1", proxy.port()}},
+                           tiny(), fastOpts(), fleet);
+        RouteStats rs;
+        plan_under_faults = router.optimize(net, &rs).str();
+
+        // Every fault was survived remotely: no local fallbacks, and
+        // the retry counter owns up to the recovery work.
+        EXPECT_EQ(rs.fallbacks, 0u);
+        EXPECT_GE(rs.retries, 3u);
+        EXPECT_EQ(rs.unique_shapes, net.size());
+        const FaultlineStats fs = proxy.stats();
+        EXPECT_EQ(fs.drops, 1);
+        EXPECT_EQ(fs.garbage, 1);
+        EXPECT_EQ(fs.partial_writes, 1);
+    }
+
+    // Byte-identical to a fault-free local run: faults may cost time,
+    // never answers.
+    SolutionCache local_cache;
+    const NetworkOptimizer local(tiny(), fastOpts(), &local_cache);
+    EXPECT_EQ(plan_under_faults, local.optimize(net).str());
+
+    // The journal took the whole chaos run without corruption: a
+    // fresh process loads every entry and skips none.
+    SolutionCacheOptions co;
+    co.journal_path = journal;
+    SolutionCache reloaded(co);
+    EXPECT_EQ(reloaded.stats().journal_loaded,
+              static_cast<std::int64_t>(net.size()));
+    EXPECT_EQ(reloaded.stats().journal_skipped, 0);
+    std::remove(journal.c_str());
+}
+
+TEST(Chaos, HedgeEscapesSlowNode)
+{
+    TestServer node0, node1;
+    // Node 0 sits behind a link that stalls every chunk for 700 ms;
+    // node 1 is healthy. A hedged call must not pay node 0's stall.
+    FaultlineOptions fo = proxyTo(node0.ep(), {FaultKind::Delay});
+    fo.delay_ms = 700;
+    FaultlineProxy proxy(fo);
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    // A shape whose key routes to node 0, so the hedge (not the
+    // primary route) is what reaches the healthy node.
+    FleetOptions fleet;
+    fleet.deadline_ms = 60000;
+    fleet.hedge_ms = 50;
+    ShardRouter router(
+        {RpcEndpoint{"127.0.0.1", proxy.port()}, node1.ep()}, tiny(),
+        fastOpts(), fleet);
+    ConvProblem p = smallProblem(16);
+    for (int i = 0; i < 64; ++i) {
+        p = smallProblem(16 + 8 * i);
+        if (router.nodeOf(CacheKey::make(p, tiny(), fastOpts())) == 0)
+            break;
+    }
+    ASSERT_EQ(router.nodeOf(CacheKey::make(p, tiny(), fastOpts())), 0u);
+
+    RouteStats rs;
+    const NetworkPlan plan = router.optimize({p}, &rs);
+    EXPECT_GE(rs.hedges, 1u);
+    EXPECT_EQ(rs.fallbacks, 0u);
+
+    // Same answer as a fault-free local run, hedged or not.
+    SolutionCache local_cache;
+    const NetworkOptimizer local(tiny(), fastOpts(), &local_cache);
+    EXPECT_EQ(plan.str(), local.optimize({p}).str());
+}
+
+TEST(Chaos, PerClientCapShedsWithExplicitOverload)
+{
+    ServerOptions so;
+    so.max_per_client = 1;
+    TestServer ts(so);
+
+    // First connection occupies this IP's whole budget...
+    Client first(ts.ep());
+    RpcRequest stats_req;
+    stats_req.op = RpcOp::Stats;
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(first.call(stats_req, resp, &err)) << err;
+    ASSERT_TRUE(resp.ok);
+
+    // ...so a second is refused at the door, with the retryable
+    // "overloaded" code, not a silent hangup.
+    TcpSocket second =
+        TcpSocket::connectTo(ts.ep().host, ts.ep().port, &err);
+    ASSERT_TRUE(second.valid()) << err;
+    LineReader reader(second, 1 << 20);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, Deadline::in(5000)),
+              LineReader::Status::Ok);
+    RpcResponse refused;
+    ASSERT_TRUE(responseFromJsonLine(line, refused, &err)) << err;
+    EXPECT_FALSE(refused.ok);
+    EXPECT_EQ(refused.code, RpcErrorCode::Overloaded);
+    EXPECT_EQ(ts.server().counters().shed_client.load(), 1);
+
+    // Once the first connection is gone the budget frees up; a
+    // retrying client (overloaded is retryable) gets through even if
+    // it races the server's bookkeeping.
+    first.disconnect();
+    FleetOptions policy;
+    policy.deadline_ms = 5000;
+    policy.max_retries = 5;
+    policy.backoff_ms = 20;
+    Client third(ts.ep());
+    ASSERT_TRUE(third.callRetrying(stats_req, policy, resp, &err))
+        << err;
+    EXPECT_TRUE(resp.ok);
+}
+
+TEST(Chaos, ExpiredDeadlineIsSheddedNotServed)
+{
+    TestServer ts;
+    Client c(ts.ep());
+    RpcRequest req = solveRequest(smallProblem());
+    req.deadline_ms = 1; // Gone before any solve can finish.
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.code, RpcErrorCode::DeadlineExceeded);
+    EXPECT_GE(ts.server().counters().shed_deadline.load(), 1);
+
+    // The abandoned flight keeps solving and lands in the cache: a
+    // patient follow-up gets the answer, never a wasted solve.
+    req.deadline_ms = 0;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(ts.server().schedulerStats().solves, 1);
+}
+
+TEST(TcpEdge, ReadLineSurvivesEintr)
+{
+    TcpListener listener;
+    ASSERT_TRUE(listener.listenOn("127.0.0.1", 0));
+    TcpSocket client =
+        TcpSocket::connectTo("127.0.0.1", listener.port());
+    ASSERT_TRUE(client.valid());
+    TcpSocket served = listener.accept();
+    ASSERT_TRUE(served.valid());
+
+    // A no-op handler installed *without* SA_RESTART: every signal
+    // makes the blocked poll return EINTR instead of restarting.
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    struct sigaction old = {};
+    ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+    LineReader reader(served, 1024);
+    std::string line;
+    auto status = LineReader::Status::Error;
+    std::atomic<bool> done{false};
+    std::thread reader_thread([&] {
+        status = reader.readLine(line, Deadline::in(10000));
+        done.store(true);
+    });
+    // Pepper the blocked read with interrupts, then deliver the line:
+    // the read must absorb every EINTR and still come back Ok.
+    for (int i = 0; i < 20 && !done.load(); ++i) {
+        pthread_kill(reader_thread.native_handle(), SIGUSR1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(client.sendAll("alive\n"));
+    reader_thread.join();
+    sigaction(SIGUSR1, &old, nullptr);
+    EXPECT_EQ(status, LineReader::Status::Ok);
+    EXPECT_EQ(line, "alive");
+}
+
+TEST(TcpEdge, FragmentedRequestStillParses)
+{
+    TestServer ts;
+    TcpSocket sock =
+        TcpSocket::connectTo(ts.ep().host, ts.ep().port);
+    ASSERT_TRUE(sock.valid());
+
+    // One byte per segment, with pauses: the server's reader must
+    // reassemble the frame no matter how the network slices it.
+    const std::string req = "{\"op\":\"stats\"}\n";
+    for (const char ch : req) {
+        ASSERT_TRUE(sock.sendAll(std::string(1, ch)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    LineReader reader(sock, 1 << 20);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, Deadline::in(10000)),
+              LineReader::Status::Ok);
+    RpcResponse resp;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.op, RpcOp::Stats);
+}
+
+TEST(TcpEdge, OversizedLineRejectedThroughProxy)
+{
+    ServerOptions so;
+    so.max_request_bytes = 128;
+    TestServer ts(so);
+    FaultlineProxy proxy(proxyTo(ts.ep(), {FaultKind::None}));
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    TcpSocket sock =
+        TcpSocket::connectTo("127.0.0.1", proxy.port(), &err);
+    ASSERT_TRUE(sock.valid()) << err;
+    ASSERT_TRUE(sock.sendAll(std::string(4096, 'x')));
+    LineReader reader(sock, 1 << 20);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, Deadline::in(10000)),
+              LineReader::Status::Ok);
+    RpcResponse resp;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_FALSE(resp.ok);
+    EXPECT_NE(resp.error.find("exceeds"), std::string::npos);
+    // Framing is unrecoverable: the hangup travels through the proxy.
+    EXPECT_EQ(reader.readLine(line, Deadline::in(10000)),
+              LineReader::Status::Eof);
+}
+
+} // namespace
+} // namespace mopt

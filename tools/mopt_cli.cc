@@ -107,6 +107,9 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
                          --solve-concurrency as in network mode
                          (concurrent duplicate requests always share
                          one solve via the single-flight scheduler)
+    --max-pending=N      admission bound: refuse ("overloaded") past N
+                         queued connections (default 128)
+    --max-per-client=N   per-client-IP connection cap (default 0 = off)
   mopt query --connect=host:port[,host:port...] <what> [options]
     <what> is one of:
       --net=<name|file.cfg> [--batch=N]
@@ -119,6 +122,15 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
       --shutdown         stop each listed node
     --plan-out=<path>    write the per-layer plan (byte-identical to
                          a local `mopt network` run)
+    --deadline-ms=N      per-RPC budget; a node that cannot answer in
+                         time is treated as down (default 0 = none;
+                         --stats/--shutdown default to 5000)
+    --retries=N          extra attempts after a transport failure or
+                         an "overloaded" refusal, with doubling
+                         jittered backoff (default 0)
+    --hedge-ms=N         duplicate a request to the next healthy node
+                         when no answer after N ms; first answer wins
+                         (default 0 = off)
   Both sides must agree on --machine/--sequential/--effort: the
   server rejects fingerprint mismatches loudly.
 )";
@@ -171,6 +183,25 @@ solveConcurrencyFromFlags(const mopt::Flags &flags)
     mopt::checkUser(sc >= 1 && sc <= 64,
                     "--solve-concurrency must be 1 .. 64");
     return static_cast<int>(sc);
+}
+
+/** The --deadline-ms/--retries/--hedge-ms handling of query mode. */
+mopt::FleetOptions
+fleetOptionsFromFlags(const mopt::Flags &flags)
+{
+    mopt::FleetOptions fo;
+    const std::int64_t dl = flags.getInt("deadline-ms", 0);
+    mopt::checkUser(dl >= 0 && dl <= 86400000,
+                    "--deadline-ms must be 0 (none) .. 86400000");
+    fo.deadline_ms = static_cast<long>(dl);
+    const std::int64_t r = flags.getInt("retries", 0);
+    mopt::checkUser(r >= 0 && r <= 16, "--retries must be 0 .. 16");
+    fo.max_retries = static_cast<int>(r);
+    const std::int64_t h = flags.getInt("hedge-ms", 0);
+    mopt::checkUser(h >= 0 && h <= 86400000,
+                    "--hedge-ms must be 0 (off) .. 86400000");
+    fo.hedge_ms = static_cast<long>(h);
+    return fo;
 }
 
 /** Resolve --net (name or .cfg path) + --batch into a NetworkDef. */
@@ -275,7 +306,8 @@ runServe(int argc, char **argv)
     const Flags flags(argc, argv);
     flags.rejectUnknown({"port", "host", "workers", "machine",
                          "sequential", "effort", "top-k", "cache",
-                         "cache-capacity", "solve-concurrency", "help"});
+                         "cache-capacity", "solve-concurrency",
+                         "max-pending", "max-per-client", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -294,6 +326,14 @@ runServe(int argc, char **argv)
     checkUser(so.workers >= 1 && so.workers <= 256,
               "--workers must be 1 .. 256");
     so.solve_concurrency = solveConcurrencyFromFlags(flags);
+    const std::int64_t max_pending = flags.getInt("max-pending", 128);
+    checkUser(max_pending >= 1 && max_pending <= 65536,
+              "--max-pending must be 1 .. 65536");
+    so.max_pending_conns = static_cast<int>(max_pending);
+    const std::int64_t per_client = flags.getInt("max-per-client", 0);
+    checkUser(per_client >= 0 && per_client <= 65536,
+              "--max-per-client must be 0 (unlimited) .. 65536");
+    so.max_per_client = static_cast<int>(per_client);
 
     Server server(m, opts, &cache, so);
     std::string err;
@@ -324,6 +364,12 @@ runServe(int argc, char **argv)
               << "moptd: scheduler " << ss.solves << " solves / "
               << ss.coalesced << " coalesced (peak "
               << ss.peak_concurrency << " concurrent)\n";
+    const ServerCounters &sc = server.counters();
+    if (sc.shed_overload || sc.shed_client || sc.shed_deadline)
+        std::cout << "moptd: shed " << sc.shed_overload
+                  << " overload / " << sc.shed_client
+                  << " per-client / " << sc.shed_deadline
+                  << " deadline\n";
     return 0;
 }
 
@@ -333,6 +379,7 @@ struct QuerySetup
     std::vector<mopt::RpcEndpoint> endpoints;
     mopt::MachineSpec machine;
     mopt::OptimizerOptions opts;
+    mopt::FleetOptions fleet;
 };
 
 QuerySetup
@@ -345,7 +392,40 @@ querySetup(const mopt::Flags &flags)
     q.endpoints = parseEndpointList(flags.getString("connect", ""));
     q.machine = machineByName(flags.getString("machine", "i7"));
     q.opts = optionsFromFlags(flags);
+    q.fleet = fleetOptionsFromFlags(flags);
     return q;
+}
+
+/** The fleet policy for control-plane calls (--stats/--shutdown):
+ *  as given, but never unbounded — a downed node must not wedge the
+ *  CLI, so default to a 5 s deadline when none was set. */
+mopt::FleetOptions
+controlPolicy(const QuerySetup &q)
+{
+    mopt::FleetOptions policy = q.fleet;
+    if (policy.deadline_ms <= 0)
+        policy.deadline_ms = 5000;
+    return policy;
+}
+
+/** Print retry/hedge activity and per-node health after a routed
+ *  query, so a degraded fleet is visible, not silent. */
+void
+reportFleetHealth(const mopt::RouteStats &rs)
+{
+    using namespace mopt;
+    if (rs.retries || rs.hedges)
+        std::cout << "Recovery: " << rs.retries << " retrie(s), "
+                  << rs.hedges << " hedge(s), " << rs.hedge_wins
+                  << " hedge win(s)\n";
+    for (std::size_t i = 0; i < rs.nodes.size(); ++i) {
+        const RouteNodeState &n = rs.nodes[i];
+        if (!n.down)
+            continue;
+        std::cout << "Node " << i << " (" << n.endpoint.str()
+                  << "): down, re-probe in " << n.retry_in_ms
+                  << " ms\n";
+    }
 }
 
 /** Print one network plan + provenance summary; honor --plan-out. */
@@ -387,14 +467,16 @@ int
 queryStats(const QuerySetup &q)
 {
     using namespace mopt;
+    const FleetOptions policy = controlPolicy(q);
     int rc = 0;
     for (const RpcEndpoint &ep : q.endpoints) {
         Client client(ep);
         RpcRequest req;
         req.op = RpcOp::Stats;
+        req.deadline_ms = policy.deadline_ms;
         RpcResponse resp;
         std::string err;
-        if (!client.call(req, resp, &err)) {
+        if (!client.callRetrying(req, policy, resp, &err)) {
             std::cout << ep.str() << ": unreachable (" << err << ")\n";
             rc = 1;
             continue;
@@ -438,14 +520,16 @@ int
 queryShutdown(const QuerySetup &q)
 {
     using namespace mopt;
+    const FleetOptions policy = controlPolicy(q);
     int rc = 0;
     for (const RpcEndpoint &ep : q.endpoints) {
         Client client(ep);
         RpcRequest req;
         req.op = RpcOp::Shutdown;
+        req.deadline_ms = policy.deadline_ms;
         RpcResponse resp;
         std::string err;
-        if (!client.call(req, resp, &err) || !resp.ok) {
+        if (!client.callRetrying(req, policy, resp, &err) || !resp.ok) {
             std::cout << ep.str() << ": shutdown failed ("
                       << (err.empty() ? resp.error : err) << ")\n";
             rc = 1;
@@ -490,9 +574,11 @@ queryNetwork(const mopt::Flags &flags, QuerySetup &q)
         req.batch = def.batch;
         req.machine_fp = CacheKey::machineFingerprint(q.machine);
         req.settings_fp = CacheKey::settingsFingerprint(q.opts);
+        req.deadline_ms = q.fleet.deadline_ms;
         RpcResponse resp;
         std::string err;
-        if (client.call(req, resp, &err)) {
+        std::size_t retries = 0;
+        if (client.callRetrying(req, q.fleet, resp, &err, &retries)) {
             checkUser(resp.ok, q.endpoints.front().str() +
                                    " refused: " + resp.error);
             reportNetworkPlan(
@@ -501,19 +587,23 @@ queryNetwork(const mopt::Flags &flags, QuerySetup &q)
                 static_cast<std::size_t>(resp.cache_hits),
                 static_cast<std::size_t>(resp.cache_misses), 0,
                 resp.solve_seconds);
+            if (retries > 0)
+                std::cout << "Recovery: " << retries
+                          << " retrie(s)\n";
             return 0;
         }
         logWarn("moptd node ", q.endpoints.front().str(),
                 " unreachable (", err, "); falling back to local solve");
     }
 
-    ShardRouter router(q.endpoints, q.machine, q.opts);
+    ShardRouter router(q.endpoints, q.machine, q.opts, q.fleet);
     RouteStats rs;
     const NetworkPlan plan = router.optimize(net, &rs);
     reportNetworkPlan(flags, plan.str(), plan.layers.size(),
                       rs.unique_shapes, rs.remote_hits,
                       rs.remote_misses + rs.fallbacks, rs.fallbacks,
                       rs.solve_seconds);
+    reportFleetHealth(rs);
     return 0;
 }
 
@@ -525,10 +615,11 @@ queryProblem(QuerySetup &q, const mopt::ConvProblem &p)
     std::cout << "Problem:  " << p.summary() << "\n"
               << "Fleet:    " << q.endpoints.size() << " node(s)\n\n";
 
-    ShardRouter router(q.endpoints, q.machine, q.opts);
+    ShardRouter router(q.endpoints, q.machine, q.opts, q.fleet);
     RouteStats rs;
     const NetworkPlan plan = router.optimize({p}, &rs);
     const LayerPlan &lp = plan.layers.front();
+    reportFleetHealth(rs);
 
     std::cout << "Served:   "
               << (rs.fallbacks ? "local fallback (node down)"
@@ -555,7 +646,8 @@ runQuery(int argc, char **argv)
     flags.rejectUnknown({"connect", "net", "layer", "k", "c", "image",
                          "rs", "stride", "dilation", "batch", "groups",
                          "machine", "sequential", "effort", "top-k",
-                         "plan-out", "stats", "shutdown", "help"});
+                         "plan-out", "stats", "shutdown", "deadline-ms",
+                         "retries", "hedge-ms", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;

@@ -11,7 +11,12 @@
 #      invocations fleet-wide, every plan still byte-identical,
 #   6. a darknet .cfg network (inline-IR payload, batch 4, grouped +
 #      depthwise layers) solves cold, replays warm at 100% hits, and
-#      both plans are byte-identical to a local `mopt network` solve.
+#      both plans are byte-identical to a local `mopt network` solve,
+#   7. chaos: a journal-backed server is killed with SIGKILL while a
+#      retrying client is mid-traffic, then restarted on the same
+#      port; the client rides its retries through the outage, the
+#      reloaded journal serves 100% hits, the plan is byte-identical,
+#      and --stats against a dead node fails fast instead of wedging.
 #
 # Usage: tools/smoke_rpc.sh [BUILD_DIR]   (default: build)
 #
@@ -37,18 +42,20 @@ mkdir -p "$work"
 common_args=(--machine i7 --effort fast)
 server_pid=""
 server2_pid=""
+server3_pid=""
 failed=1
 
 cleanup() {
     if [[ $failed -ne 0 ]]; then
-        for log in "$work/server.log" "$work/server2.log"; do
+        for log in "$work/server.log" "$work/server2.log" \
+                   "$work/server3.log" "$work/server3b.log"; do
             [[ -f $log ]] || continue
             echo "==== smoke_rpc FAILED; $log follows ====" >&2
             cat "$log" >&2 || true
             echo "==== end of $log ====" >&2
         done
     fi
-    for pid in "$server_pid" "$server2_pid"; do
+    for pid in "$server_pid" "$server2_pid" "$server3_pid"; do
         if [[ -n $pid ]] && kill -0 "$pid" 2>/dev/null; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -225,6 +232,76 @@ grep -q "; $unique inserts," "$work/stats2.out" || {
 "$mopt" query --connect "127.0.0.1:$port2" --shutdown
 wait "$server2_pid" 2>/dev/null || true
 server2_pid=""
+
+echo "== chaos: SIGKILL mid-traffic + journal-backed restart =="
+# A journal-backed server is warmed, then killed -9 — the hardest
+# crash there is, mid-compaction fsyncs and all. A client with
+# retries enabled starts while the server is DEAD; the server is
+# restarted on the same port moments later. The client's backoff
+# must carry it through the outage, the restarted server must reload
+# every journal entry (100% hits — zero lost to the crash), and the
+# plan must still match the reference byte for byte.
+"$mopt" serve --port 0 "${common_args[@]}" \
+    --cache "$work/cache3.json" > "$work/server3.log" 2>&1 &
+server3_pid=$!
+port3=$(wait_for_port "$work/server3.log" "$server3_pid")
+echo "   chaos moptd is listening on port $port3"
+
+"$mopt" query --connect "127.0.0.1:$port3" --net resnet18 \
+    "${common_args[@]}" > "$work/chaos_cold.out" 2>&1
+
+kill -9 "$server3_pid" 2>/dev/null
+wait "$server3_pid" 2>/dev/null || true
+server3_pid=""
+echo "   killed -9; launching client against the dead port"
+
+"$mopt" query --connect "127.0.0.1:$port3" --net resnet18 \
+    "${common_args[@]}" --retries 8 --deadline-ms 5000 \
+    --plan-out "$work/chaos_warm.txt" > "$work/chaos_warm.out" 2>&1 &
+client_pid=$!
+
+sleep 0.5
+"$mopt" serve --port "$port3" "${common_args[@]}" \
+    --cache "$work/cache3.json" > "$work/server3b.log" 2>&1 &
+server3_pid=$!
+wait_for_port "$work/server3b.log" "$server3_pid" > /dev/null
+echo "   restarted on port $port3 with the same journal"
+
+wait "$client_pid" || {
+    echo "error: retrying client did not survive the restart" >&2
+    cat "$work/chaos_warm.out" >&2
+    exit 1
+}
+grep -q "hit rate 100.0%" "$work/chaos_warm.out" || {
+    echo "error: restarted server lost journal entries" \
+         "(expected a 100.0% hit rate)" >&2
+    cat "$work/chaos_warm.out" >&2
+    exit 1
+}
+grep -q "Recovery: " "$work/chaos_warm.out" || {
+    echo "error: client did not report any retries; the outage" \
+         "was never exercised" >&2
+    cat "$work/chaos_warm.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/chaos_warm.txt"
+echo "   client rode out the crash; journal intact, plan identical"
+
+"$mopt" query --connect "127.0.0.1:$port3" --shutdown
+wait "$server3_pid" 2>/dev/null || true
+server3_pid=""
+
+echo "== stats against a dead node fails fast (no wedge) =="
+if "$mopt" query --connect "127.0.0.1:$port3" --stats \
+    > "$work/deadstats.out" 2>&1; then
+    echo "error: --stats against a dead node exited 0" >&2
+    exit 1
+fi
+grep -q "unreachable" "$work/deadstats.out" || {
+    echo "error: --stats did not report the node unreachable" >&2
+    cat "$work/deadstats.out" >&2
+    exit 1
+}
 
 failed=0
 echo "smoke_rpc: PASS"
