@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The autotuning feedback loop (Fig. 1's "custom code generator" +
+ * "auto-tuner" closed end to end): take the top-k plans of a solve,
+ * emit each through the C emitter, compile and run it on the host (or
+ * execute it in-process through exec/measure), record measured-vs-
+ * predicted samples in a CalibrationStore, and fit the per-machine
+ * correction that subsequent solves consult via
+ * Calibration::applyTo.
+ */
+
+#ifndef MOPT_AUTOTUNE_AUTOTUNE_HH
+#define MOPT_AUTOTUNE_AUTOTUNE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotune/calibration.hh"
+#include "conv/problem.hh"
+#include "machine/machine.hh"
+#include "optimizer/mopt_optimizer.hh"
+
+namespace mopt {
+
+/** How a plan is measured. */
+enum class TuneRunner {
+    Emitted, //!< emit C -> host cc -> run the timed standalone binary.
+    Exec,    //!< in-process tiled executor via exec/measure.
+};
+
+/** Parse "emitted" | "exec" (the CLI spelling); fatal otherwise. */
+TuneRunner tuneRunnerFromString(const std::string &s);
+
+/** Options for autotuneProblems. */
+struct AutotuneOptions
+{
+    int top_k = 3;   //!< Candidates measured per unique shape.
+    int reps = 3;    //!< Timed repetitions per candidate.
+    int warmups = 1; //!< Discarded leading runs.
+    TuneRunner runner = TuneRunner::Emitted;
+    std::string cc = "cc"; //!< Host C compiler for the emitted path.
+    /** Where generated sources/binaries go; "" = a fresh mkdtemp
+     *  directory (kept, so failures can be inspected). */
+    std::string work_dir;
+    std::int64_t flush_bytes = 32ll << 20; //!< 0 disables flushing.
+};
+
+/** Everything one autotune run produced. */
+struct AutotuneReport
+{
+    /** Base machine the samples were predicted on. */
+    std::uint64_t machine_fp = 0;
+
+    /** Samples measured by *this* run (store may hold more). */
+    std::vector<TuneSample> samples;
+
+    /** Fit over the whole store (prior samples included). */
+    Calibration calibration;
+
+    /** Spearman rank correlation between predicted and measured
+     *  seconds across this run's samples (0 when fewer than 2). */
+    double rank_correlation = 0.0;
+
+    std::size_t unique_shapes = 0;
+    int emit_failures = 0;   //!< Candidates that fell back to Exec.
+    double solve_seconds = 0.0;
+    std::string work_dir;    //!< Where generated artifacts live.
+};
+
+/**
+ * Close the loop over @p net: dedupe shapes, solve each for the top-k
+ * candidates under (@p m, @p opts), measure every candidate with the
+ * configured runner, append each sample to @p store, and fit.
+ *
+ * Measurements are serial (the emitted loop nest is single-threaded,
+ * and the in-process runner forces par = 1), so each sample's
+ * predicted breakdown is the *sequential* analytic model of the same
+ * serial config — calibration factors are measured-vs-predicted under
+ * matching execution models. When the emitted path cannot compile
+ * (no host cc), it falls back to the in-process executor loudly.
+ */
+AutotuneReport autotuneProblems(const std::vector<ConvProblem> &net,
+                                const MachineSpec &m,
+                                const OptimizerOptions &opts,
+                                CalibrationStore &store,
+                                const AutotuneOptions &aopts);
+
+} // namespace mopt
+
+#endif // MOPT_AUTOTUNE_AUTOTUNE_HH

@@ -41,6 +41,20 @@ std::string emitStandaloneProgram(const ConvProblem &p,
 /** The checksum emitStandaloneProgram's output should match. */
 double lcgChecksumReference(const ConvProblem &p);
 
+/**
+ * Emit a measurement-grade standalone program for the autotuner: the
+ * same LCG-filled tensors as emitStandaloneProgram, but the generated
+ * function runs @p warmups discarded + @p reps timed repetitions
+ * (CLOCK_MONOTONIC), streaming a @p flush_bytes buffer between runs to
+ * evict cached tensor data (0 disables flushing). Prints one
+ * "rep_seconds <v>\n" line per timed rep, then "mean_seconds <v>\n"
+ * and the same "checksum <v>\n" line as the self-checking variant, so
+ * the harness can reject a miscompiled plan before trusting its time.
+ */
+std::string emitTimedProgram(const ConvProblem &p, const ExecConfig &cfg,
+                             int reps, int warmups,
+                             std::int64_t flush_bytes);
+
 } // namespace mopt
 
 #endif // MOPT_CODEGEN_C_EMITTER_HH

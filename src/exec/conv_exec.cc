@@ -13,10 +13,17 @@ namespace mopt {
 
 namespace {
 
-/** Execute every register tile of one L2-and-inward region. */
+/**
+ * Execute every register tile of one L2-and-inward region. The walkers
+ * iterate the *per-group* iteration space (problemExtents is per
+ * group), so the group's channel offsets relocate the local k into the
+ * global output/kernel axis and the local c into the global input
+ * axis. Dense convs run with both offsets 0.
+ */
 void
 runRegion(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
-          Tensor4 &out, const ExecConfig &cfg, const TileBounds &region)
+          Tensor4 &out, const ExecConfig &cfg, const TileBounds &region,
+          std::int64_t k_off, std::int64_t c_off)
 {
     walkTilesAtLevel(cfg, LvlL2, region, [&](const TileBounds &l2) {
         walkTilesAtLevel(cfg, LvlL1, l2, [&](const TileBounds &l1) {
@@ -24,10 +31,11 @@ runRegion(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
                 cfg, l1,
                 [&](std::int64_t n, std::int64_t h, std::int64_t w0,
                     std::int64_t wb, std::int64_t k0, std::int64_t kb) {
-                    computeRegisterTile(p, in, pk, out, n, h, w0, wb, k0,
-                                        kb, l1.lo[DimC], l1.hi[DimC],
-                                        l1.lo[DimR], l1.hi[DimR],
-                                        l1.lo[DimS], l1.hi[DimS]);
+                    computeRegisterTile(p, in, pk, out, n, h, w0, wb,
+                                        k_off + k0, kb, l1.lo[DimC],
+                                        l1.hi[DimC], l1.lo[DimR],
+                                        l1.hi[DimR], l1.lo[DimS],
+                                        l1.hi[DimS], c_off);
                 });
         });
     });
@@ -39,9 +47,6 @@ ExecStats
 runConv(const ConvProblem &p, const Tensor4 &in, const Tensor4 &ker,
         Tensor4 &out, const ExecConfig &cfg, int threads)
 {
-    checkUser(p.groups == 1,
-              "runConv: grouped conv is model-only for now (groups=1 "
-              "required, got " + p.summary() + ")");
     checkUser(out.dim(0) == p.n && out.dim(1) == p.k && out.dim(2) == p.h &&
                   out.dim(3) == p.w,
               "runConv: output shape mismatch");
@@ -58,23 +63,35 @@ runConv(const ConvProblem &p, const Tensor4 &in, const Tensor4 &ker,
         want *= f;
     const int nthreads = threads > 0 ? threads : static_cast<int>(want);
 
+    // The group index is the implicit outermost loop (problem.hh): the
+    // walkers below cover one group's [0, k/G) x [0, c/G) channel
+    // space, and the per-group offsets place it in the global tensors.
     const TileBounds full = fullRegion(p);
     if (nthreads <= 1) {
-        walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
-            runRegion(p, in, pk, out, cfg, l3);
-        });
+        for (std::int64_t g = 0; g < p.groups; ++g) {
+            const std::int64_t k_off = g * p.kPerGroup();
+            const std::int64_t c_off = g * p.cPerGroup();
+            walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
+                runRegion(p, in, pk, out, cfg, l3, k_off, c_off);
+            });
+        }
     } else {
         ThreadPool pool(static_cast<std::size_t>(nthreads));
-        walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
-            // Sec. 7: parallelize within the L3 tile; chunks along
-            // non-reduction dims write disjoint output regions, so no
-            // synchronization is needed.
-            const std::vector<TileBounds> chunks =
-                splitRegion(l3, cfg.par);
-            pool.parallelFor(chunks.size(), [&](std::size_t i) {
-                runRegion(p, in, pk, out, cfg, chunks[i]);
+        for (std::int64_t g = 0; g < p.groups; ++g) {
+            const std::int64_t k_off = g * p.kPerGroup();
+            const std::int64_t c_off = g * p.cPerGroup();
+            walkTilesAtLevel(cfg, LvlL3, full, [&](const TileBounds &l3) {
+                // Sec. 7: parallelize within the L3 tile; chunks along
+                // non-reduction dims write disjoint output regions, so
+                // no synchronization is needed.
+                const std::vector<TileBounds> chunks =
+                    splitRegion(l3, cfg.par);
+                pool.parallelFor(chunks.size(), [&](std::size_t i) {
+                    runRegion(p, in, pk, out, cfg, chunks[i], k_off,
+                              c_off);
+                });
             });
-        });
+        }
     }
 
     ExecStats stats;

@@ -23,7 +23,8 @@ void
 fastTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
          Tensor4 &out, std::int64_t n, std::int64_t h, std::int64_t w0,
          std::int64_t wb, std::int64_t k0, std::int64_t c0, std::int64_t c1,
-         std::int64_t r0, std::int64_t r1, std::int64_t s0, std::int64_t s1)
+         std::int64_t r0, std::int64_t r1, std::int64_t s0, std::int64_t s1,
+         std::int64_t c_off)
 {
     const std::int64_t kb0 = k0 / VL;
     const std::int64_t stride = p.stride;
@@ -38,7 +39,8 @@ fastTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
     for (std::int64_t c = c0; c < c1; ++c) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const float *in_row =
-                in.data() + in.offset(n, c, h * stride + r * dil, 0);
+                in.data() +
+                in.offset(n, c_off + c, h * stride + r * dil, 0);
             for (std::int64_t s = s0; s < s1; ++s) {
                 const __m256 ker0 =
                     _mm256_loadu_ps(pk.lanes(kb0, c, r, s));
@@ -71,7 +73,8 @@ fastTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
     for (std::int64_t c = c0; c < c1; ++c) {
         for (std::int64_t r = r0; r < r1; ++r) {
             const float *in_row =
-                in.data() + in.offset(n, c, h * stride + r * dil, 0);
+                in.data() +
+                in.offset(n, c_off + c, h * stride + r * dil, 0);
             for (std::int64_t s = s0; s < s1; ++s) {
                 const float *ker0 = pk.lanes(kb0, c, r, s);
                 const float *ker1 = pk.lanes(kb0 + 1, c, r, s);
@@ -100,7 +103,8 @@ scalarTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
            Tensor4 &out, std::int64_t n, std::int64_t h, std::int64_t w0,
            std::int64_t wb, std::int64_t k0, std::int64_t kb,
            std::int64_t c0, std::int64_t c1, std::int64_t r0,
-           std::int64_t r1, std::int64_t s0, std::int64_t s1)
+           std::int64_t r1, std::int64_t s0, std::int64_t s1,
+           std::int64_t c_off)
 {
     const std::int64_t stride = p.stride;
     const std::int64_t dil = p.dilation;
@@ -110,7 +114,7 @@ scalarTile(const ConvProblem &p, const Tensor4 &in, const PackedKernel &pk,
             for (std::int64_t c = c0; c < c1; ++c)
                 for (std::int64_t r = r0; r < r1; ++r)
                     for (std::int64_t s = s0; s < s1; ++s)
-                        acc += in.at(n, c, h * stride + r * dil,
+                        acc += in.at(n, c_off + c, h * stride + r * dil,
                                      (w0 + wi) * stride + s * dil) *
                                pk.at(k, c, r, s);
             out.at(n, k, h, w0 + wi) += acc;
@@ -126,17 +130,17 @@ computeRegisterTile(const ConvProblem &p, const Tensor4 &in,
                     std::int64_t h, std::int64_t w0, std::int64_t wb,
                     std::int64_t k0, std::int64_t kb, std::int64_t c0,
                     std::int64_t c1, std::int64_t r0, std::int64_t r1,
-                    std::int64_t s0, std::int64_t s1)
+                    std::int64_t s0, std::int64_t s1, std::int64_t c_off)
 {
     checkInvariant(pk.vecLen() == VL,
                    "computeRegisterTile: packed kernel vector length");
     if (kb == KU && k0 % VL == 0 && wb <= WU && wb >= 1 &&
         k0 + kb <= out.dim(1)) {
         fastTile(p, in, pk, out, n, h, w0, wb, k0, c0, c1, r0, r1, s0,
-                 s1);
+                 s1, c_off);
     } else {
         scalarTile(p, in, pk, out, n, h, w0, wb, k0, kb, c0, c1, r0, r1,
-                   s0, s1);
+                   s0, s1, c_off);
     }
 }
 

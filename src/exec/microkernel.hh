@@ -31,18 +31,27 @@ struct MicroKernelShape
  *
  *   out[n, k0..k0+kb, h, w0..w0+wb] +=
  *     sum over c in [c0,c1), r in [r0,r1), s in [s0,s1) of
- *       in[n, c, h*stride+r, (w0+wi)*stride+s] * ker[k, c, r, s]
+ *       in[n, c_off+c, h*stride+r, (w0+wi)*stride+s] * ker[k, c, r, s]
+ *
+ * Grouped convolution: @p k0 is a *global* output-channel index (the
+ * caller folds in the group's k offset, so both out and the packed
+ * kernel — whose k axis is global — index directly), while the
+ * reduction range [c0, c1) stays group-local (the kernel tensor's C
+ * extent is c/groups) and @p c_off relocates it into the input's
+ * global channel axis. Dense convs pass c_off = 0.
  *
  * A vectorizable fast path handles the aligned full-size block
- * (kb == 16, k0 % 8 == 0, wb <= 6); other shapes fall back to a
- * scalar loop. The packed kernel must use vector length 8.
+ * (kb == 16, k0 % 8 == 0, wb <= 6); other shapes — including blocks
+ * whose global k0 loses alignment at a group boundary — fall back to
+ * a scalar loop. The packed kernel must use vector length 8.
  */
 void computeRegisterTile(const ConvProblem &p, const Tensor4 &in,
                          const PackedKernel &pk, Tensor4 &out,
                          std::int64_t n, std::int64_t h, std::int64_t w0,
                          std::int64_t wb, std::int64_t k0, std::int64_t kb,
                          std::int64_t c0, std::int64_t c1, std::int64_t r0,
-                         std::int64_t r1, std::int64_t s0, std::int64_t s1);
+                         std::int64_t r1, std::int64_t s0, std::int64_t s1,
+                         std::int64_t c_off = 0);
 
 } // namespace mopt
 

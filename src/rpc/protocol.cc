@@ -355,6 +355,8 @@ responseToJsonLine(const RpcResponse &resp)
             << ",\"srv_shed_overload\":" << resp.srv_shed_overload
             << ",\"srv_shed_client\":" << resp.srv_shed_client
             << ",\"srv_shed_deadline\":" << resp.srv_shed_deadline
+            << ",\"calib_samples\":" << resp.calib_samples
+            << ",\"calib_active\":" << resp.calib_active
             << ",\"entry_hits\":[";
         for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
             if (i)
@@ -478,7 +480,9 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
               {"sched_budget", &resp.sched_budget},
               {"srv_shed_overload", &resp.srv_shed_overload},
               {"srv_shed_client", &resp.srv_shed_client},
-              {"srv_shed_deadline", &resp.srv_shed_deadline}}) {
+              {"srv_shed_deadline", &resp.srv_shed_deadline},
+              {"calib_samples", &resp.calib_samples},
+              {"calib_active", &resp.calib_active}}) {
             if (root.find(key) && !jsonGetInt(root, key, *dst)) {
                 setError(err, std::string("stats: bad ") + key);
                 return false;

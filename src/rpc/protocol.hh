@@ -64,6 +64,7 @@
  *    "sched_solves":11,"sched_coalesced":3,"sched_inflight":0,
  *    "sched_peak":2,"sched_budget":2,
  *    "srv_shed_overload":0,"srv_shed_client":0,"srv_shed_deadline":0,
+ *    "calib_samples":0,"calib_active":0,
  *    "entry_hits":[{"key":"...","hits":3}, ...]}
  *   {"ok":true,"op":"shutdown"}
  *
@@ -73,9 +74,11 @@
  * executing right now, the peak observed concurrency, and the
  * configured --solve-concurrency budget. The "srv_shed_*" members are
  * the admission-control shed counters (requests refused for pending
- * budget, per-client cap, or an already-expired deadline). Clients
- * parse all of these as optional (absent reads as 0) so a new client
- * can still drain stats from a pre-scheduler server.
+ * budget, per-client cap, or an already-expired deadline). The
+ * "calib_*" members report the machine calibration the server was
+ * started with (sample count behind the fit, and whether it is
+ * non-identity). Clients parse all of these as optional (absent reads
+ * as 0) so a new client can still drain stats from an older server.
  *
  * Framing rules: a request larger than the server's limit (default
  * 1 MiB) is answered with an error and the connection is dropped;
@@ -220,6 +223,11 @@ struct RpcResponse
     std::int64_t srv_shed_overload = 0; //!< Refused: pending budget.
     std::int64_t srv_shed_client = 0;   //!< Refused: per-client cap.
     std::int64_t srv_shed_deadline = 0; //!< Refused: budget expired.
+
+    // Stats: calibration provenance (optional on the wire; absent
+    // parses as 0 — an uncalibrated server).
+    std::int64_t calib_samples = 0; //!< Samples behind the correction.
+    std::int64_t calib_active = 0;  //!< 1 when a non-identity fit applies.
 };
 
 /** An error response for @p msg (op-independent). */

@@ -402,6 +402,8 @@ Server::handleStats()
         counters_.shed_client.load(std::memory_order_relaxed);
     resp.srv_shed_deadline =
         counters_.shed_deadline.load(std::memory_order_relaxed);
+    resp.calib_samples = options_.calib_samples;
+    resp.calib_active = options_.calib_active ? 1 : 0;
     return resp;
 }
 

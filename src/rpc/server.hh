@@ -99,6 +99,13 @@ struct ServerOptions
      *  shed path runs on the accept thread, so a client too slow to
      *  take even the error line is simply dropped. */
     long shed_write_ms = 1000;
+
+    /** Calibration provenance surfaced by the stats op. The server
+     *  never rescales the machine itself — the CLI applies
+     *  Calibration::applyTo before constructing it — so these only
+     *  report what the operator chose to serve with. */
+    std::int64_t calib_samples = 0; //!< Samples behind the correction.
+    bool calib_active = false;      //!< Non-identity fit applied.
 };
 
 /** Monotonic server counters (snapshot-read; updated with relaxed

@@ -12,10 +12,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "baselines/grid_sampler.hh"
 #include "codegen/c_emitter.hh"
+#include "common/rng.hh"
 #include "exec/conv_exec.hh"
+#include "machine/machine.hh"
 
 namespace mopt {
 namespace {
@@ -33,6 +38,74 @@ prob()
     p.h = 7;
     p.w = 7;
     return p;
+}
+
+/** The fixed config the committed golden files were emitted with. */
+ExecConfig
+goldenConfig(const ConvProblem &p)
+{
+    ExecConfig cfg = defaultConfig(p);
+    cfg.tiles[LvlL1] = {1, 4, 2, 3, 1, 3, 5};
+    cfg.tiles[LvlL2] = {1, 8, 3, 3, 2, 5, 7};
+    cfg.tiles[LvlL3] = {1, 9, 3, 3, 3, 7, 7};
+    return cfg;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/** Compile @p src with @p cflags and run it, returning all stdout.
+ *  Fails the test (and returns "") on compile or run errors. */
+std::string
+compileAndRun(const std::string &src, const std::string &tag,
+              const std::string &cflags)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string c_path = dir + "/mopt_" + tag + ".c";
+    const std::string bin_path = dir + "/mopt_" + tag + "_bin";
+    {
+        std::ofstream f(c_path);
+        EXPECT_TRUE(f.good());
+        f << src;
+    }
+    const std::string compile = "cc " + cflags + " -o " + bin_path +
+                                " " + c_path + " 2>/dev/null";
+    if (std::system(compile.c_str()) != 0) {
+        ADD_FAILURE() << "host C compiler rejected generated code ("
+                      << cflags << ")";
+        return "";
+    }
+    FILE *pipe = ::popen(bin_path.c_str(), "r");
+    if (!pipe) {
+        ADD_FAILURE() << "cannot run " << bin_path;
+        return "";
+    }
+    std::string out;
+    char buf[256];
+    while (std::fgets(buf, sizeof(buf), pipe))
+        out += buf;
+    ::pclose(pipe);
+    return out;
+}
+
+/** Parse "checksum <v>" from a program's output; NaN when absent. */
+double
+parseChecksum(const std::string &out)
+{
+    std::istringstream ss(out);
+    for (std::string line; std::getline(ss, line);) {
+        double v;
+        if (std::sscanf(line.c_str(), "checksum %lf", &v) == 1)
+            return v;
+    }
+    return std::nan("");
 }
 
 TEST(CEmitter, EmitsTileLoopsForEveryLevelAndDim)
@@ -99,6 +172,147 @@ TEST(CEmitter, CompiledProgramMatchesReference)
     ASSERT_EQ(std::sscanf(buf, "checksum %lf", &checksum), 1) << buf;
     const double expected = lcgChecksumReference(p);
     EXPECT_NEAR(checksum, expected,
+                1e-4 * std::max(1.0, std::abs(expected)));
+}
+
+TEST(CEmitter, EmissionIsStableAcrossCalls)
+{
+    // Emission must be a pure function of (problem, config): repeated
+    // calls are byte-identical, so goldens and caches can trust it.
+    const ConvProblem p = prob();
+    const ExecConfig cfg = goldenConfig(p);
+    EXPECT_EQ(emitConvC(p, cfg, "conv_stable"),
+              emitConvC(p, cfg, "conv_stable"));
+    EXPECT_EQ(emitStandaloneProgram(p, cfg),
+              emitStandaloneProgram(p, cfg));
+    EXPECT_EQ(emitTimedProgram(p, cfg, 3, 1, 1 << 20),
+              emitTimedProgram(p, cfg, 3, 1, 1 << 20));
+}
+
+TEST(CEmitter, MatchesGoldenDense)
+{
+    // Byte-for-byte against the committed golden: any change to the
+    // emitted dense loop nest must be deliberate (regenerate the
+    // fixture) rather than drift.
+    const std::string golden =
+        readFile(std::string(MOPT_TEST_DATA_DIR) +
+                 "/golden_conv_dense.c");
+    EXPECT_EQ(emitConvC(prob(), goldenConfig(prob()), "conv_golden"),
+              golden);
+}
+
+TEST(CEmitter, MatchesGoldenGrouped)
+{
+    ConvProblem g;
+    g.name = "cgg";
+    g.n = 1;
+    g.k = 8;
+    g.c = 8;
+    g.r = 3;
+    g.s = 3;
+    g.h = 6;
+    g.w = 6;
+    g.groups = 4;
+    g.validate();
+    const std::string golden =
+        readFile(std::string(MOPT_TEST_DATA_DIR) +
+                 "/golden_conv_grouped.c");
+    EXPECT_EQ(emitConvC(g, defaultConfig(g), "conv_golden_grouped"),
+              golden);
+}
+
+TEST(CEmitter, GroupedProgramMatchesReference)
+{
+    ConvProblem p;
+    p.name = "cgrp";
+    p.n = 1;
+    p.k = 12;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 7;
+    p.w = 7;
+    p.groups = 4; // 3 output channels per group: scalar edge blocks
+    p.validate();
+    const std::string out = compileAndRun(
+        emitStandaloneProgram(p, defaultConfig(p)), "grp", "-O1");
+    const double expected = lcgChecksumReference(p);
+    EXPECT_NEAR(parseChecksum(out), expected,
+                1e-4 * std::max(1.0, std::abs(expected)));
+}
+
+/** Fuzzed (problem, tiling) matrix: every emitted program compiles
+ *  warning-clean under -Werror and reproduces the reference checksum. */
+class FuzzedEmission : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzedEmission, CompilesWerrorCleanAndMatchesReference)
+{
+    const int i = GetParam();
+    Rng rng(3000 + static_cast<std::uint64_t>(i));
+    ConvProblem p;
+    p.name = "fuzz";
+    p.n = static_cast<std::int64_t>(rng.uniformInt(1, 2));
+    p.k = rng.uniformInt(2, 20);
+    p.c = rng.uniformInt(1, 8);
+    p.r = rng.uniformInt(1, 3);
+    p.s = rng.uniformInt(1, 3);
+    p.h = rng.uniformInt(2, 9);
+    p.w = rng.uniformInt(2, 9);
+    p.stride = rng.uniform01() < 0.3 ? 2 : 1;
+    if (i % 3 == 0) {
+        p.groups = 2; // every third case exercises the grouped lift
+        p.k += p.k % 2;
+        p.c += p.c % 2;
+    }
+    p.validate();
+
+    SamplerOptions sopts;
+    sopts.fit_capacity = false;
+    const ExecConfig cfg =
+        sampleConfig(p, tinyTestMachine(), rng, sopts);
+
+    const std::string src = emitStandaloneProgram(p, cfg);
+    // The same seed emits the same source: stability under fuzzing.
+    EXPECT_EQ(src, emitStandaloneProgram(p, cfg));
+
+    const std::string out = compileAndRun(
+        src, "fuzz" + std::to_string(i), "-O1 -Wall -Wextra -Werror");
+    const double expected = lcgChecksumReference(p);
+    EXPECT_NEAR(parseChecksum(out), expected,
+                1e-4 * std::max(1.0, std::abs(expected)))
+        << p.summary() << "\n"
+        << cfg.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FuzzedEmission, ::testing::Range(0, 8));
+
+TEST(CEmitter, TimedProgramReportsPerRepTimesAndChecksum)
+{
+    const ConvProblem p = prob();
+    const std::string src =
+        emitTimedProgram(p, goldenConfig(p), 3, 1, 1 << 20);
+    const std::string out =
+        compileAndRun(src, "timed", "-O1 -Wall -Wextra -Werror");
+
+    int reps = 0;
+    double mean = -1.0;
+    std::istringstream ss(out);
+    for (std::string line; std::getline(ss, line);) {
+        double v;
+        if (std::sscanf(line.c_str(), "rep_seconds %lf", &v) == 1) {
+            EXPECT_GT(v, 0.0);
+            ++reps;
+        } else if (std::sscanf(line.c_str(), "mean_seconds %lf", &v) ==
+                   1) {
+            mean = v;
+        }
+    }
+    EXPECT_EQ(reps, 3); // warmups are not reported
+    EXPECT_GT(mean, 0.0);
+    const double expected = lcgChecksumReference(p);
+    EXPECT_NEAR(parseChecksum(out), expected,
                 1e-4 * std::max(1.0, std::abs(expected)));
 }
 

@@ -9,6 +9,7 @@
 
 #include "baselines/grid_sampler.hh"
 #include "common/rng.hh"
+#include "common/timer.hh"
 #include "conv/reference.hh"
 #include "conv/workloads.hh"
 #include "exec/conv_exec.hh"
@@ -223,6 +224,99 @@ INSTANTIATE_TEST_SUITE_P(Table1, WorkloadCorrectness,
                          ::testing::Values("Y0", "Y5", "Y12", "R1", "R3",
                                            "R10", "M1", "M2", "M9"));
 
+/** Grouped convolution through the lifted executor: every group runs
+ *  the same tiled loop nest over its own k/c slice. */
+class GroupedCorrectness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GroupedCorrectness, MatchesReference)
+{
+    ConvProblem p;
+    p.name = "grp";
+    p.n = 2;
+    p.k = 24; // 24/8 = 3 per group: forces the scalar edge path
+    p.c = 16;
+    p.r = 3;
+    p.s = 3;
+    p.h = 9;
+    p.w = 9;
+    p.groups = GetParam();
+    p.validate();
+    expectMatchesReference(p, defaultConfig(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupedCorrectness,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ConvExec, DepthwiseMatchesReference)
+{
+    ConvProblem p;
+    p.name = "dw";
+    p.n = 1;
+    p.k = 16;
+    p.c = 16;
+    p.r = 3;
+    p.s = 3;
+    p.h = 10;
+    p.w = 10;
+    p.groups = 16; // one channel per group
+    p.validate();
+    expectMatchesReference(p, defaultConfig(p));
+}
+
+TEST(ConvExec, GroupedSampledTilingsMatchReference)
+{
+    // Wild tilings whose K/C tiles don't divide the per-group extents:
+    // the walker must clamp every tile inside its group slice.
+    ConvProblem p;
+    p.name = "grpprop";
+    p.n = 1;
+    p.k = 32;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 8;
+    p.w = 8;
+    p.groups = 4;
+    p.validate();
+    for (int i = 0; i < 4; ++i) {
+        Rng rng(900 + static_cast<std::uint64_t>(i));
+        SamplerOptions sopts;
+        sopts.fit_capacity = false;
+        const ExecConfig cfg =
+            sampleConfig(p, tinyTestMachine(), rng, sopts);
+        expectMatchesReference(p, cfg, 1,
+                               950 + static_cast<std::uint64_t>(i));
+    }
+}
+
+TEST(ConvExec, GroupedParallelMatchesSequential)
+{
+    ConvProblem p;
+    p.name = "grppar";
+    p.n = 1;
+    p.k = 32;
+    p.c = 8;
+    p.r = 3;
+    p.s = 3;
+    p.h = 12;
+    p.w = 12;
+    p.groups = 2;
+    p.validate();
+    ExecConfig cfg = defaultConfig(p);
+    cfg.par = {1, 2, 1, 1, 1, 2, 1};
+
+    Rng rng(7);
+    Tensor4 in = makeInput(p), ker = makeKernel(p);
+    in.fillRandom(rng);
+    ker.fillRandom(rng);
+    Tensor4 seq = makeOutput(p), par = makeOutput(p);
+    runConv(p, in, ker, seq, cfg, 1);
+    runConv(p, in, ker, par, cfg, 4);
+    EXPECT_DOUBLE_EQ(Tensor4::maxAbsDiff(seq, par), 0.0);
+}
+
 TEST(Measure, ReportsStatistics)
 {
     ConvProblem p;
@@ -243,6 +337,42 @@ TEST(Measure, ReportsStatistics)
     EXPECT_GT(m.mean_gflops, 0.0);
     EXPECT_GE(m.ci95_gflops, 0.0);
     EXPECT_GT(m.mean_seconds, 0.0);
+}
+
+TEST(Measure, SampleCountIsDeterministic)
+{
+    // The measurement harness must be deterministic in *structure*
+    // (sample counts, ordering) even though times vary run to run.
+    ConvProblem p;
+    p.name = "det";
+    p.n = 1;
+    p.k = 16;
+    p.c = 4;
+    p.r = 3;
+    p.s = 3;
+    p.h = 8;
+    p.w = 8;
+    MeasureOptions opts;
+    opts.reps = 4;
+    opts.warmups = 2;
+    const Measurement a = measureConfig(p, defaultConfig(p), opts);
+    const Measurement b = measureConfig(p, defaultConfig(p), opts);
+    ASSERT_EQ(a.seconds.size(), 4u);
+    ASSERT_EQ(b.seconds.size(), 4u);
+    for (double s : a.seconds)
+        EXPECT_GT(s, 0.0);
+}
+
+TEST(Measure, TimerIsMonotone)
+{
+    Timer t;
+    double prev = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double now = t.seconds();
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+    EXPECT_GE(prev, 0.0);
 }
 
 TEST(Measure, QuickMeasureIsPositive)

@@ -26,6 +26,15 @@
  *   mopt network --net=resnet18 --cache=mopt.cache.json
  *   mopt serve --port=7071 --cache=mopt.cache.json
  *   mopt query --connect=host1:7071,host2:7071 --net=resnet18
+ *
+ * The `autotune` subcommand closes the loop: it emits the top-k plans
+ * of a solve, compiles and runs each on this host, records measured-
+ * vs-predicted samples in a calibration journal, and fits the
+ * per-machine correction that `--calibration` applies on later
+ * `network`/`serve` runs.
+ *
+ *   mopt autotune --net=resnet18 --calibration=mopt.calib.json
+ *   mopt network --net=resnet18 --calibration=mopt.calib.json
  */
 
 #include <algorithm>
@@ -35,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "autotune/autotune.hh"
 #include "baselines/autotuner.hh"
 #include "baselines/heuristic_lib.hh"
 #include "codegen/c_emitter.hh"
@@ -97,13 +107,31 @@ Network mode (optimize every conv layer of a whole network):
   --solve-concurrency=N  solve up to N cold shapes at once, each on
                          1/N of the thread-pool width (default 1 =
                          serial; the plan is byte-identical either way)
+  --calibration=<path>   apply the measured per-machine correction
+                         fitted from this journal (see autotune mode);
+                         an empty or identity journal changes nothing
   plus --machine, --sequential, --effort as above
+
+Autotune mode (measure emitted plans, learn the machine correction):
+  mopt autotune --net=<name|file.cfg> [--calibration=<path>] [options]
+     (or --layer=<name> / explicit dims for a single shape)
+  --top-k=N              candidates measured per unique shape (default 3)
+  --reps=N --warmups=N   timed repetitions / discarded runs (3 / 1)
+  --runner=emitted|exec  emitted: emit C, compile with --cc, run the
+                         standalone binary (falls back to exec loudly);
+                         exec: in-process tiled executor (default emitted)
+  --cc=<compiler>        host C compiler for emitted plans (default cc)
+  --calibration=<path>   durable sample journal (JSON lines); the fit
+                         uses every stored sample for this machine
+  --samples-out=<path>   write this run's samples as JSON lines
+  plus --machine, --sequential, --effort as above — calibration is
+  keyed by machine fingerprint, so solve settings must match
 
 Serving mode (moptd: long-lived optimizer daemon + fleet client):
   mopt serve [--port=0] [--host=127.0.0.1] [--workers=4] [options]
                          answer solve/solve_network/stats/shutdown
                          requests (line-delimited JSON over TCP);
-                         --cache/--cache-capacity and
+                         --cache/--cache-capacity, --calibration and
                          --solve-concurrency as in network mode
                          (concurrent duplicate requests always share
                          one solve via the single-flight scheduler)
@@ -173,6 +201,40 @@ cacheOptionsFromFlags(const mopt::Flags &flags)
     return co;
 }
 
+/** What --calibration resolved to: the (possibly rescaled) machine
+ *  plus the provenance a caller prints / serves in its stats. */
+struct CalibratedMachine
+{
+    mopt::MachineSpec machine;
+    mopt::Calibration calibration;
+    std::int64_t journal_loaded = 0;
+};
+
+/**
+ * The shared --calibration handling of network/serve: load the sample
+ * journal, fit for the *base* machine's fingerprint, and rescale the
+ * spec. An absent flag, an empty journal, or an identity fit all
+ * return @p m unchanged — same fingerprint, same cache namespace.
+ */
+CalibratedMachine
+calibratedMachine(const mopt::Flags &flags, const mopt::MachineSpec &m)
+{
+    using namespace mopt;
+    CalibratedMachine cm;
+    cm.machine = m;
+    const std::string path = pathFlag(flags, "calibration");
+    if (path.empty())
+        return cm;
+    const CalibrationStore store(path);
+    cm.journal_loaded = store.stats().loaded;
+    cm.calibration = store.fit(CacheKey::machineFingerprint(m));
+    cm.machine = cm.calibration.applyTo(m);
+    std::cout << "Calibration: " << path << " ("
+              << cm.journal_loaded << " samples loaded): "
+              << cm.calibration.str() << "\n";
+    return cm;
+}
+
 /** The shared --solve-concurrency handling of network/serve. */
 int
 solveConcurrencyFromFlags(const mopt::Flags &flags)
@@ -225,7 +287,8 @@ runNetwork(int argc, char **argv)
     const Flags flags(argc, argv);
     flags.rejectUnknown({"net", "batch", "machine", "sequential",
                          "effort", "top-k", "cache", "cache-capacity",
-                         "plan-out", "solve-concurrency", "help"});
+                         "plan-out", "solve-concurrency", "calibration",
+                         "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -234,7 +297,12 @@ runNetwork(int argc, char **argv)
               "network mode needs --net=<name|file.cfg>");
     const NetworkDef def = networkFromFlags(flags);
     const std::vector<ConvProblem> net = def.lower();
-    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    // The correction rescales the spec itself, so the optimizer, the
+    // cache key, and the printed predictions all see it uniformly.
+    const MachineSpec m =
+        calibratedMachine(flags,
+                          machineByName(flags.getString("machine", "i7")))
+            .machine;
     const OptimizerOptions opts = optionsFromFlags(flags);
 
     const SolutionCacheOptions co = cacheOptionsFromFlags(flags);
@@ -298,6 +366,125 @@ runNetwork(int argc, char **argv)
     return 0;
 }
 
+/** The `mopt autotune` subcommand: solve, emit, compile, run, and fit
+ *  the per-machine correction later runs apply via --calibration. */
+int
+runAutotune(int argc, char **argv)
+{
+    using namespace mopt;
+    const Flags flags(argc, argv);
+    flags.rejectUnknown({"net", "batch", "layer", "k", "c", "image",
+                         "rs", "stride", "dilation", "groups", "machine",
+                         "sequential", "effort", "top-k", "reps",
+                         "warmups", "runner", "cc", "calibration",
+                         "samples-out", "work-dir", "help"});
+    if (flags.getBool("help", false)) {
+        printUsage();
+        return 0;
+    }
+
+    // A whole network or one shape; either way the loop dedupes.
+    std::vector<ConvProblem> net;
+    std::string source;
+    if (flags.has("net")) {
+        const NetworkDef def = networkFromFlags(flags);
+        net = def.lower();
+        source = def.name;
+    } else if (flags.has("layer")) {
+        net.push_back(workloadByName(flags.getString("layer", "")));
+        source = net.front().summary();
+    } else if (flags.has("k") && flags.has("c") && flags.has("image") &&
+               flags.has("rs")) {
+        ConvProblem p = ConvProblem::fromImage(
+            "cli", flags.getInt("k", 1), flags.getInt("c", 1),
+            flags.getInt("image", 1), flags.getInt("rs", 1),
+            static_cast<int>(flags.getInt("stride", 1)),
+            flags.getInt("batch", 1), flags.getInt("groups", 1));
+        p.dilation = static_cast<int>(flags.getInt("dilation", 1));
+        p.validate();
+        net.push_back(p);
+        source = p.summary();
+    } else {
+        fatal("autotune mode needs --net, --layer, or explicit dims");
+    }
+
+    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    const OptimizerOptions opts = optionsFromFlags(flags);
+
+    AutotuneOptions aopts;
+    aopts.top_k = static_cast<int>(flags.getInt("top-k", 3));
+    aopts.reps = static_cast<int>(flags.getInt("reps", 3));
+    aopts.warmups = static_cast<int>(flags.getInt("warmups", 1));
+    aopts.runner =
+        tuneRunnerFromString(flags.getString("runner", "emitted"));
+    aopts.cc = flags.getString("cc", "cc");
+    aopts.work_dir = pathFlag(flags, "work-dir");
+
+    const std::string journal = pathFlag(flags, "calibration");
+    CalibrationStore store(journal);
+
+    std::cout << "Autotune: " << source << " (" << net.size()
+              << " layer" << (net.size() == 1 ? "" : "s") << ")\n"
+              << "Machine:  " << m.name << " (measurements serial)\n"
+              << "Runner:   "
+              << (aopts.runner == TuneRunner::Emitted
+                      ? "emitted (" + aopts.cc + " -O2)"
+                      : "in-process executor")
+              << ", top-k " << aopts.top_k << ", reps " << aopts.reps
+              << ", warmups " << aopts.warmups << "\n";
+    if (!journal.empty())
+        std::cout << "Journal:  " << journal << " ("
+                  << store.stats().loaded << " prior samples)\n";
+    std::cout << "\n";
+
+    const AutotuneReport rep = autotuneProblems(net, m, opts, store,
+                                                aopts);
+
+    Table t({"#", "shape", "runner", "pred ms", "meas ms", "meas/pred"});
+    for (std::size_t i = 0; i < rep.samples.size(); ++i) {
+        const TuneSample &s = rep.samples[i];
+        t.row()
+            .add(static_cast<long long>(i + 1))
+            .add(s.problem.summary())
+            .add(s.runner)
+            .add(s.predicted_seconds * 1e3, 3)
+            .add(s.measured_seconds * 1e3, 3)
+            .add(s.predicted_seconds > 0
+                     ? s.measured_seconds / s.predicted_seconds
+                     : 0.0,
+                 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMeasured " << rep.samples.size() << " plan(s) over "
+              << rep.unique_shapes << " unique shape(s), solve "
+              << formatDouble(rep.solve_seconds, 2) << " s\n";
+    if (rep.emit_failures > 0)
+        std::cout << "Emitted path failed for " << rep.emit_failures
+                  << " plan(s); measured in-process instead\n";
+    if (!rep.work_dir.empty())
+        std::cout << "Artifacts: " << rep.work_dir << "\n";
+    if (rep.samples.size() >= 2)
+        std::cout << "Spearman(predicted, measured) = "
+                  << formatDouble(rep.rank_correlation, 3) << "\n";
+    std::cout << "Calibration: " << rep.calibration.str() << "\n";
+    if (!journal.empty())
+        std::cout << "Wrote " << store.stats().appended
+                  << " sample(s) to " << journal
+                  << "; apply with --calibration=" << journal << "\n";
+
+    if (flags.has("samples-out")) {
+        const std::string path = pathFlag(flags, "samples-out");
+        std::ofstream f(path);
+        checkUser(f.good(), "cannot open " + path);
+        for (const TuneSample &s : rep.samples)
+            f << tuneSampleToJsonLine(s) << "\n";
+        std::cout << "Wrote " << rep.samples.size() << " sample(s) to "
+                  << path << "\n";
+    }
+    return 0;
+}
+
 /** The `mopt serve` subcommand: run moptd until a shutdown RPC. */
 int
 runServe(int argc, char **argv)
@@ -307,12 +494,15 @@ runServe(int argc, char **argv)
     flags.rejectUnknown({"port", "host", "workers", "machine",
                          "sequential", "effort", "top-k", "cache",
                          "cache-capacity", "solve-concurrency",
-                         "max-pending", "max-per-client", "help"});
+                         "max-pending", "max-per-client", "calibration",
+                         "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
     }
-    const MachineSpec m = machineByName(flags.getString("machine", "i7"));
+    const CalibratedMachine cm = calibratedMachine(
+        flags, machineByName(flags.getString("machine", "i7")));
+    const MachineSpec &m = cm.machine;
     const OptimizerOptions opts = optionsFromFlags(flags);
     const SolutionCacheOptions co = cacheOptionsFromFlags(flags);
     SolutionCache cache(co);
@@ -334,6 +524,8 @@ runServe(int argc, char **argv)
     checkUser(per_client >= 0 && per_client <= 65536,
               "--max-per-client must be 0 (unlimited) .. 65536");
     so.max_per_client = static_cast<int>(per_client);
+    so.calib_samples = cm.calibration.samples_used;
+    so.calib_active = !cm.calibration.isIdentity();
 
     Server server(m, opts, &cache, so);
     std::string err;
@@ -498,7 +690,9 @@ queryStats(const QuerySetup &q)
                   << resp.sched_coalesced << " coalesced (peak "
                   << resp.sched_peak << ", in flight "
                   << resp.sched_inflight << ", budget "
-                  << resp.sched_budget << ")\n";
+                  << resp.sched_budget << "); calibration "
+                  << resp.calib_samples << " sample(s), "
+                  << (resp.calib_active ? "active" : "identity") << "\n";
         // Hottest entries first: the per-entry telemetry a fleet
         // operator would use to decide what has stopped earning its
         // cache slot.
@@ -695,6 +889,8 @@ main(int argc, char **argv)
     try {
         if (argc > 1 && std::strcmp(argv[1], "network") == 0)
             return runNetwork(argc - 1, argv + 1);
+        if (argc > 1 && std::strcmp(argv[1], "autotune") == 0)
+            return runAutotune(argc - 1, argv + 1);
         if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
             return runServe(argc - 1, argv + 1);
         if (argc > 1 && std::strcmp(argv[1], "query") == 0)

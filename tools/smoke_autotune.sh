@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the measured-optimal loop: run
+# `mopt autotune` on a tiny problem and assert
+#   1. two plans are measured (emit -> compile -> run, with the loud
+#      in-process fallback when no C compiler is available) and two
+#      samples land in both the calibration journal and the
+#      --samples-out dump, every line carrying a measured time,
+#   2. a re-solve with --calibration loads those samples and reports
+#      the fitted correction (the consultation path, not just the
+#      file's existence),
+#   3. an identity correction (empty journal) leaves the solved plan
+#      byte-identical to an uncalibrated run,
+#   4. a second autotune run appends to the same journal, and the next
+#      re-solve sees all four samples (journal reload, not rewrite).
+#
+# Usage: tools/smoke_autotune.sh [BUILD_DIR]   (default: build)
+#
+# Artifacts land in BUILD_DIR/autotune_smoke/ for post-mortem upload.
+set -euo pipefail
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+build_dir=${1:-build}
+mopt=$build_dir/tools/mopt
+if [[ ! -x $mopt ]]; then
+    echo "error: $mopt not found; build first:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j --target mopt_cli" >&2
+    exit 1
+fi
+
+work=$build_dir/autotune_smoke
+rm -rf "$work"
+mkdir -p "$work"
+
+# A one-conv network matching the autotuned shape, so the calibrated
+# re-solve predicts exactly the layer that was measured.
+cat > "$work/one.cfg" <<'EOF'
+[net]
+width=10
+height=10
+channels=16
+
+[convolutional]
+filters=16
+size=3
+stride=1
+pad=1
+EOF
+
+common=(--machine tiny --effort fast)
+
+echo "== autotune: tiny problem, 2 plans =="
+"$mopt" autotune --k=16 --c=16 --image=10 --rs=3 "${common[@]}" \
+    --top-k 2 --reps 1 --warmups 0 \
+    --calibration "$work/calib.json" \
+    --samples-out "$work/samples.json" \
+    --work-dir "$work/artifacts" \
+    | tee "$work/autotune.out"
+grep -q "Wrote 2 sample(s) to" "$work/autotune.out" || {
+    echo "error: autotune did not report 2 journal appends" >&2
+    exit 1
+}
+grep -q "^Calibration: " "$work/autotune.out" || {
+    echo "error: autotune did not report a fitted calibration" >&2
+    exit 1
+}
+
+echo "== calibration journal + samples dump hold 2 samples each =="
+for f in "$work/calib.json" "$work/samples.json"; do
+    [[ -s $f ]] || { echo "error: $f missing or empty" >&2; exit 1; }
+    lines=$(wc -l < "$f")
+    if [[ $lines -ne 2 ]]; then
+        echo "error: expected 2 sample lines in $f, got $lines" >&2
+        exit 1
+    fi
+    if [[ $(grep -c '"measured_s":' "$f") -ne 2 ]]; then
+        echo "error: $f has lines without a measured time" >&2
+        exit 1
+    fi
+done
+echo "   2 samples journaled and dumped"
+
+echo "== re-solve consults the calibration =="
+"$mopt" network --net "$work/one.cfg" "${common[@]}" \
+    --calibration "$work/calib.json" \
+    --plan-out "$work/plan_cal.txt" | tee "$work/network_cal.out"
+grep -q "(2 samples loaded):" "$work/network_cal.out" || {
+    echo "error: re-solve did not load the 2 journaled samples" >&2
+    exit 1
+}
+
+echo "== identity correction leaves the plan byte-identical =="
+"$mopt" network --net "$work/one.cfg" "${common[@]}" \
+    --plan-out "$work/plan_base.txt" > "$work/network_base.out"
+: > "$work/empty.json"
+"$mopt" network --net "$work/one.cfg" "${common[@]}" \
+    --calibration "$work/empty.json" \
+    --plan-out "$work/plan_ident.txt" | tee "$work/network_ident.out"
+grep -q "(0 samples loaded):" "$work/network_ident.out" || {
+    echo "error: empty journal did not report 0 samples loaded" >&2
+    exit 1
+}
+cmp "$work/plan_base.txt" "$work/plan_ident.txt"
+echo "   identical"
+
+echo "== second run appends; re-solve sees all 4 samples =="
+"$mopt" autotune --k=16 --c=16 --image=10 --rs=3 "${common[@]}" \
+    --top-k 2 --reps 1 --warmups 0 \
+    --calibration "$work/calib.json" > "$work/autotune2.out"
+grep -q "Wrote 2 sample(s) to" "$work/autotune2.out" || {
+    echo "error: second autotune run did not append 2 samples" >&2
+    exit 1
+}
+"$mopt" network --net "$work/one.cfg" "${common[@]}" \
+    --calibration "$work/calib.json" \
+    --plan-out /dev/null | tee "$work/network_cal2.out"
+grep -q "(4 samples loaded):" "$work/network_cal2.out" || {
+    echo "error: journal reload did not surface all 4 samples" >&2
+    exit 1
+}
+
+echo "smoke_autotune: PASS"
