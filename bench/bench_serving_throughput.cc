@@ -17,19 +17,30 @@
  *                   IR, batch 4, grouped + depthwise layers) as
  *                   solve_network RPCs: every unique layer shape must
  *                   be solved exactly once fleet-wide
+ *   idle512      512 connections held open against a 4-worker server,
+ *                   then one warm query through every one of them: the
+ *                   readiness core must serve all 512 with zero thread
+ *                   growth (a connection is an fd, not a thread),
+ *                   byte-identical warm plans, and a bounded p99
  *
- * The harness fails (exit 1) when the dedupe invariant breaks or when
- * any client gets a wrong/failed answer; the speedup is reported, not
- * gated here (tools/check_bench.py gates the recorded wall times).
+ * The harness fails (exit 1) when the dedupe invariant breaks, any
+ * client gets a wrong/failed answer, idle512 grows a thread or blows
+ * its p99 bound; the speedup is reported, not gated here
+ * (tools/check_bench.py gates the recorded wall times).
  */
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <iostream>
 #include <latch>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hh"
+#include "rpc/tcp.hh"
 #include "common/string_util.hh"
 #include "common/table.hh"
 #include "common/timer.hh"
@@ -212,6 +223,135 @@ runCfgNetworkScenario(int clients, std::int64_t batch)
     return r;
 }
 
+/** This process's live thread count (/proc/self/status Threads:). */
+int
+threadCount()
+{
+    std::ifstream f("/proc/self/status");
+    std::string word;
+    while (f >> word)
+        if (word == "Threads:") {
+            int n = 0;
+            f >> n;
+            return n;
+        }
+    return -1;
+}
+
+/** Both the 512 client sockets and the server's 512 accepted fds live
+ *  in this one process; lift RLIMIT_NOFILE out of the way. */
+void
+raiseFdLimit(rlim_t want)
+{
+    rlimit rl{};
+    if (::getrlimit(RLIMIT_NOFILE, &rl) != 0)
+        return;
+    if (rl.rlim_cur >= want)
+        return;
+    rl.rlim_cur = std::min(want, rl.rlim_max);
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+struct IdleResult
+{
+    double wall_seconds = 0;
+    double p99_ms = 0;
+    int thread_growth = 0; //!< Threads gained while 512 conns lived.
+    int failures = 0;
+    int mismatches = 0;
+    std::int64_t solves = 0;
+    std::int64_t coalesced = 0;
+};
+
+/**
+ * The high-connection scenario: warm one shape, hold @p n_conns raw
+ * connections open against a @p workers -worker server, then send one
+ * warm query through every connection, timing each round trip.
+ */
+IdleResult
+runIdleScenario(int n_conns, int workers)
+{
+    using namespace mopt;
+    IdleResult r;
+    SolutionCache cache;
+    ServerOptions so;
+    so.workers = workers;
+    Server server(machineByName("tiny"), benchOpts(), &cache, so);
+    std::string err;
+    if (!server.start(&err)) {
+        std::cerr << "error: cannot start server: " << err << "\n";
+        std::exit(1);
+    }
+    std::thread serve_thread([&server] { server.serve(); });
+    const RpcEndpoint ep{"127.0.0.1", server.port()};
+
+    RpcRequest req;
+    req.op = RpcOp::Solve;
+    req.problem = shapeNumber(0);
+
+    // Pay for the one solve up front; everything after is warm path.
+    CachedSolution warm_sol;
+    {
+        Client warm(ep);
+        RpcResponse resp;
+        if (!warm.call(req, resp) || !resp.ok)
+            r.failures++;
+        else
+            warm_sol = resp.solve.sol;
+    }
+
+    const int threads_before = threadCount();
+    std::vector<TcpSocket> conns;
+    conns.reserve(static_cast<std::size_t>(n_conns));
+    for (int i = 0; i < n_conns; ++i) {
+        TcpSocket s =
+            TcpSocket::connectTo(ep.host, ep.port, &err,
+                                 Deadline::in(10000));
+        if (!s.valid()) {
+            std::cerr << "error: idle conn " << i << ": " << err
+                      << "\n";
+            r.failures++;
+            break;
+        }
+        conns.push_back(std::move(s));
+    }
+
+    const std::string line = requestToJsonLine(req) + "\n";
+    std::vector<double> lat_ms;
+    lat_ms.reserve(conns.size());
+    Timer wall;
+    for (TcpSocket &sock : conns) {
+        Timer rt;
+        std::string resp_line;
+        LineReader reader(sock, 1u << 20);
+        RpcResponse resp;
+        std::string perr;
+        if (!sock.sendAll(line) ||
+            reader.readLine(resp_line, Deadline::in(10000)) !=
+                LineReader::Status::Ok ||
+            !responseFromJsonLine(resp_line, resp, &perr) || !resp.ok)
+            r.failures++;
+        else if (!resp.solve.cache_hit || !(resp.solve.sol == warm_sol))
+            r.mismatches++;
+        lat_ms.push_back(rt.seconds() * 1000.0);
+    }
+    r.wall_seconds = wall.seconds();
+    // Sampled while every connection is still open: the readiness
+    // core must not have grown a single thread for them.
+    r.thread_growth = threadCount() - threads_before;
+    if (!lat_ms.empty()) {
+        std::sort(lat_ms.begin(), lat_ms.end());
+        r.p99_ms = lat_ms[std::min(
+            lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+    }
+    const SolveSchedulerStats ss = server.schedulerStats();
+    r.solves = ss.solves;
+    r.coalesced = ss.coalesced;
+    server.stop();
+    serve_thread.join();
+    return r;
+}
+
 } // namespace
 
 int
@@ -302,11 +442,62 @@ main()
             rc = 1;
         }
     }
+    // High-connection warm serving on the readiness core: 512 open
+    // connections against 4 workers, a query through every one.
+    double idle_p99 = 0;
+    int idle_thread_growth = 0;
+    {
+        const int conns = 512;
+        const int workers = 4;
+        raiseFdLimit(4096);
+        const IdleResult r = runIdleScenario(conns, workers);
+        t.row()
+            .add("idle512")
+            .add(static_cast<long long>(conns))
+            .add(static_cast<long long>(workers))
+            .add(static_cast<long long>(r.solves))
+            .add(static_cast<long long>(r.coalesced))
+            .add(r.wall_seconds, 3)
+            .add(static_cast<double>(conns) / r.wall_seconds, 1);
+        idle_p99 = r.p99_ms;
+        idle_thread_growth = r.thread_growth;
+        if (r.failures || r.mismatches) {
+            std::cerr << "error: idle512: " << r.failures
+                      << " failed calls, " << r.mismatches
+                      << " non-warm or mismatched answers\n";
+            rc = 1;
+        }
+        if (r.solves != 1) {
+            std::cerr << "error: idle512: expected 1 solver "
+                         "invocation (warm path), got "
+                      << r.solves << "\n";
+            rc = 1;
+        }
+        if (r.thread_growth != 0) {
+            std::cerr << "error: idle512: " << conns
+                      << " connections grew the process by "
+                      << r.thread_growth
+                      << " thread(s); the readiness core must serve "
+                         "them with the fixed worker budget\n";
+            rc = 1;
+        }
+        // Generous absolute bound: a warm hit is microseconds of
+        // work; hundreds of ms means the loop is wedged or readiness
+        // never fired.
+        if (r.p99_ms > 250.0) {
+            std::cerr << "error: idle512: warm p99 " << r.p99_ms
+                      << " ms exceeds the 250 ms bound\n";
+            rc = 1;
+        }
+    }
     t.print(std::cout);
     std::cout << "\nConcurrent-cold speedup (serial_cold / "
                  "conc4_cold): "
               << formatDouble(serial_wall / conc_wall, 2) << "x on "
               << std::thread::hardware_concurrency()
-              << " hardware thread(s)\n";
+              << " hardware thread(s)\n"
+              << "idle512 warm p99: " << formatDouble(idle_p99, 2)
+              << " ms across 512 open connections (thread growth "
+              << idle_thread_growth << ")\n";
     return rc;
 }

@@ -452,9 +452,15 @@ ShardRouter::solveOne(const CacheKey &key, RouteStats &stats)
             // re-probes or hedges); exhausted retries fall through to
             // the local solve.
         }
-        logWarn("moptd node ", clients_[node].endpoint().str(),
-                " unavailable; falling back to local solve");
+        if (fleet_.local_fallback)
+            logWarn("moptd node ", clients_[node].endpoint().str(),
+                    " unavailable; falling back to local solve");
     }
+    if (!fleet_.local_fallback)
+        throw FatalError("shard " +
+                         clients_[node].endpoint().str() +
+                         " did not answer for " + key.str() +
+                         " and local fallback is disabled");
     // Local fallback: the same deterministic pipeline the server
     // runs, so the plan is byte-identical, just paid for locally.
     Timer t;

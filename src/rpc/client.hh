@@ -104,6 +104,13 @@ struct FleetOptions
 
     /** Backoff-jitter seed (deterministic; vary per client). */
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+    /** Solve locally when a shard is unavailable past every retry.
+     *  false (the CLI's --no-fallback) turns that degradation into a
+     *  hard FatalError instead — the mode used to *prove* an answer
+     *  came from the fleet (replication smoke tests, cache audits),
+     *  where a silent local solve would mask a cold peer. */
+    bool local_fallback = true;
 };
 
 /**

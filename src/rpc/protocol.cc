@@ -141,6 +141,8 @@ opFromName(const std::string &name, RpcOp &out)
         out = RpcOp::Stats;
     else if (name == "shutdown")
         out = RpcOp::Shutdown;
+    else if (name == "replicate")
+        out = RpcOp::Replicate;
     else
         return false;
     return true;
@@ -156,6 +158,7 @@ rpcOpName(RpcOp op)
     case RpcOp::SolveNetwork: return "solve_network";
     case RpcOp::Stats: return "stats";
     case RpcOp::Shutdown: return "shutdown";
+    case RpcOp::Replicate: return "replicate";
     }
     panic("rpcOpName: bad op");
 }
@@ -193,6 +196,13 @@ requestToJsonLine(const RpcRequest &req)
             oss << ",\"net\":\"" << jsonEscape(req.net) << "\"";
         if (req.batch != 1)
             oss << ",\"batch\":" << req.batch;
+        break;
+    case RpcOp::Replicate:
+        if (req.repl_pull)
+            oss << ",\"pull\":1";
+        else
+            oss << ",\"record\":"
+                << solutionToJsonLine(req.repl_key, req.repl_sol);
         break;
     case RpcOp::Stats:
     case RpcOp::Shutdown:
@@ -278,6 +288,30 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
         }
         break;
     }
+    case RpcOp::Replicate: {
+        if (root.find("pull")) {
+            std::int64_t pull = 0;
+            if (!jsonGetInt(root, "pull", pull)) {
+                setError(err, "replicate: non-integer \"pull\"");
+                return false;
+            }
+            req.repl_pull = pull != 0;
+        }
+        const JsonValue *rec = root.find("record");
+        if (rec) {
+            if (!solutionFromJson(*rec, req.repl_key, req.repl_sol)) {
+                setError(err, "replicate: bad \"record\"");
+                return false;
+            }
+            req.has_record = true;
+        }
+        if (!req.repl_pull && !req.has_record) {
+            setError(err,
+                     "replicate: missing \"record\" or \"pull\"");
+            return false;
+        }
+        break;
+    }
     case RpcOp::Stats:
     case RpcOp::Shutdown:
         break;
@@ -357,6 +391,10 @@ responseToJsonLine(const RpcResponse &resp)
             << ",\"srv_shed_deadline\":" << resp.srv_shed_deadline
             << ",\"calib_samples\":" << resp.calib_samples
             << ",\"calib_active\":" << resp.calib_active
+            << ",\"srv_repl_pushed\":" << resp.srv_repl_pushed
+            << ",\"srv_repl_push_failed\":" << resp.srv_repl_push_failed
+            << ",\"srv_repl_applied\":" << resp.srv_repl_applied
+            << ",\"srv_repl_prefetched\":" << resp.srv_repl_prefetched
             << ",\"entry_hits\":[";
         for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
             if (i)
@@ -365,6 +403,20 @@ responseToJsonLine(const RpcResponse &resp)
                 << "\",\"hits\":" << resp.entry_hits[i].hits << "}";
         }
         oss << "]";
+        break;
+    case RpcOp::Replicate:
+        if (resp.repl_is_pull) {
+            oss << ",\"records\":[";
+            for (std::size_t i = 0; i < resp.repl_records.size(); ++i) {
+                if (i)
+                    oss << ",";
+                oss << solutionToJsonLine(resp.repl_records[i].key,
+                                          resp.repl_records[i].sol);
+            }
+            oss << "]";
+        } else {
+            oss << ",\"applied\":" << resp.repl_applied;
+        }
         break;
     case RpcOp::Shutdown:
         break;
@@ -482,7 +534,11 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
               {"srv_shed_client", &resp.srv_shed_client},
               {"srv_shed_deadline", &resp.srv_shed_deadline},
               {"calib_samples", &resp.calib_samples},
-              {"calib_active", &resp.calib_active}}) {
+              {"calib_active", &resp.calib_active},
+              {"srv_repl_pushed", &resp.srv_repl_pushed},
+              {"srv_repl_push_failed", &resp.srv_repl_push_failed},
+              {"srv_repl_applied", &resp.srv_repl_applied},
+              {"srv_repl_prefetched", &resp.srv_repl_prefetched}}) {
             if (root.find(key) && !jsonGetInt(root, key, *dst)) {
                 setError(err, std::string("stats: bad ") + key);
                 return false;
@@ -501,6 +557,30 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
                 return false;
             }
             resp.entry_hits.push_back(std::move(row));
+        }
+        break;
+    }
+    case RpcOp::Replicate: {
+        const JsonValue *recs = root.find("records");
+        if (recs) {
+            if (!recs->isArray()) {
+                setError(err, "replicate: bad records");
+                return false;
+            }
+            resp.repl_is_pull = true;
+            resp.repl_records.reserve(recs->arr.size());
+            for (const JsonValue &v : recs->arr) {
+                RpcReplRecord r;
+                if (!solutionFromJson(v, r.key, r.sol)) {
+                    setError(err, "replicate: bad record in records");
+                    return false;
+                }
+                resp.repl_records.push_back(std::move(r));
+            }
+        } else if (root.find("applied") &&
+                   !jsonGetInt(root, "applied", resp.repl_applied)) {
+            setError(err, "replicate: bad applied");
+            return false;
         }
         break;
     }

@@ -14,6 +14,21 @@
  *    "ir":{"name":"tiny","layers":[...]}, "batch":4}
  *   {"v":1,"op":"stats"}
  *   {"v":1,"op":"shutdown"}
+ *   {"v":1,"op":"replicate", "machine":"<fp>", "settings":"<fp>",
+ *    "record":{...journal record...}}            (warm-entry push)
+ *   {"v":1,"op":"replicate", "machine":"<fp>", "settings":"<fp>",
+ *    "pull":1}                                   (join-time prefetch)
+ *
+ * "replicate" is the optional fleet-internal warm-entry op (PR 9): a
+ * node that just finished a cold solve *pushes* the journal record to
+ * its peers, and a node joining the fleet *pulls* every entry its
+ * peers hold. It stays inside v1 because it is a new op, and the
+ * protocol's standing rule is that an unknown op is answered with an
+ * error while the connection stays usable — an old server simply
+ * refuses the push and the fleet degrades to cold-start behavior.
+ * Push response: {"ok":true,"op":"replicate","applied":0|1} (0 = the
+ * entry was already present). Pull response:
+ * {"ok":true,"op":"replicate","records":[{...},...]}.
  *
  * Any request may carry an optional "deadline_ms": the client's
  * remaining per-request budget in milliseconds at send time. The
@@ -101,7 +116,7 @@
 namespace mopt {
 
 /** Operations a server understands. */
-enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown };
+enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown, Replicate };
 
 /** Printable op name (the wire spelling). */
 std::string rpcOpName(RpcOp op);
@@ -153,6 +168,14 @@ struct RpcRequest
      *  (absent on the wire). The server refuses work it cannot finish
      *  in time. */
     std::int64_t deadline_ms = 0;
+
+    /** Replicate (push form): the journal record being replicated. */
+    CacheKey repl_key;
+    CachedSolution repl_sol;
+    bool has_record = false;
+
+    /** Replicate (pull form): ask the peer for all its entries. */
+    bool repl_pull = false;
 };
 
 std::string requestToJsonLine(const RpcRequest &req);
@@ -168,6 +191,13 @@ struct RpcSolveResult
     CacheKey key;       //!< Identity the server solved (cross-check).
     CachedSolution sol; //!< Winning configuration.
     bool cache_hit = false;
+};
+
+/** One replicated cache entry (a journal record on the wire). */
+struct RpcReplRecord
+{
+    CacheKey key;
+    CachedSolution sol;
 };
 
 /** Per-entry telemetry row of a stats response. */
@@ -228,6 +258,18 @@ struct RpcResponse
     // parses as 0 — an uncalibrated server).
     std::int64_t calib_samples = 0; //!< Samples behind the correction.
     std::int64_t calib_active = 0;  //!< 1 when a non-identity fit applies.
+
+    // Stats: warm-entry replication counters (optional on the wire;
+    // absent parses as 0 — a server without --replicate never pushes).
+    std::int64_t srv_repl_pushed = 0;      //!< Records pushed to peers.
+    std::int64_t srv_repl_push_failed = 0; //!< Pushes dropped (peer down).
+    std::int64_t srv_repl_applied = 0;     //!< Pushed records accepted.
+    std::int64_t srv_repl_prefetched = 0;  //!< Entries pulled at join.
+
+    // Replicate.
+    std::int64_t repl_applied = 0; //!< Push form: 1 = newly inserted.
+    bool repl_is_pull = false;     //!< Response carries records[].
+    std::vector<RpcReplRecord> repl_records; //!< Pull form payload.
 };
 
 /** An error response for @p msg (op-independent). */

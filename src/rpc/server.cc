@@ -1,15 +1,91 @@
 #include "rpc/server.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <utility>
 
+#include <fcntl.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "frontend/registry.hh"
 #include "service/cache_key.hh"
 
 namespace mopt {
+
+namespace {
+
+// epoll user-data ids of the two non-connection descriptors; real
+// connections start at 2 (Server::next_conn_id_).
+constexpr std::uint64_t kListenerId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+// Per-connection cap on parsed-but-undispatched request lines; past
+// it the loop stops reading the socket (TCP backpressure) until the
+// backlog drains. Responses stay in request order regardless.
+constexpr std::size_t kMaxPipelinedLines = 8;
+
+// Replication budgets: pushes and the join-time pull are best-effort
+// and must never wedge on a dead peer.
+constexpr long kReplPushDeadlineMs = 1000;
+constexpr long kReplPullDeadlineMs = 2000;
+
+// Bound on queued-but-unpushed replication records; a slow peer
+// drops records (counted) instead of backing up the solve path.
+constexpr std::size_t kMaxReplQueue = 1024;
+
+bool
+fdNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+/**
+ * Per-connection state, owned exclusively by the event loop. A
+ * connection is a registered fd, a framing buffer, an output buffer,
+ * and a FIFO of work: complete request lines awaiting dispatch plus
+ * canned (pre-serialized) error responses that must go out in order
+ * with them. At most one request per connection is inside the worker
+ * pool at a time (busy), which is what keeps responses in request
+ * order without sequence numbers.
+ */
+struct Server::Conn
+{
+    struct PendingItem
+    {
+        std::string text;    //!< Request line, or canned response.
+        bool canned = false; //!< Already-serialized response bytes.
+    };
+
+    std::uint64_t id;
+    TcpSocket sock;
+    LineReader reader;
+
+    std::string out;         //!< Unflushed response bytes.
+    std::size_t out_off = 0; //!< Flushed prefix of out.
+
+    std::uint32_t armed_events = 0; //!< What epoll currently watches.
+    bool want_read = true;   //!< false = pipelining backpressure.
+    bool read_closed = false;//!< EOF seen (or we gave up on reads).
+    bool busy = false;       //!< A request is inside the worker pool.
+
+    std::deque<PendingItem> pending; //!< Ordered undispatched work.
+
+    std::string client_ip; //!< Admission key (empty = not counted).
+
+    /** Bound on flushing the remaining output (refusals, drain);
+     *  infinite during normal operation. */
+    Deadline write_deadline = Deadline::never();
+
+    Conn(std::uint64_t id_, TcpSocket s, std::size_t max_line)
+        : id(id_), sock(std::move(s)), reader(sock, max_line)
+    {}
+};
 
 Server::Server(const MachineSpec &machine, const OptimizerOptions &opts,
                SolutionCache *cache, ServerOptions options)
@@ -23,16 +99,32 @@ Server::Server(const MachineSpec &machine, const OptimizerOptions &opts,
           options.max_per_client = std::max(0, options.max_per_client);
           return std::move(options);
       }()),
-      scheduler_(machine_, opts_, cache_,
-                 SolveSchedulerOptions{options_.solve_concurrency}),
-      optimizer_(machine_, opts_, cache_, &scheduler_),
       machine_fp_(CacheKey::machineFingerprint(machine_)),
-      settings_fp_(CacheKey::settingsFingerprint(opts_))
+      settings_fp_(CacheKey::settingsFingerprint(opts_)),
+      scheduler_(machine_, opts_, cache_,
+                 [this] {
+                     SolveSchedulerOptions so;
+                     so.concurrency = options_.solve_concurrency;
+                     if (!options_.replicate.empty())
+                         so.on_insert = [this](const CacheKey &key,
+                                               const CachedSolution &sol) {
+                             enqueueReplication(key, sol);
+                         };
+                     return so;
+                 }()),
+      optimizer_(machine_, opts_, cache_, &scheduler_)
 {}
 
 Server::~Server()
 {
     stop();
+    {
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        repl_stop_ = true;
+    }
+    repl_cv_.notify_all();
+    if (repl_thread_.joinable())
+        repl_thread_.join();
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
         queue_closed_ = true;
@@ -42,13 +134,71 @@ Server::~Server()
         if (t.joinable())
             t.join();
     workers_.clear();
+    conns_.clear();
+    if (epfd_ >= 0)
+        ::close(epfd_);
+    if (wake_rd_ >= 0)
+        ::close(wake_rd_);
+    if (wake_wr_ >= 0)
+        ::close(wake_wr_);
+    epfd_ = wake_rd_ = wake_wr_ = -1;
+    // scheduler_ is destroyed after this body: its runners may still
+    // fire on_insert -> enqueueReplication, which sees repl_stop_ and
+    // drops the record (the queue members outlive the scheduler by
+    // declaration order).
 }
 
 bool
 Server::start(std::string *err)
 {
+    if (!options_.replicate.empty()) {
+        try {
+            repl_peers_ = parseEndpointList(options_.replicate);
+        } catch (const FatalError &e) {
+            if (err)
+                *err = e.what();
+            return false;
+        }
+    }
     if (!listener_.listenOn(options_.host, options_.port, err))
         return false;
+    if (!listener_.setNonBlocking(true)) {
+        if (err)
+            *err = "failed to make the listener non-blocking";
+        listener_.retire();
+        return false;
+    }
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    int fds[2] = {-1, -1};
+    if (epfd_ < 0 || ::pipe(fds) != 0 || !fdNonBlocking(fds[0]) ||
+        !fdNonBlocking(fds[1])) {
+        if (err)
+            *err = "failed to set up the event loop (epoll/pipe)";
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        if (epfd_ >= 0)
+            ::close(epfd_);
+        epfd_ = -1;
+        listener_.retire();
+        return false;
+    }
+    wake_rd_ = fds[0];
+    wake_wr_ = fds[1];
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerId;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeId;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_rd_, &ev);
+
+    // Converge to warm before the first request can miss.
+    prefetchFromPeers();
+    if (!repl_peers_.empty())
+        repl_thread_ = std::thread([this] { replicatorLoop(); });
+
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -59,36 +209,52 @@ std::int64_t
 Server::serve()
 {
     std::int64_t served = 0;
+    if (epfd_ < 0)
+        return 0; // start() was never called (or failed).
+    epoll_event events[64];
     for (;;) {
-        TcpSocket conn = listener_.accept();
-        if (!conn.valid())
-            break; // stop() closed the listener (or a fatal error).
-        ++served;
-        counters_.connections.fetch_add(1, std::memory_order_relaxed);
-        bool admitted = false;
-        {
-            std::lock_guard<std::mutex> lock(queue_mu_);
-            if (static_cast<int>(queue_.size()) <
-                options_.max_pending_conns) {
-                queue_.push_back(std::move(conn));
-                admitted = true;
+        if (stopping() && !drain_begun_)
+            beginDrain();
+        if (drain_begun_ && inflight_jobs_ == 0 && conns_.empty())
+            break;
+        const int n =
+            ::epoll_wait(epfd_, events, 64, loopTimeoutMs());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // epfd gone: nothing left to wait on.
+        }
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t id = events[i].data.u64;
+            const std::uint32_t ev = events[i].events;
+            if (id == kListenerId) {
+                if (!drain_begun_)
+                    acceptReady(&served);
+                continue;
             }
+            if (id == kWakeId) {
+                processCompletions();
+                continue;
+            }
+            // Look the connection up fresh at every step: an earlier
+            // event in this batch (or a completion) may have
+            // destroyed it.
+            auto it = conns_.find(id);
+            if (it == conns_.end())
+                continue;
+            if (ev & EPOLLERR) {
+                destroyConn(id);
+                continue;
+            }
+            if ((ev & EPOLLOUT) && !flushConn(*it->second))
+                continue;
+            it = conns_.find(id);
+            if (it == conns_.end())
+                continue;
+            if (ev & (EPOLLIN | EPOLLHUP | EPOLLRDHUP))
+                connReadable(*it->second);
         }
-        if (admitted) {
-            queue_cv_.notify_one();
-        } else {
-            // Every worker is busy and the backlog is full: refuse
-            // now, explicitly, rather than let the queue (and every
-            // queued client's latency) grow without bound.
-            counters_.shed_overload.fetch_add(
-                1, std::memory_order_relaxed);
-            shedConnection(std::move(conn),
-                           "server overloaded: pending-connection "
-                           "budget (" +
-                               std::to_string(
-                                   options_.max_pending_conns) +
-                               ") exhausted");
-        }
+        expireWriteDeadlines();
     }
     {
         std::lock_guard<std::mutex> lock(queue_mu_);
@@ -99,6 +265,8 @@ Server::serve()
         if (t.joinable())
             t.join();
     workers_.clear();
+    conns_.clear();
+    client_conns_.clear();
     return served;
 }
 
@@ -107,35 +275,394 @@ Server::stop()
 {
     if (stopping_.exchange(true, std::memory_order_acq_rel))
         return;
-    listener_.close();
-    // Read-side half-close of in-flight connections: workers blocked
-    // in recv see EOF and drain, but a response mid-write still
-    // flushes (SHUT_RDWR would truncate it — the client would see a
-    // transport error on work the server actually finished). Guarded
-    // by conns_mu_: fds are unregistered before they are closed, so
-    // we never shut down a recycled descriptor.
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (const int fd : conn_fds_)
-        ::shutdown(fd, SHUT_RD);
+    listener_.close(); // Signal only; the loop closes the fds.
+    wakeLoop();
 }
 
 void
-Server::shedConnection(TcpSocket conn, const std::string &msg)
+Server::wakeLoop()
 {
-    const RpcResponse resp =
-        rpcErrorResponse(msg, RpcErrorCode::Overloaded);
+    if (wake_wr_ < 0)
+        return;
+    const char b = 'w';
+    // EAGAIN means unread bytes already guarantee a wakeup.
+    [[maybe_unused]] const auto n = ::write(wake_wr_, &b, 1);
+}
+
+int
+Server::loopTimeoutMs() const
+{
+    int timeout = -1;
+    for (const auto &[id, c] : conns_) {
+        (void)id;
+        if (c->write_deadline.infinite())
+            continue;
+        const int t = c->write_deadline.pollTimeout();
+        if (timeout < 0 || t < timeout)
+            timeout = t;
+    }
+    return timeout;
+}
+
+void
+Server::expireWriteDeadlines()
+{
+    std::vector<std::uint64_t> dead;
+    for (const auto &[id, c] : conns_)
+        if (!c->write_deadline.infinite() &&
+            c->write_deadline.expired())
+            dead.push_back(id);
+    // A client too slow to take even its final bytes is dropped.
+    for (const std::uint64_t id : dead)
+        destroyConn(id);
+}
+
+void
+Server::acceptReady(std::int64_t *served)
+{
+    for (;;) {
+        bool would_block = false;
+        TcpSocket sock = listener_.tryAccept(&would_block);
+        if (!sock.valid()) {
+            if (!would_block)
+                stop(); // Listener retired or a fatal accept error.
+            return;
+        }
+        ++*served;
+        counters_.connections.fetch_add(1, std::memory_order_relaxed);
+        sock.setNonBlocking(true);
+        admitConn(std::move(sock));
+    }
+}
+
+void
+Server::admitConn(TcpSocket sock)
+{
+    // Admission control. Idle connections are free under this core —
+    // what saturates the server is dispatched requests — so the
+    // pending budget gates the worker backlog, not the fd table.
+    if (inflight_jobs_ >= options_.max_pending_conns) {
+        counters_.shed_overload.fetch_add(1, std::memory_order_relaxed);
+        shedNewConn(std::move(sock),
+                    "server overloaded: pending-connection budget (" +
+                        std::to_string(options_.max_pending_conns) +
+                        ") exhausted");
+        return;
+    }
+    std::string client_ip;
+    if (options_.max_per_client > 0) {
+        // Peer host only: one client opens many ephemeral ports.
+        client_ip = sock.peerAddress();
+        const std::size_t colon = client_ip.rfind(':');
+        if (colon != std::string::npos)
+            client_ip.erase(colon);
+        const auto it = client_conns_.find(client_ip);
+        if (it != client_conns_.end() &&
+            it->second >= options_.max_per_client) {
+            counters_.shed_client.fetch_add(1,
+                                            std::memory_order_relaxed);
+            shedNewConn(std::move(sock),
+                        "server overloaded: per-client connection "
+                        "cap (" +
+                            std::to_string(options_.max_per_client) +
+                            ") reached");
+            return;
+        }
+        ++client_conns_[client_ip];
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, std::move(sock),
+                                       options_.max_request_bytes);
+    conn->client_ip = std::move(client_ip);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+        if (!conn->client_ip.empty() &&
+            --client_conns_[conn->client_ip] <= 0)
+            client_conns_.erase(conn->client_ip);
+        return; // Cannot watch it; drop (RAII closes).
+    }
+    conn->armed_events = EPOLLIN;
+    conns_.emplace(id, std::move(conn));
+}
+
+void
+Server::shedNewConn(TcpSocket sock, const std::string &msg)
+{
+    // Refuse explicitly: a well-behaved client backs off and retries
+    // another shard instead of timing out blind. The refusal rides
+    // the normal output path under a bounded write deadline.
     counters_.errors.fetch_add(1, std::memory_order_relaxed);
-    conn.sendAll(responseToJsonLine(resp) + "\n",
-                 Deadline::in(options_.shed_write_ms));
-    // RAII closes the socket; a client too slow to take the error
-    // line just sees the close.
+    const std::string bytes =
+        responseToJsonLine(
+            rpcErrorResponse(msg, RpcErrorCode::Overloaded)) +
+        "\n";
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, std::move(sock),
+                                       options_.max_request_bytes);
+    conn->read_closed = true; // Never read: answer and close.
+    conn->want_read = false;
+    epoll_event ev{};
+    ev.events = 0;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0)
+        return;
+    const auto [it, inserted] = conns_.emplace(id, std::move(conn));
+    (void)inserted;
+    appendOutput(*it->second, bytes); // May destroy (fully flushed).
+}
+
+bool
+Server::connReadable(Conn &c)
+{
+    char buf[16384];
+    for (;;) {
+        const auto n = ::recv(c.sock.fd(), buf, sizeof(buf), 0);
+        if (n > 0) {
+            c.reader.feed(buf, static_cast<std::size_t>(n));
+            if (!extractLines(c))
+                return false;
+            if (c.read_closed || !c.want_read)
+                break; // TooLong, or pipelining backpressure.
+            continue;
+        }
+        if (n == 0) {
+            c.read_closed = true;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        destroyConn(c.id);
+        return false;
+    }
+    updateEvents(c);
+    return maybeCloseConn(c);
+}
+
+bool
+Server::extractLines(Conn &c)
+{
+    std::string line;
+    for (;;) {
+        const LineReader::Status st = c.reader.pollLine(line);
+        if (st == LineReader::Status::Timeout)
+            break; // No complete line buffered yet.
+        if (st == LineReader::Status::TooLong) {
+            // Framing is gone; answer once and drop the stream.
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+            c.pending.push_back(Conn::PendingItem{
+                responseToJsonLine(rpcErrorResponse(
+                    "request exceeds " +
+                    std::to_string(options_.max_request_bytes) +
+                    " bytes")) +
+                    "\n",
+                /*canned=*/true});
+            c.read_closed = true;
+            c.reader.reset();
+            break;
+        }
+        if (line.find_first_not_of(" \t") == std::string::npos)
+            continue; // Blank keep-alive lines are harmless.
+        counters_.requests.fetch_add(1, std::memory_order_relaxed);
+        c.pending.push_back(
+            Conn::PendingItem{std::move(line), /*canned=*/false});
+        if (c.pending.size() >= kMaxPipelinedLines)
+            c.want_read = false; // Backpressure; resumes in pumpConn.
+    }
+    return pumpConn(c);
+}
+
+bool
+Server::pumpConn(Conn &c)
+{
+    while (!c.busy && !c.pending.empty()) {
+        Conn::PendingItem item = std::move(c.pending.front());
+        c.pending.pop_front();
+        if (item.canned) {
+            if (!appendOutput(c, item.text))
+                return false;
+            continue;
+        }
+        if (drain_begun_)
+            continue; // New work ends at shutdown.
+        c.busy = true;
+        ++inflight_jobs_;
+        {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            queue_.push_back(Job{c.id, std::move(item.text)});
+        }
+        queue_cv_.notify_one();
+    }
+    if (!c.read_closed && !c.want_read &&
+        c.pending.size() < kMaxPipelinedLines) {
+        c.want_read = true;
+        updateEvents(c);
+    }
+    return maybeCloseConn(c);
+}
+
+bool
+Server::appendOutput(Conn &c, const std::string &bytes)
+{
+    if (c.out_off == c.out.size()) {
+        c.out.clear();
+        c.out_off = 0;
+    }
+    c.out.append(bytes);
+    // Bound the flush whenever the connection is already condemned
+    // (refusal, TooLong, drain): a client too slow to take its final
+    // bytes must not pin the conn table.
+    if ((drain_begun_ || c.read_closed) && c.write_deadline.infinite())
+        c.write_deadline = Deadline::in(options_.shed_write_ms);
+    return flushConn(c);
+}
+
+bool
+Server::flushConn(Conn &c)
+{
+    while (c.out_off < c.out.size()) {
+        const auto n =
+            ::send(c.sock.fd(), c.out.data() + c.out_off,
+                   c.out.size() - c.out_off, MSG_NOSIGNAL);
+        if (n >= 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break; // Window full; EPOLLOUT resumes us.
+        destroyConn(c.id); // Peer gone; nothing to salvage.
+        return false;
+    }
+    if (c.out_off >= c.out.size()) {
+        c.out.clear();
+        c.out_off = 0;
+        c.write_deadline = Deadline::never();
+    }
+    updateEvents(c);
+    return maybeCloseConn(c);
+}
+
+bool
+Server::maybeCloseConn(Conn &c)
+{
+    const bool flushed = c.out_off >= c.out.size();
+    if (c.read_closed && !c.busy && c.pending.empty() && flushed) {
+        destroyConn(c.id);
+        return false;
+    }
+    return true;
+}
+
+void
+Server::updateEvents(Conn &c)
+{
+    std::uint32_t ev = 0;
+    if (!c.read_closed && c.want_read)
+        ev |= EPOLLIN;
+    if (c.out_off < c.out.size())
+        ev |= EPOLLOUT;
+    if (ev == c.armed_events)
+        return;
+    epoll_event e{};
+    e.events = ev;
+    e.data.u64 = c.id;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, c.sock.fd(), &e);
+    c.armed_events = ev;
+}
+
+void
+Server::destroyConn(std::uint64_t id)
+{
+    const auto it = conns_.find(id);
+    if (it == conns_.end())
+        return;
+    Conn &c = *it->second;
+    if (!c.client_ip.empty()) {
+        const auto cit = client_conns_.find(c.client_ip);
+        if (cit != client_conns_.end() && --cit->second <= 0)
+            client_conns_.erase(cit);
+    }
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c.sock.fd(), nullptr);
+    conns_.erase(it); // RAII closes the fd.
+    // If a request of this connection is still inside a worker, its
+    // completion arrives for a missing id and is dropped there.
+}
+
+void
+Server::processCompletions()
+{
+    char buf[256];
+    while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+    }
+    for (;;) {
+        Completion comp;
+        {
+            std::lock_guard<std::mutex> lock(done_mu_);
+            if (done_.empty())
+                break;
+            comp = std::move(done_.front());
+            done_.pop_front();
+        }
+        --inflight_jobs_;
+        const auto it = conns_.find(comp.conn_id);
+        if (it != conns_.end()) {
+            Conn &c = *it->second;
+            c.busy = false;
+            if (appendOutput(c, comp.bytes))
+                pumpConn(c); // Next pipelined request, if any.
+        }
+        if (comp.shutdown)
+            stop();
+    }
+}
+
+void
+Server::beginDrain()
+{
+    drain_begun_ = true;
+    listener_.retire(); // Frees the port now, not at destruction.
+    // Read-side half-close of every connection: clients see EOF, but
+    // a response mid-write (or still inside a worker) flushes first,
+    // bounded by shed_write_ms. SHUT_RDWR would truncate work the
+    // server actually finished.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto &[id, c] : conns_) {
+        (void)c;
+        ids.push_back(id);
+    }
+    for (const std::uint64_t id : ids) {
+        const auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        Conn &c = *it->second;
+        c.sock.shutdownRead();
+        c.read_closed = true;
+        c.want_read = false;
+        // Undispatched requests are dropped (new work ends here);
+        // canned refusals still go out in order.
+        std::deque<Conn::PendingItem> keep;
+        for (Conn::PendingItem &p : c.pending)
+            if (p.canned)
+                keep.push_back(std::move(p));
+        c.pending.swap(keep);
+        if (c.out_off < c.out.size() && c.write_deadline.infinite())
+            c.write_deadline = Deadline::in(options_.shed_write_ms);
+        updateEvents(c);
+        maybeCloseConn(c); // Idle connections close immediately.
+    }
 }
 
 void
 Server::workerLoop()
 {
     for (;;) {
-        TcpSocket conn;
+        Job job;
         {
             std::unique_lock<std::mutex> lock(queue_mu_);
             queue_cv_.wait(lock, [this] {
@@ -143,115 +670,137 @@ Server::workerLoop()
             });
             if (queue_.empty())
                 return; // Closed and drained.
-            conn = std::move(queue_.front());
+            job = std::move(queue_.front());
             queue_.pop_front();
         }
-        if (stopping())
-            continue; // Drop queued connections during shutdown.
-        handleConnection(std::move(conn));
+        RpcRequest req;
+        std::string perr;
+        RpcResponse resp;
+        const bool parsed = requestFromJsonLine(job.line, req, &perr);
+        if (parsed) {
+            resp = handle(req);
+        } else {
+            // A bad line is the client's bug, not a framing loss: the
+            // next newline re-synchronizes, so keep the connection.
+            resp = rpcErrorResponse(perr);
+        }
+        if (!resp.ok)
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        Completion comp;
+        comp.conn_id = job.conn_id;
+        comp.bytes = responseToJsonLine(resp) + "\n";
+        comp.shutdown = parsed && resp.ok && req.op == RpcOp::Shutdown;
+        {
+            std::lock_guard<std::mutex> lock(done_mu_);
+            done_.push_back(std::move(comp));
+        }
+        wakeLoop();
     }
 }
 
 void
-Server::handleConnection(TcpSocket conn)
+Server::enqueueReplication(const CacheKey &key,
+                           const CachedSolution &sol)
 {
-    const int fd = conn.fd();
     {
-        // Register-then-recheck under the same lock stop() takes:
-        // either stop() sees this fd in the set and half-closes it,
-        // or we see stopping() here — no window where an idle client
-        // could keep a worker (and thus serve()'s join) blocked.
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        conn_fds_.insert(fd);
-        if (stopping()) {
-            conn_fds_.erase(fd);
+        std::lock_guard<std::mutex> lock(repl_mu_);
+        if (repl_stop_)
+            return; // Shutting down; the record is already cached.
+        if (repl_queue_.size() >= kMaxReplQueue) {
+            // Bounded: replication must never back up the solver.
+            counters_.repl_push_failed.fetch_add(
+                static_cast<std::int64_t>(repl_peers_.size()),
+                std::memory_order_relaxed);
             return;
         }
+        repl_queue_.emplace_back(key, sol);
     }
+    repl_cv_.notify_one();
+}
 
-    // Per-client admission: cap concurrent connections per peer host
-    // (ports stripped — one client opens many ephemeral ports) so a
-    // single runaway client cannot occupy every worker.
-    std::string client_ip;
-    if (options_.max_per_client > 0) {
-        client_ip = conn.peerAddress();
-        const std::size_t colon = client_ip.rfind(':');
-        if (colon != std::string::npos)
-            client_ip.erase(colon);
-        bool over = false;
-        {
-            std::lock_guard<std::mutex> lock(clients_mu_);
-            over = ++client_conns_[client_ip] >
-                   options_.max_per_client;
-        }
-        if (over) {
-            {
-                std::lock_guard<std::mutex> lock(clients_mu_);
-                --client_conns_[client_ip];
-            }
-            {
-                std::lock_guard<std::mutex> lock(conns_mu_);
-                conn_fds_.erase(fd);
-            }
-            counters_.shed_client.fetch_add(1,
-                                            std::memory_order_relaxed);
-            shedConnection(std::move(conn),
-                           "server overloaded: per-client connection "
-                           "cap (" +
-                               std::to_string(options_.max_per_client) +
-                               ") reached");
-            return;
-        }
-    }
-
-    LineReader reader(conn, options_.max_request_bytes);
-    std::string line;
+void
+Server::replicatorLoop()
+{
+    std::vector<Client> peers;
+    peers.reserve(repl_peers_.size());
+    for (const RpcEndpoint &ep : repl_peers_)
+        peers.emplace_back(ep);
     for (;;) {
-        const LineReader::Status st = reader.readLine(line);
-        if (st == LineReader::Status::Eof ||
-            st == LineReader::Status::Error)
-            break;
-        if (st == LineReader::Status::TooLong) {
-            // Framing is gone; answer once and drop the stream.
-            counters_.errors.fetch_add(1, std::memory_order_relaxed);
-            conn.sendAll(responseToJsonLine(rpcErrorResponse(
-                             "request exceeds " +
-                             std::to_string(options_.max_request_bytes) +
-                             " bytes")) +
-                         "\n");
-            break;
+        std::pair<CacheKey, CachedSolution> rec;
+        {
+            std::unique_lock<std::mutex> lock(repl_mu_);
+            repl_cv_.wait(lock, [this] {
+                return repl_stop_ || !repl_queue_.empty();
+            });
+            if (repl_stop_)
+                return; // Best-effort: drop what is still queued.
+            rec = std::move(repl_queue_.front());
+            repl_queue_.pop_front();
         }
-        if (line.find_first_not_of(" \t") == std::string::npos)
-            continue; // Blank keep-alive lines are harmless.
-        counters_.requests.fetch_add(1, std::memory_order_relaxed);
+        pushRecord(peers, rec.first, rec.second);
+    }
+}
 
-        RpcRequest req;
-        std::string perr;
+void
+Server::pushRecord(std::vector<Client> &peers, const CacheKey &key,
+                   const CachedSolution &sol)
+{
+    RpcRequest req;
+    req.op = RpcOp::Replicate;
+    req.has_record = true;
+    req.repl_key = key;
+    req.repl_sol = sol;
+    req.machine_fp = machine_fp_;
+    req.settings_fp = settings_fp_;
+    req.deadline_ms = kReplPushDeadlineMs;
+    for (Client &peer : peers) {
+        {
+            std::lock_guard<std::mutex> lock(repl_mu_);
+            if (repl_stop_)
+                return; // Do not wait out deadlines during shutdown.
+        }
         RpcResponse resp;
-        if (!requestFromJsonLine(line, req, &perr)) {
-            // A bad line is the client's bug, not a framing loss: the
-            // next newline re-synchronizes, so keep the connection.
-            resp = rpcErrorResponse(perr);
-        } else {
-            resp = handle(req);
-        }
-        if (!resp.ok)
-            counters_.errors.fetch_add(1, std::memory_order_relaxed);
-        if (!conn.sendAll(responseToJsonLine(resp) + "\n"))
-            break;
-        if (resp.ok && req.op == RpcOp::Shutdown) {
-            stop();
-            break;
-        }
+        std::string err;
+        const bool ok =
+            peer.call(req, resp, &err,
+                      Deadline::in(kReplPushDeadlineMs)) &&
+            resp.ok;
+        (ok ? counters_.repl_pushed : counters_.repl_push_failed)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (!ok)
+            peer.disconnect(); // Reconnect fresh on the next push.
     }
-    if (options_.max_per_client > 0) {
-        std::lock_guard<std::mutex> lock(clients_mu_);
-        if (--client_conns_[client_ip] == 0)
-            client_conns_.erase(client_ip);
-    }
-    {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        conn_fds_.erase(fd);
+}
+
+void
+Server::prefetchFromPeers()
+{
+    if (!cache_ || repl_peers_.empty())
+        return;
+    RpcRequest req;
+    req.op = RpcOp::Replicate;
+    req.repl_pull = true;
+    req.machine_fp = machine_fp_;
+    req.settings_fp = settings_fp_;
+    req.deadline_ms = kReplPullDeadlineMs;
+    for (const RpcEndpoint &ep : repl_peers_) {
+        Client peer(ep);
+        RpcResponse resp;
+        std::string err;
+        if (!peer.call(req, resp, &err,
+                       Deadline::in(kReplPullDeadlineMs)) ||
+            !resp.ok)
+            continue; // Peer down or too old: it will push later.
+        for (const RpcReplRecord &r : resp.repl_records) {
+            if (r.key.machine_fp != machine_fp_ ||
+                r.key.settings_fp != settings_fp_)
+                continue; // Foreign identity never enters the cache.
+            if (cache_->contains(r.key))
+                continue;
+            cache_->insert(r.key, r.sol);
+            counters_.repl_prefetched.fetch_add(
+                1, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -287,6 +836,7 @@ Server::handle(const RpcRequest &req)
         case RpcOp::Solve: return handleSolve(req, dl);
         case RpcOp::SolveNetwork: return handleSolveNetwork(req, dl);
         case RpcOp::Stats: return handleStats();
+        case RpcOp::Replicate: return handleReplicate(req);
         case RpcOp::Shutdown: {
             RpcResponse resp;
             resp.ok = true;
@@ -402,8 +952,50 @@ Server::handleStats()
         counters_.shed_client.load(std::memory_order_relaxed);
     resp.srv_shed_deadline =
         counters_.shed_deadline.load(std::memory_order_relaxed);
+    resp.srv_repl_pushed =
+        counters_.repl_pushed.load(std::memory_order_relaxed);
+    resp.srv_repl_push_failed =
+        counters_.repl_push_failed.load(std::memory_order_relaxed);
+    resp.srv_repl_applied =
+        counters_.repl_applied.load(std::memory_order_relaxed);
+    resp.srv_repl_prefetched =
+        counters_.repl_prefetched.load(std::memory_order_relaxed);
     resp.calib_samples = options_.calib_samples;
     resp.calib_active = options_.calib_active ? 1 : 0;
+    return resp;
+}
+
+RpcResponse
+Server::handleReplicate(const RpcRequest &req)
+{
+    RpcResponse resp;
+    if (!checkIdentity(req, resp))
+        return resp;
+    resp.ok = true;
+    resp.op = RpcOp::Replicate;
+    if (req.repl_pull) {
+        // Join-time pull: hand over everything we hold; the puller
+        // filters by identity and inserts what it is missing.
+        resp.repl_is_pull = true;
+        if (cache_) {
+            for (const auto &[key, sol] : cache_->exportEntries())
+                resp.repl_records.push_back(RpcReplRecord{key, sol});
+        }
+        return resp;
+    }
+    // Push form: take the record if it is ours and new. The record's
+    // own fingerprints are checked (not just the request envelope's):
+    // a misconfigured peer must not seed us with foreign plans.
+    if (req.repl_key.machine_fp != machine_fp_ ||
+        req.repl_key.settings_fp != settings_fp_)
+        return rpcErrorResponse(
+            "replicate: record fingerprint does not match this "
+            "server's identity");
+    if (cache_ && !cache_->contains(req.repl_key)) {
+        cache_->insert(req.repl_key, req.repl_sol);
+        resp.repl_applied = 1;
+        counters_.repl_applied.fetch_add(1, std::memory_order_relaxed);
+    }
     return resp;
 }
 

@@ -1,13 +1,24 @@
 /**
  * @file
- * moptd: the long-lived optimizer server. Accepts connections on a
- * worker pool and answers the line-delimited JSON protocol
- * (rpc/protocol.hh) through one shared NetworkOptimizer and one
- * shared, optionally persistent, SolutionCache.
+ * moptd: the long-lived optimizer server. Answers the line-delimited
+ * JSON protocol (rpc/protocol.hh) through one shared NetworkOptimizer
+ * and one shared, optionally persistent, SolutionCache.
  *
- * Concurrency model: an accept loop (the thread that called serve())
- * hands connections to N worker threads over a queue; each worker
- * owns one connection at a time and answers its requests in order.
+ * Concurrency model (the readiness core): a single epoll(7) event
+ * loop — the thread that called serve() — owns every socket. The
+ * listener and all client connections are registered non-blocking;
+ * the loop does readiness-driven reads into per-connection LineReader
+ * buffers (fragmented frames resume across reads for free) and
+ * dispatches only *complete* request lines to the worker pool. The
+ * workers never touch a socket: they parse, run the solve through the
+ * shared SolveScheduler, serialize, and hand the response bytes back
+ * to the loop over a completion queue + wakeup pipe; the loop writes
+ * them out, falling back to EPOLLOUT-driven flushing when a client's
+ * receive window is full. The ownership split is strict — the loop
+ * owns fds, the workers own solves — so N workers serve thousands of
+ * mostly-idle connections: an idle connection costs one registered fd
+ * and a buffer, not a thread.
+ *
  * Cache lookups run lock-free across workers (the cache is sharded);
  * cache *misses* — actual optimizeConv solves — go through one shared
  * SolveScheduler (service/solve_scheduler.hh): duplicate concurrent
@@ -17,23 +28,32 @@
  * partition of the thread-pool width. Solves are width-independent
  * (docs/ARCHITECTURE.md), so responses are byte-identical for any
  * budget, and a budget of 1 reproduces the historical serialized
- * behavior. A warm server scales with worker count; a cold one now
- * scales with the solve budget too.
+ * behavior.
  *
- * Admission control: the accept loop sheds connections past a bounded
- * pending budget, and workers shed connections past the per-client
- * cap — both with an explicit "overloaded" refusal (protocol.hh error
- * code) so a well-behaved client backs off and retries another shard
- * instead of timing out blind. A request carrying "deadline_ms" is
- * refused up front when already expired and bounds the worker's solve
- * wait; either way the worker answers "deadline_exceeded" instead of
- * burning time on an answer nobody is waiting for.
+ * Admission control: new connections are shed when the dispatched-
+ * request backlog is saturated (max_pending_conns) or the peer is
+ * over its per-client connection cap — both with an explicit
+ * "overloaded" refusal (protocol.hh error code) written under a
+ * bounded deadline (shed_write_ms), so a well-behaved client backs
+ * off and retries another shard instead of timing out blind. A
+ * request carrying "deadline_ms" is refused up front when already
+ * expired and bounds the worker's solve wait; either way the worker
+ * answers "deadline_exceeded" instead of burning time on an answer
+ * nobody is waiting for.
+ *
+ * Warm-entry replication (optional, --replicate): when a cold solve
+ * inserts a fresh entry, the scheduler's on_insert hook enqueues the
+ * journal record and a dedicated replicator thread pushes it to every
+ * configured peer via the protocol's "replicate" op — asynchronously
+ * and best-effort (a dead peer converges on its own next miss). At
+ * start(), the server *pulls* every entry its peers hold (the
+ * "replicate" op's pull form), so a node rejoining the fleet
+ * converges to warm before it accepts its first request.
  *
  * Shutdown paths: a "shutdown" RPC, or stop() from another thread.
- * Both close the listener (waking the accept loop) and read-side
- * half-close every in-flight connection: workers blocked in recv see
- * EOF and drain promptly, while responses already being written still
- * flush — in-flight work completes, new work is refused.
+ * Both retire the listener and read-side half-close every connection:
+ * clients see EOF, in-flight solves complete and their responses
+ * still flush (bounded by shed_write_ms), new work is refused.
  */
 
 #ifndef MOPT_RPC_SERVER_HH
@@ -43,15 +63,17 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
+#include "rpc/client.hh"
 #include "rpc/protocol.hh"
 #include "rpc/tcp.hh"
 #include "service/network_optimizer.hh"
@@ -70,7 +92,8 @@ struct ServerOptions
     /** Listen port; 0 = kernel-assigned (read back via port()). */
     int port = 0;
 
-    /** Connection-handling worker threads. */
+    /** Request-handling worker threads (parse + solve + serialize;
+     *  they never touch a socket). */
     int workers = 4;
 
     /** Requests longer than this (bytes, excluding the newline) are
@@ -83,22 +106,30 @@ struct ServerOptions
      *  Plans are byte-identical either way. */
     int solve_concurrency = 1;
 
-    /** Bound on accepted connections awaiting a worker. Past it the
-     *  accept loop answers "overloaded" (code on the wire) and closes
-     *  instead of queueing unboundedly — shedding early keeps the
-     *  refusal latency flat while the fleet retries elsewhere. */
+    /** Bound on dispatched requests awaiting (or inside) a worker.
+     *  Past it, *new connections* are answered "overloaded" (code on
+     *  the wire) and closed instead of queueing unboundedly —
+     *  shedding early keeps the refusal latency flat while the fleet
+     *  retries elsewhere. Idle connections are free and never count
+     *  against this. */
     int max_pending_conns = 128;
 
     /** Concurrent connections served per client address (peer IP);
-     *  0 = unlimited. The cap stops one misbehaving client from
-     *  occupying every worker; excess connections are refused with
+     *  0 = unlimited. The cap bounds one misbehaving client's share
+     *  of the connection table; excess connections are refused with
      *  the same "overloaded" code. */
     int max_per_client = 0;
 
-    /** Budget for writing a refusal to a client being shed (ms). The
-     *  shed path runs on the accept thread, so a client too slow to
-     *  take even the error line is simply dropped. */
+    /** Budget for flushing a refusal (or, during shutdown, a final
+     *  response) to a slow client, in ms. A client too slow to take
+     *  even the error line is simply dropped. */
     long shed_write_ms = 1000;
+
+    /** Peer endpoints ("host:port[,host:port...]") for warm-entry
+     *  replication; empty = replication off. Fresh cold-solve inserts
+     *  are pushed to every peer, and start() prefetches every entry
+     *  the peers hold. */
+    std::string replicate;
 
     /** Calibration provenance surfaced by the stats op. The server
      *  never rescales the machine itself — the CLI applies
@@ -109,7 +140,7 @@ struct ServerOptions
 };
 
 /** Monotonic server counters (snapshot-read; updated with relaxed
- *  atomics by the workers). */
+ *  atomics by the loop and the workers). */
 struct ServerCounters
 {
     std::atomic<std::int64_t> connections{0};
@@ -121,13 +152,20 @@ struct ServerCounters
     std::atomic<std::int64_t> shed_overload{0}; //!< Pending budget hit.
     std::atomic<std::int64_t> shed_client{0};   //!< Per-client cap hit.
     std::atomic<std::int64_t> shed_deadline{0}; //!< Deadline expired.
+
+    // Warm-entry replication (all 0 unless --replicate).
+    std::atomic<std::int64_t> repl_pushed{0};      //!< Records delivered.
+    std::atomic<std::int64_t> repl_push_failed{0}; //!< Pushes dropped.
+    std::atomic<std::int64_t> repl_applied{0};     //!< Peer pushes taken.
+    std::atomic<std::int64_t> repl_prefetched{0};  //!< Pulled at join.
 };
 
 /**
- * The moptd server. Construct, start() (binds and spawns workers),
- * then serve() from the thread that should run the accept loop.
- * Thread-safe: stop() may be called from anywhere, including a
- * request handler (the shutdown op does exactly that).
+ * The moptd server. Construct, start() (binds, prefetches from
+ * replication peers, spawns workers), then serve() from the thread
+ * that should run the event loop. Thread-safe: stop() may be called
+ * from anywhere, including a request handler (the shutdown op does
+ * exactly that).
  */
 class Server
 {
@@ -147,21 +185,24 @@ class Server
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
-    /** Bind, listen, and spawn the worker pool. False + @p err when
-     *  the address cannot be bound. */
+    /** Bind, listen, prefetch from replication peers, and spawn the
+     *  worker pool. False + @p err when the address cannot be bound
+     *  (a dead replication peer is *not* an error — the fleet heals
+     *  through pushes later). */
     bool start(std::string *err = nullptr);
 
     /** The bound port (valid after start()), or -1. */
     int port() const { return listener_.port(); }
 
     /**
-     * Run the accept loop on the calling thread until stop() or a
-     * shutdown RPC, then drain the workers. Returns the number of
-     * connections served.
+     * Run the event loop on the calling thread until stop() or a
+     * shutdown RPC, then drain in-flight work and join the workers.
+     * Returns the number of connections accepted.
      */
     std::int64_t serve();
 
-    /** Request shutdown: close the listener and every connection. */
+    /** Request shutdown: wake the loop, which retires the listener
+     *  and drains every connection. */
     void stop();
 
     /** True once stop() (or a shutdown RPC) has been requested. */
@@ -183,18 +224,68 @@ class Server
     RpcResponse handle(const RpcRequest &req);
 
   private:
-    void workerLoop();
-    void handleConnection(TcpSocket conn);
+    /** Per-connection state owned exclusively by the event loop
+     *  (defined in server.cc). */
+    struct Conn;
 
-    /** Refuse @p conn with an "overloaded" error line (write bounded
-     *  by shed_write_ms) and close it. Runs on the accept thread or a
-     *  worker, never blocks past the budget. */
-    void shedConnection(TcpSocket conn, const std::string &msg);
+    /** One complete request line dispatched to a worker. */
+    struct Job
+    {
+        std::uint64_t conn_id = 0;
+        std::string line;
+    };
+
+    /** A worker's finished response heading back to the loop. */
+    struct Completion
+    {
+        std::uint64_t conn_id = 0;
+        std::string bytes;     //!< Serialized response + '\n'.
+        bool shutdown = false; //!< Successful shutdown op: stop after.
+    };
+
+    void workerLoop();
+    void replicatorLoop();
+
+    /** Poke the event loop's wakeup pipe (worker completion or
+     *  stop()). Safe from any thread while the loop may run. */
+    void wakeLoop();
+
+    // Event-loop internals (serve() thread only).
+    void acceptReady(std::int64_t *served);
+    void admitConn(TcpSocket sock);
+    void shedNewConn(TcpSocket sock, const std::string &msg);
+    bool connReadable(Conn &c);  //!< false = conn destroyed.
+    bool flushConn(Conn &c);     //!< false = conn destroyed.
+    bool extractLines(Conn &c);  //!< false = conn destroyed.
+    bool pumpConn(Conn &c);      //!< Dispatch pending work.
+    /** Queue @p bytes on @p c's output buffer and flush what the
+     *  socket will take now. false = conn destroyed. */
+    bool appendOutput(Conn &c, const std::string &bytes);
+    bool maybeCloseConn(Conn &c);//!< false = conn destroyed.
+    void updateEvents(Conn &c);
+    void destroyConn(std::uint64_t id);
+    void processCompletions();
+    void beginDrain();
+    int loopTimeoutMs() const;
+    void expireWriteDeadlines();
+
+    /** Push one fresh insert to every replication peer (replicator
+     *  thread); called with the record already dequeued. */
+    void pushRecord(std::vector<Client> &peers, const CacheKey &key,
+                    const CachedSolution &sol);
+
+    /** Join-time pull of every entry each peer holds (start()). */
+    void prefetchFromPeers();
+
+    /** Scheduler on_insert target: enqueue for the replicator. */
+    void enqueueReplication(const CacheKey &key,
+                            const CachedSolution &sol);
 
     RpcResponse handleSolve(const RpcRequest &req, const Deadline &dl);
     RpcResponse handleSolveNetwork(const RpcRequest &req,
                                    const Deadline &dl);
     RpcResponse handleStats();
+    RpcResponse handleReplicate(const RpcRequest &req);
 
     /** Fingerprint guard: nonzero client fingerprints must match the
      *  server's identity. Returns false and fills @p resp on reject. */
@@ -204,34 +295,53 @@ class Server
     OptimizerOptions opts_;
     SolutionCache *cache_;
     ServerOptions options_;
+    std::uint64_t machine_fp_;
+    std::uint64_t settings_fp_;
+
+    ServerCounters counters_;
+
+    // Replication state. Declared before scheduler_ on purpose: the
+    // scheduler's on_insert hook may fire from a runner thread during
+    // the scheduler's own destruction, so the queue it targets must
+    // still be alive then (members are destroyed in reverse order).
+    std::vector<RpcEndpoint> repl_peers_;
+    std::mutex repl_mu_;
+    std::condition_variable repl_cv_;
+    std::deque<std::pair<CacheKey, CachedSolution>> repl_queue_;
+    bool repl_stop_ = false;
+    std::thread repl_thread_;
 
     /** Single-flight, bounded-concurrency solve admission for every
      *  miss (both solve and solve_network go through it, so their
      *  duplicate shapes coalesce against one table). */
     SolveScheduler scheduler_;
     NetworkOptimizer optimizer_;
-    std::uint64_t machine_fp_;
-    std::uint64_t settings_fp_;
 
     TcpListener listener_;
     std::vector<std::thread> workers_;
     std::atomic<bool> stopping_{false};
 
+    // Dispatch queue: complete request lines, loop -> workers.
     std::mutex queue_mu_;
     std::condition_variable queue_cv_;
-    std::deque<TcpSocket> queue_;
+    std::deque<Job> queue_;
     bool queue_closed_ = false;
 
-    /** fds of live connections, so stop() can half-close them. */
-    std::mutex conns_mu_;
-    std::unordered_set<int> conn_fds_;
+    // Completion queue: response bytes, workers -> loop.
+    std::mutex done_mu_;
+    std::deque<Completion> done_;
 
-    /** Peer IP -> connections currently being served (per-client
-     *  admission cap). */
-    std::mutex clients_mu_;
+    int epfd_ = -1;    //!< epoll instance (created by start()).
+    int wake_rd_ = -1; //!< Wakeup pipe, read end (registered in epoll).
+    int wake_wr_ = -1; //!< Wakeup pipe, write end (workers / stop()).
+
+    // Loop-owned state: only the serve() thread touches these, so no
+    // locks (stop() communicates through stopping_ + the wake pipe).
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
     std::unordered_map<std::string, int> client_conns_;
-
-    ServerCounters counters_;
+    std::uint64_t next_conn_id_ = 2; //!< 0 = listener, 1 = wake pipe.
+    int inflight_jobs_ = 0; //!< Dispatched, completion not yet applied.
+    bool drain_begun_ = false;
 };
 
 } // namespace mopt

@@ -51,7 +51,7 @@ resolve(const std::string &host, int port, bool passive,
 }
 
 bool
-setNonBlocking(int fd, bool on)
+fdSetNonBlocking(int fd, bool on)
 {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags < 0)
@@ -168,7 +168,7 @@ TcpSocket::connectTo(const std::string &host, int port, std::string *err,
         // kernel's multi-minute default). The socket itself stays
         // blocking afterward; I/O deadlines come from poll() in
         // sendAll/recvSome, not O_NONBLOCK.
-        if (!setNonBlocking(fd, true)) {
+        if (!fdSetNonBlocking(fd, true)) {
             last_err = "fcntl: " + errnoString();
             ::close(fd);
             fd = -1;
@@ -180,7 +180,7 @@ TcpSocket::connectTo(const std::string &host, int port, std::string *err,
             ok = awaitConnect(fd, dl, &last_err);
         else if (!ok)
             last_err = "connect: " + errnoString();
-        if (ok && !setNonBlocking(fd, false)) {
+        if (ok && !fdSetNonBlocking(fd, false)) {
             last_err = "fcntl: " + errnoString();
             ok = false;
         }
@@ -258,6 +258,12 @@ TcpSocket::peerAddress() const
         0)
         return "?";
     return addrToString(sa);
+}
+
+bool
+TcpSocket::setNonBlocking(bool on)
+{
+    return fd_ >= 0 && fdSetNonBlocking(fd_, on);
 }
 
 void
@@ -385,6 +391,33 @@ TcpListener::accept()
     }
 }
 
+bool
+TcpListener::setNonBlocking(bool on)
+{
+    return fd_ >= 0 && fdSetNonBlocking(fd_, on);
+}
+
+TcpSocket
+TcpListener::tryAccept(bool *would_block)
+{
+    *would_block = false;
+    for (;;) {
+        if (fd_ < 0 || closing_.load(std::memory_order_acquire))
+            return TcpSocket();
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                *would_block = true;
+            return TcpSocket();
+        }
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return TcpSocket(conn);
+    }
+}
+
 void
 TcpListener::close()
 {
@@ -417,21 +450,30 @@ TcpListener::closeFds()
 }
 
 LineReader::Status
+LineReader::pollLine(std::string &out)
+{
+    const std::size_t nl = buf_.find('\n', scanned_);
+    if (nl != std::string::npos) {
+        out.assign(buf_, 0, nl);
+        if (!out.empty() && out.back() == '\r')
+            out.pop_back();
+        buf_.erase(0, nl + 1);
+        scanned_ = 0;
+        return Status::Ok;
+    }
+    scanned_ = buf_.size();
+    if (buf_.size() > max_line_)
+        return Status::TooLong;
+    return Status::Timeout; // No complete line buffered yet.
+}
+
+LineReader::Status
 LineReader::readLine(std::string &out, Deadline dl)
 {
     for (;;) {
-        const std::size_t nl = buf_.find('\n', scanned_);
-        if (nl != std::string::npos) {
-            out.assign(buf_, 0, nl);
-            if (!out.empty() && out.back() == '\r')
-                out.pop_back();
-            buf_.erase(0, nl + 1);
-            scanned_ = 0;
-            return Status::Ok;
-        }
-        scanned_ = buf_.size();
-        if (buf_.size() > max_line_)
-            return Status::TooLong;
+        const Status st = pollLine(out);
+        if (st != Status::Timeout)
+            return st;
 
         char chunk[4096];
         const long n = sock_.recvSome(chunk, sizeof(chunk), dl);

@@ -88,6 +88,11 @@ class TcpSocket
      *  identity the server's per-client admission control keys on. */
     std::string peerAddress() const;
 
+    /** Toggle O_NONBLOCK. The readiness-driven server core runs every
+     *  connection non-blocking; the client side stays blocking and
+     *  bounds waits with poll() instead. */
+    bool setNonBlocking(bool on);
+
     /** Half-close both directions (wakes a blocked peer recv). */
     void shutdownBoth();
 
@@ -129,6 +134,13 @@ class TcpListener
 
     bool listening() const { return fd_ >= 0; }
 
+    /** The listening descriptor (for epoll registration), or -1. */
+    int fd() const { return fd_; }
+
+    /** Toggle O_NONBLOCK on the listening descriptor (tryAccept
+     *  callers want accept(2) to return EAGAIN, never block). */
+    bool setNonBlocking(bool on);
+
     /**
      * Block until a connection arrives (returns it) or close() is
      * called from another thread (returns an invalid socket).
@@ -141,6 +153,15 @@ class TcpListener
     TcpSocket accept();
 
     /**
+     * Non-blocking accept for readiness-driven callers: returns the
+     * connection, or an invalid socket with @p would_block set when no
+     * connection is pending (EAGAIN). The listener must have been put
+     * in non-blocking mode via setNonBlocking(true) first; an invalid
+     * socket with @p would_block false is a real accept error.
+     */
+    TcpSocket tryAccept(bool *would_block);
+
+    /**
      * Stop listening and wake any blocked accept(). Idempotent and
      * callable from any thread. Only *signals*: the descriptors are
      * closed by the accept() call that observes the wakeup (so a
@@ -148,6 +169,16 @@ class TcpListener
      * destructor when no accept() is in flight.
      */
     void close();
+
+    /** Close the descriptors immediately. Caller must guarantee no
+     *  accept() is in flight (the epoll loop, which is the only
+     *  thread touching the listener, qualifies). Releases the bound
+     *  port right away instead of at destruction. */
+    void retire()
+    {
+        close();
+        closeFds();
+    }
 
   private:
     /** Actually close the descriptors (observing thread only). */
@@ -186,6 +217,19 @@ class LineReader
     {}
 
     Status readLine(std::string &out, Deadline dl = Deadline::never());
+
+    /** Append bytes received elsewhere (the readiness loop recvs
+     *  non-blocking and feeds the framer; readLine recvs itself). */
+    void feed(const char *data, std::size_t n) { buf_.append(data, n); }
+
+    /**
+     * Extract the next complete line from the buffer without touching
+     * the socket. Ok = a line was produced; Timeout = no complete
+     * line buffered yet (feed more bytes and retry — nothing is
+     * lost); TooLong = the '\n'-free prefix exceeds max_line and the
+     * stream must be dropped.
+     */
+    Status pollLine(std::string &out);
 
     /** Drop buffered bytes (after a reconnect: stale bytes from the
      *  previous connection must not frame into the new stream). */

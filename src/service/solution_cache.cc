@@ -396,6 +396,35 @@ SolutionCache::entryStats() const
     return out;
 }
 
+std::vector<std::pair<CacheKey, CachedSolution>>
+SolutionCache::exportEntries() const
+{
+    std::vector<std::pair<CacheKey, CachedSolution>> out;
+    out.reserve(static_cast<std::size_t>(
+        std::max<std::int64_t>(0, live_.load(std::memory_order_relaxed))));
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        for (const Entry &e : sh->lru)
+            out.emplace_back(e.key, e.sol);
+    }
+    return out;
+}
+
+bool
+SolutionCache::contains(const CacheKey &key) const
+{
+    const Shard &sh = *shards_[static_cast<std::size_t>(shardOf(key))];
+    const std::uint64_t h = key.hash();
+    std::lock_guard<std::mutex> lock(sh.mu);
+    const auto it = sh.map.find(h);
+    if (it == sh.map.end())
+        return false;
+    for (const auto &entry_it : it->second)
+        if (entry_it->key == key)
+            return true;
+    return false;
+}
+
 void
 SolutionCache::loadJournal()
 {

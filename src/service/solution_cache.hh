@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/json.hh"
@@ -154,6 +155,18 @@ class SolutionCache
      * takes each shard lock once.
      */
     std::vector<SolutionCacheEntryStats> entryStats() const;
+
+    /**
+     * Snapshot of every live entry (key + solution), same traversal
+     * order as entryStats. Feeds warm-entry replication: a joining
+     * peer pulls this and inserts what it is missing.
+     */
+    std::vector<std::pair<CacheKey, CachedSolution>> exportEntries() const;
+
+    /** lookup() without the hit accounting or LRU touch: true when
+     *  @p key is present. Lets the replication path answer "do I
+     *  already hold this?" without skewing telemetry. */
+    bool contains(const CacheKey &key) const;
 
     /**
      * Rewrite the journal with exactly the live entries, least recent

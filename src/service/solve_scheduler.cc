@@ -210,6 +210,8 @@ SolveScheduler::runnerLoop()
             // other (see submit()'s double-check).
             if (cache_)
                 cache_->insert(flight.key, r.sol);
+            if (options_.on_insert)
+                options_.on_insert(flight.key, r.sol);
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 eraseFlight(flight.key);

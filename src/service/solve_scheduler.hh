@@ -43,6 +43,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -61,9 +62,25 @@ namespace mopt {
 /** Construction-time options of a SolveScheduler. */
 struct SolveSchedulerOptions
 {
+    SolveSchedulerOptions() = default;
+    SolveSchedulerOptions(int c) : concurrency(c) {}
+
     /** Maximum concurrent optimizeConv solves (runner threads). 1
      *  reproduces the historical one-solve-at-a-time behavior. */
     int concurrency = 1;
+
+    /**
+     * Called on a runner thread right after a fresh solve's result is
+     * inserted into the cache — the hook behind warm-entry
+     * replication (the server enqueues the record for its peers).
+     * Only *paid* solves fire it: cache hits and coalesced waiters
+     * never do, and neither do inserts that bypass the scheduler
+     * (journal replay, replication applies), so a replicated entry
+     * cannot ping-pong back to its origin. Must not throw; keep it
+     * cheap (it runs inside the solve path).
+     */
+    std::function<void(const CacheKey &, const CachedSolution &)>
+        on_insert;
 };
 
 /** Monotonic scheduler counters (snapshot via stats()). */

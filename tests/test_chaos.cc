@@ -486,5 +486,107 @@ TEST(TcpEdge, OversizedLineRejectedThroughProxy)
               LineReader::Status::Eof);
 }
 
+// Warm-entry replication is best-effort: when the push to a peer is
+// blackholed by the network, the origin counts the failure and moves
+// on, the peer's cache stays cold, and the peer converges by paying
+// for its own solve on its next miss — exactly one solve per node,
+// with byte-identical plans (the solver is deterministic).
+TEST(Chaos, ReplicationPushDroppedByBlackholeConvergesWithoutDuplicates)
+{
+    TestServer peer; // The replication target, reachable only via...
+    FaultlineProxy proxy(proxyTo(
+        peer.ep(), std::vector<FaultKind>(8, FaultKind::Blackhole)));
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    ServerOptions so;
+    so.replicate = "127.0.0.1:" + std::to_string(proxy.port());
+    TestServer origin(so); // start() pull is blackholed too (bounded).
+
+    const ConvProblem p = smallProblem();
+    Client oc(origin.ep());
+    RpcResponse resp;
+    ASSERT_TRUE(oc.call(solveRequest(p), resp, &err)) << err;
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_FALSE(resp.solve.cache_hit);
+
+    // The push rides a 1 s deadline into the blackhole; wait for the
+    // failure counter rather than sleeping blind.
+    const auto t0 = std::chrono::steady_clock::now();
+    while (origin.server().counters().repl_push_failed.load(
+               std::memory_order_relaxed) == 0 &&
+           elapsedMs(t0) < 10000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(origin.server().counters().repl_push_failed.load(
+                  std::memory_order_relaxed),
+              1);
+    EXPECT_EQ(origin.server().counters().repl_pushed.load(
+                  std::memory_order_relaxed),
+              0);
+
+    // The record never reached the peer...
+    EXPECT_EQ(peer.cache().size(), 0u);
+    EXPECT_EQ(peer.server().counters().repl_applied.load(
+                  std::memory_order_relaxed),
+              0);
+
+    // ...so the peer pays for its own solve on its next miss, and the
+    // fleet still agrees byte for byte. No duplicate solves anywhere:
+    // one on the origin, one on the peer.
+    Client pc(peer.ep());
+    RpcResponse presp;
+    ASSERT_TRUE(pc.call(solveRequest(p), presp, &err)) << err;
+    ASSERT_TRUE(presp.ok) << presp.error;
+    EXPECT_FALSE(presp.solve.cache_hit);
+    EXPECT_EQ(presp.solve.sol, resp.solve.sol);
+    EXPECT_EQ(origin.server().schedulerStats().solves, 1);
+    EXPECT_EQ(peer.server().schedulerStats().solves, 1);
+}
+
+// Shutdown must drain in-flight writes: a response the server already
+// produced — even one far larger than the socket buffers, with the
+// client not reading — flushes completely (bounded by shed_write_ms)
+// before the connection closes.
+TEST(Chaos, ShutdownDrainsInFlightWrites)
+{
+    ServerOptions so;
+    so.shed_write_ms = 10000;
+    SolutionCacheOptions co;
+    co.capacity = 20000;
+    TestServer ts(so, co);
+    // Preload the cache so the stats response runs to megabytes.
+    const CachedSolution sol{};
+    for (int i = 0; i < 20000; ++i)
+        ts.cache().insert(
+            CacheKey::make(smallProblem(32 + i), tiny(), fastOpts()),
+            sol);
+
+    std::string err;
+    TcpSocket sock = TcpSocket::connectTo(ts.ep().host, ts.ep().port,
+                                          &err, Deadline::in(5000));
+    ASSERT_TRUE(sock.valid()) << err;
+    RpcRequest req;
+    req.op = RpcOp::Stats;
+    ASSERT_TRUE(sock.sendAll(requestToJsonLine(req) + "\n"));
+
+    // Give the worker time to serialize and the loop time to wedge the
+    // flush against our unread receive window, then pull the rug.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ts.server().stop();
+
+    // Only now start reading: the full response must still arrive,
+    // followed by a clean EOF.
+    LineReader reader(sock, 64u << 20);
+    std::string line;
+    ASSERT_EQ(reader.readLine(line, Deadline::in(20000)),
+              LineReader::Status::Ok);
+    RpcResponse resp;
+    ASSERT_TRUE(responseFromJsonLine(line, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.entry_hits.size(), 20000u);
+    EXPECT_EQ(reader.readLine(line, Deadline::in(10000)),
+              LineReader::Status::Eof);
+}
+
 } // namespace
 } // namespace mopt

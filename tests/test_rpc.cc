@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -639,6 +640,91 @@ TEST(RpcRouter, RefusalIsFatalNotFallback)
     wrong.seed += 1; // Different settings fingerprint than the server.
     ShardRouter router({ts.ep()}, tiny(), wrong);
     EXPECT_THROW(router.optimize({smallProblem()}), FatalError);
+}
+
+TEST(RpcRouter, NoFallbackTurnsDeadNodeIntoError)
+{
+    int dead_port = 0;
+    {
+        TcpListener tmp;
+        ASSERT_TRUE(tmp.listenOn("127.0.0.1", 0));
+        dead_port = tmp.port();
+    }
+    FleetOptions fleet;
+    fleet.local_fallback = false;
+    ShardRouter router({RpcEndpoint{"127.0.0.1", dead_port}}, tiny(),
+                       fastOpts(), fleet);
+    EXPECT_THROW(router.optimize({smallProblem()}), FatalError);
+}
+
+/** This process's thread count (/proc/self/status Threads:). */
+int
+threadCount()
+{
+    std::ifstream f("/proc/self/status");
+    std::string word;
+    while (f >> word)
+        if (word == "Threads:") {
+            int n = 0;
+            f >> n;
+            return n;
+        }
+    return -1;
+}
+
+// The readiness core's defining property: connections are registered
+// fds, not threads. A hundred open-but-idle connections must be
+// served by the same fixed thread count, and frames arriving one byte
+// at a time, interleaved across connections, must reassemble into
+// complete requests (the per-connection LineReader buffers resume
+// across reads).
+TEST(RpcServer, IdleConnectionsCostNoThreadsAndFragmentsInterleave)
+{
+    ServerOptions so;
+    so.workers = 2;
+    TestServer ts(so);
+    const int threads_before = threadCount();
+    ASSERT_GT(threads_before, 0);
+
+    constexpr int kConns = 100;
+    constexpr int kActive = 8;
+    std::vector<TcpSocket> conns;
+    conns.reserve(kConns);
+    for (int i = 0; i < kConns; ++i) {
+        std::string err;
+        TcpSocket s = TcpSocket::connectTo(ts.ep().host, ts.ep().port,
+                                           &err, Deadline::in(5000));
+        ASSERT_TRUE(s.valid()) << err;
+        conns.push_back(std::move(s));
+    }
+
+    // Dribble the same request over the first kActive connections,
+    // one byte per connection per round, while the rest stay idle.
+    const std::string line =
+        requestToJsonLine(solveRequest(smallProblem())) + "\n";
+    for (std::size_t pos = 0; pos < line.size(); ++pos)
+        for (int i = 0; i < kActive; ++i)
+            ASSERT_TRUE(conns[static_cast<std::size_t>(i)].sendAll(
+                line.substr(pos, 1)));
+
+    for (int i = 0; i < kActive; ++i) {
+        LineReader reader(conns[static_cast<std::size_t>(i)], 1u << 20);
+        std::string resp_line;
+        ASSERT_EQ(reader.readLine(resp_line, Deadline::in(30000)),
+                  LineReader::Status::Ok);
+        RpcResponse resp;
+        std::string err;
+        ASSERT_TRUE(responseFromJsonLine(resp_line, resp, &err)) << err;
+        EXPECT_TRUE(resp.ok) << resp.error;
+    }
+
+    // Identical concurrent shapes coalesced onto one solve, and the
+    // hundred connections recruited not a single extra thread.
+    EXPECT_EQ(ts.server().schedulerStats().solves, 1);
+    EXPECT_EQ(threadCount(), threads_before);
+    EXPECT_EQ(
+        ts.server().counters().connections.load(std::memory_order_relaxed),
+        kConns);
 }
 
 } // namespace

@@ -136,8 +136,16 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
                          (concurrent duplicate requests always share
                          one solve via the single-flight scheduler)
     --max-pending=N      admission bound: refuse ("overloaded") past N
-                         queued connections (default 128)
+                         dispatched-and-unanswered requests (default
+                         128; idle connections are free — the epoll
+                         core watches them without a thread)
     --max-per-client=N   per-client-IP connection cap (default 0 = off)
+    --replicate=host:port[,host:port...]
+                         warm-entry replication peers: every fresh
+                         cold-solve insert is pushed to them
+                         asynchronously, and startup pulls every entry
+                         they already hold (a restarted node rejoins
+                         warm). Best-effort: a dead peer costs nothing
   mopt query --connect=host:port[,host:port...] <what> [options]
     <what> is one of:
       --net=<name|file.cfg> [--batch=N]
@@ -159,6 +167,9 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
     --hedge-ms=N         duplicate a request to the next healthy node
                          when no answer after N ms; first answer wins
                          (default 0 = off)
+    --no-fallback        fail instead of solving locally when a node
+                         cannot answer — proves an answer came from
+                         the fleet (replication checks, cache audits)
   Both sides must agree on --machine/--sequential/--effort: the
   server rejects fingerprint mismatches loudly.
 )";
@@ -263,6 +274,7 @@ fleetOptionsFromFlags(const mopt::Flags &flags)
     mopt::checkUser(h >= 0 && h <= 86400000,
                     "--hedge-ms must be 0 (off) .. 86400000");
     fo.hedge_ms = static_cast<long>(h);
+    fo.local_fallback = !flags.getBool("no-fallback", false);
     return fo;
 }
 
@@ -494,8 +506,8 @@ runServe(int argc, char **argv)
     flags.rejectUnknown({"port", "host", "workers", "machine",
                          "sequential", "effort", "top-k", "cache",
                          "cache-capacity", "solve-concurrency",
-                         "max-pending", "max-per-client", "calibration",
-                         "help"});
+                         "max-pending", "max-per-client", "replicate",
+                         "calibration", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -524,6 +536,7 @@ runServe(int argc, char **argv)
     checkUser(per_client >= 0 && per_client <= 65536,
               "--max-per-client must be 0 (unlimited) .. 65536");
     so.max_per_client = static_cast<int>(per_client);
+    so.replicate = flags.getString("replicate", "");
     so.calib_samples = cm.calibration.samples_used;
     so.calib_active = !cm.calibration.isIdentity();
 
@@ -539,6 +552,10 @@ runServe(int argc, char **argv)
     if (!co.journal_path.empty())
         std::cout << "moptd: cache journal " << co.journal_path << " ("
                   << cache.stats().journal_loaded << " entries loaded)\n";
+    if (!so.replicate.empty())
+        std::cout << "moptd: replicating to " << so.replicate << " ("
+                  << server.counters().repl_prefetched
+                  << " entries prefetched)\n";
     // The smoke harness (and any supervisor) greps this exact line to
     // learn the bound port, so it must be flushed before serving.
     std::cout << "moptd: listening on " << so.host << ":"
@@ -562,6 +579,13 @@ runServe(int argc, char **argv)
                   << " overload / " << sc.shed_client
                   << " per-client / " << sc.shed_deadline
                   << " deadline\n";
+    if (sc.repl_pushed || sc.repl_push_failed || sc.repl_applied ||
+        sc.repl_prefetched)
+        std::cout << "moptd: replication " << sc.repl_pushed
+                  << " pushed / " << sc.repl_push_failed
+                  << " push failures / " << sc.repl_applied
+                  << " applied / " << sc.repl_prefetched
+                  << " prefetched\n";
     return 0;
 }
 
@@ -693,6 +717,13 @@ queryStats(const QuerySetup &q)
                   << resp.sched_budget << "); calibration "
                   << resp.calib_samples << " sample(s), "
                   << (resp.calib_active ? "active" : "identity") << "\n";
+        if (resp.srv_repl_pushed || resp.srv_repl_push_failed ||
+            resp.srv_repl_applied || resp.srv_repl_prefetched)
+            std::cout << "  replication " << resp.srv_repl_pushed
+                      << " pushed / " << resp.srv_repl_push_failed
+                      << " push failures / " << resp.srv_repl_applied
+                      << " applied / " << resp.srv_repl_prefetched
+                      << " prefetched\n";
         // Hottest entries first: the per-entry telemetry a fleet
         // operator would use to decide what has stopped earning its
         // cache slot.
@@ -786,6 +817,10 @@ queryNetwork(const mopt::Flags &flags, QuerySetup &q)
                           << " retrie(s)\n";
             return 0;
         }
+        checkUser(q.fleet.local_fallback,
+                  "moptd node " + q.endpoints.front().str() +
+                      " unreachable (" + err +
+                      ") and --no-fallback is set");
         logWarn("moptd node ", q.endpoints.front().str(),
                 " unreachable (", err, "); falling back to local solve");
     }
@@ -841,7 +876,7 @@ runQuery(int argc, char **argv)
                          "rs", "stride", "dilation", "batch", "groups",
                          "machine", "sequential", "effort", "top-k",
                          "plan-out", "stats", "shutdown", "deadline-ms",
-                         "retries", "hedge-ms", "help"});
+                         "retries", "hedge-ms", "no-fallback", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;

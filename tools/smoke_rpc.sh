@@ -16,7 +16,12 @@
 #      retrying client is mid-traffic, then restarted on the same
 #      port; the client rides its retries through the outage, the
 #      reloaded journal serves 100% hits, the plan is byte-identical,
-#      and --stats against a dead node fails fast instead of wedging.
+#      and --stats against a dead node fails fast instead of wedging,
+#   8. replication: in a two-node fleet where A replicates to B, a
+#      cold solve on A is pushed to B asynchronously — a --no-fallback
+#      query against B must serve 100% hits with a byte-identical
+#      plan; after B is SIGKILLed and restarted with a FRESH journal,
+#      the join-time prefetch from A must restore it to 100% warm.
 #
 # Usage: tools/smoke_rpc.sh [BUILD_DIR]   (default: build)
 #
@@ -43,19 +48,24 @@ common_args=(--machine i7 --effort fast)
 server_pid=""
 server2_pid=""
 server3_pid=""
+serverA_pid=""
+serverB_pid=""
 failed=1
 
 cleanup() {
     if [[ $failed -ne 0 ]]; then
         for log in "$work/server.log" "$work/server2.log" \
-                   "$work/server3.log" "$work/server3b.log"; do
+                   "$work/server3.log" "$work/server3b.log" \
+                   "$work/serverA.log" "$work/serverB.log" \
+                   "$work/serverB2.log"; do
             [[ -f $log ]] || continue
             echo "==== smoke_rpc FAILED; $log follows ====" >&2
             cat "$log" >&2 || true
             echo "==== end of $log ====" >&2
         done
     fi
-    for pid in "$server_pid" "$server2_pid" "$server3_pid"; do
+    for pid in "$server_pid" "$server2_pid" "$server3_pid" \
+               "$serverA_pid" "$serverB_pid"; do
         if [[ -n $pid ]] && kill -0 "$pid" 2>/dev/null; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -302,6 +312,103 @@ grep -q "unreachable" "$work/deadstats.out" || {
     cat "$work/deadstats.out" >&2
     exit 1
 }
+
+echo "== replication: two-node fleet, warm-entry push =="
+# Node B first (it must be listening before A can push to it), then
+# node A replicating to B. A cold solve on A is pushed to B
+# asynchronously; --no-fallback on the B query proves every answer
+# came out of B's own cache rather than a client-side local solve.
+"$mopt" serve --port 0 "${common_args[@]}" \
+    --cache "$work/cacheB.json" > "$work/serverB.log" 2>&1 &
+serverB_pid=$!
+portB=$(wait_for_port "$work/serverB.log" "$serverB_pid")
+
+"$mopt" serve --port 0 --replicate "127.0.0.1:$portB" \
+    "${common_args[@]}" --cache "$work/cacheA.json" \
+    > "$work/serverA.log" 2>&1 &
+serverA_pid=$!
+portA=$(wait_for_port "$work/serverA.log" "$serverA_pid")
+echo "   node B on port $portB, node A on port $portA (A -> B)"
+
+"$mopt" query --connect "127.0.0.1:$portA" --net resnet18 \
+    "${common_args[@]}" > "$work/repl_cold.out" 2>&1
+grep -q "hit rate 0.0%" "$work/repl_cold.out" || {
+    echo "error: replication cold query was not actually cold" >&2
+    exit 1
+}
+
+# The push runs on a background thread; poll B's stats until every
+# record has been applied (bounded wait, then hard failure).
+for _ in $(seq 1 100); do
+    "$mopt" query --connect "127.0.0.1:$portB" --stats \
+        > "$work/repl_statsB.out" 2>&1 || true
+    grep -q "; $unique inserts," "$work/repl_statsB.out" && break
+    sleep 0.1
+done
+grep -q "; $unique inserts," "$work/repl_statsB.out" || {
+    echo "error: node B never absorbed the $unique replicated" \
+         "records" >&2
+    cat "$work/repl_statsB.out" >&2
+    exit 1
+}
+grep -q "replication 0 pushed / 0 push failures / $unique applied" \
+    "$work/repl_statsB.out" || {
+    echo "error: node B's stats did not report $unique applied" \
+         "replication records" >&2
+    cat "$work/repl_statsB.out" >&2
+    exit 1
+}
+
+"$mopt" query --connect "127.0.0.1:$portB" --no-fallback \
+    --net resnet18 "${common_args[@]}" \
+    --plan-out "$work/replB.txt" > "$work/replB.out" 2>&1
+grep -q "hit rate 100.0%" "$work/replB.out" || {
+    echo "error: replicated node B did not serve 100% hits" >&2
+    cat "$work/replB.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/replB.txt"
+echo "   B warm via replication push, plan identical"
+
+echo "== replication: SIGKILL B, fresh journal, join-time prefetch =="
+# B is killed -9 and restarted on the same port with a *fresh*
+# journal, so any warmth it regains can only come from the join-time
+# prefetch against A — not from a journal reload.
+kill -9 "$serverB_pid" 2>/dev/null
+wait "$serverB_pid" 2>/dev/null || true
+serverB_pid=""
+
+"$mopt" serve --port "$portB" --replicate "127.0.0.1:$portA" \
+    "${common_args[@]}" --cache "$work/cacheB2.json" \
+    > "$work/serverB2.log" 2>&1 &
+serverB_pid=$!
+wait_for_port "$work/serverB2.log" "$serverB_pid" > /dev/null
+grep -q "replicating to 127.0.0.1:$portA ($unique entries prefetched)" \
+    "$work/serverB2.log" || {
+    echo "error: restarted node B did not prefetch $unique entries" \
+         "from A at join" >&2
+    cat "$work/serverB2.log" >&2
+    exit 1
+}
+
+"$mopt" query --connect "127.0.0.1:$portB" --no-fallback \
+    --net resnet18 "${common_args[@]}" \
+    --plan-out "$work/replB2.txt" > "$work/replB2.out" 2>&1
+grep -q "hit rate 100.0%" "$work/replB2.out" || {
+    echo "error: restarted node B (fresh journal) did not converge" \
+         "to 100% hits via prefetch" >&2
+    cat "$work/replB2.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/replB2.txt"
+echo "   B reborn warm from prefetch alone, plan identical"
+
+"$mopt" query --connect "127.0.0.1:$portB" --shutdown
+wait "$serverB_pid" 2>/dev/null || true
+serverB_pid=""
+"$mopt" query --connect "127.0.0.1:$portA" --shutdown
+wait "$serverA_pid" 2>/dev/null || true
+serverA_pid=""
 
 failed=0
 echo "smoke_rpc: PASS"
