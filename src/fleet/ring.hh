@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Replica-placement math for the fleet ring. Every node orders the
+ * fleet the same way: global slot g of a fleet of n nodes is the g-th
+ * endpoint in ascending ring order, where each node's own slot is
+ * `--fleet-index` and its `--replicate` CSV lists the *other* slots
+ * in ascending order. A key's replicas are its owner slot
+ * (`CacheKey::hash() % n`) and the owner's factor-1 ring successors —
+ * the same successor order the ShardRouter walks on failover, so the
+ * node a client fails over to is exactly a node that holds the
+ * replica.
+ *
+ * Pure functions, no state: kept separate from PeerTable so the
+ * placement math is unit-testable without any liveness machinery.
+ */
+
+#ifndef MOPT_FLEET_RING_HH
+#define MOPT_FLEET_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mopt {
+
+/** Resolve a `--replication-factor` against fleet size @p n: zero or
+ *  out-of-range means every node — the historical push-all fabric. */
+inline std::size_t
+resolveReplicationFactor(int factor, std::size_t n)
+{
+    if (factor <= 0 || static_cast<std::size_t>(factor) >= n)
+        return n;
+    return static_cast<std::size_t>(factor);
+}
+
+/** True when global ring @p slot is one of the key's static replicas:
+ *  the owner (`key_hash % n`) or one of its factor-1 successors. */
+inline bool
+slotHoldsKey(std::uint64_t key_hash, std::size_t n, int factor,
+             std::size_t slot)
+{
+    if (n == 0 || slot >= n)
+        return false;
+    const std::size_t f = resolveReplicationFactor(factor, n);
+    const std::size_t owner = static_cast<std::size_t>(key_hash % n);
+    return (slot + n - owner) % n < f;
+}
+
+/** The key's static replica slots, owner first, ring order. */
+inline std::vector<std::size_t>
+replicaSlots(std::uint64_t key_hash, std::size_t n, int factor)
+{
+    std::vector<std::size_t> slots;
+    if (n == 0)
+        return slots;
+    const std::size_t f = resolveReplicationFactor(factor, n);
+    const std::size_t owner = static_cast<std::size_t>(key_hash % n);
+    slots.reserve(f);
+    for (std::size_t off = 0; off < f; ++off)
+        slots.push_back((owner + off) % n);
+    return slots;
+}
+
+/** Index into a peers list (every slot except @p self_index, ring
+ *  order) of global @p slot. Requires slot != self_index. */
+inline std::size_t
+slotToPeerIndex(std::size_t slot, std::size_t self_index)
+{
+    return slot < self_index ? slot : slot - 1;
+}
+
+/** splitmix64 finalizer: decorrelates key hashes before the XOR fold
+ *  of an anti-entropy digest, so structurally related keys (which
+ *  share FNV prefixes) cannot cancel each other out. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace mopt
+
+#endif // MOPT_FLEET_RING_HH

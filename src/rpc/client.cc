@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/string_util.hh"
 #include "common/timer.hh"
+#include "fleet/backoff.hh"
 #include "model/multi_level.hh"
 #include "service/cache_key.hh"
 
@@ -21,20 +22,20 @@ namespace {
  *  abandoned promptly once the winner lands. */
 constexpr long kHedgePollSliceMs = 20;
 
-/** Backoff cap: retries are for transient blips; anything that needs
- *  longer than this is the mark-down path's problem. */
-constexpr long kMaxBackoffMs = 2000;
-
-/** Doubling backoff with up to +50% jitter for retry @p attempt
- *  (1-based). */
-long
-backoffDelayMs(const FleetOptions &policy, int attempt, Rng &rng)
+/** PeerTable configuration reproducing the router's historical
+ *  mark-down: the first transport failure quarantines for a fixed
+ *  markdown_ms window (base == cap, no jitter), after which one call
+ *  re-probes half-open. */
+PeerTableOptions
+routerPeerOptions(const FleetOptions &fleet)
 {
-    long base = policy.backoff_ms > 0 ? policy.backoff_ms : 1;
-    for (int i = 1; i < attempt && base < kMaxBackoffMs; ++i)
-        base *= 2;
-    base = std::min(base, kMaxBackoffMs);
-    return base + rng.uniformInt(0, base / 2);
+    PeerTableOptions po;
+    po.down_after = 1;
+    po.probe_backoff_ms = fleet.markdown_ms;
+    po.probe_backoff_cap_ms = fleet.markdown_ms;
+    po.jitter = false;
+    po.seed = fleet.seed;
+    return po;
 }
 
 } // namespace
@@ -179,7 +180,7 @@ Client::callRetrying(const RpcRequest &req, const FleetOptions &policy,
             if (retries_out)
                 ++*retries_out;
             std::this_thread::sleep_for(std::chrono::milliseconds(
-                backoffDelayMs(policy, attempt, rng_)));
+                backoffDelayMs(policy.backoff_ms, attempt, rng_)));
         }
         const Deadline dl = policy.deadline_ms > 0
                                 ? Deadline::in(policy.deadline_ms)
@@ -216,7 +217,8 @@ RouteStats::hitRate() const
 ShardRouter::ShardRouter(std::vector<RpcEndpoint> endpoints,
                          const MachineSpec &machine,
                          const OptimizerOptions &opts, FleetOptions fleet)
-    : fleet_(fleet), machine_(machine), opts_(opts),
+    : peers_(endpoints.size(), routerPeerOptions(fleet)), fleet_(fleet),
+      machine_(machine), opts_(opts),
       machine_fp_(CacheKey::machineFingerprint(machine)),
       settings_fp_(CacheKey::settingsFingerprint(opts)),
       rng_(fleet.seed)
@@ -226,7 +228,6 @@ ShardRouter::ShardRouter(std::vector<RpcEndpoint> endpoints,
     clients_.reserve(endpoints.size());
     for (RpcEndpoint &ep : endpoints)
         clients_.emplace_back(std::move(ep));
-    health_.assign(clients_.size(), NodeHealth{});
 }
 
 std::size_t
@@ -238,22 +239,16 @@ ShardRouter::nodeOf(const CacheKey &key) const
 bool
 ShardRouter::nodeUp(std::size_t node) const
 {
-    const NodeHealth &h = health_[node];
     // A down node past its quarantine is offered again: the next call
     // routed here is the half-open probe, and markDown() re-arms the
     // quarantine if it fails.
-    return !h.down ||
-           std::chrono::steady_clock::now() >= h.retry_at;
+    return peers_.offerable(node);
 }
 
 void
 ShardRouter::markDown(std::size_t node)
 {
-    health_[node].down = true;
-    health_[node].retry_at =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(
-            fleet_.markdown_ms > 0 ? fleet_.markdown_ms : 0);
+    peers_.reportFailure(node);
 }
 
 std::size_t
@@ -273,16 +268,16 @@ ShardRouter::nodeStates() const
 {
     std::vector<RouteNodeState> out;
     out.reserve(clients_.size());
-    const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < clients_.size(); ++i) {
         RouteNodeState st;
         st.endpoint = clients_[i].endpoint();
-        st.down = health_[i].down && now < health_[i].retry_at;
+        const PeerInfo info = peers_.info(i);
+        // "Down" here means *currently quarantined*: a Down peer whose
+        // half-open window has opened is reported up (it is offerable,
+        // and the next call decides its fate).
+        st.down = info.state == PeerState::Down && info.retry_in_ms > 0;
         if (st.down)
-            st.retry_in_ms = static_cast<long>(
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    health_[i].retry_at - now)
-                    .count());
+            st.retry_in_ms = info.retry_in_ms;
         out.push_back(std::move(st));
     }
     return out;
@@ -302,7 +297,7 @@ ShardRouter::finishResponse(std::size_t node, const RpcResponse &resp,
                              clients_[node].endpoint().str() +
                              " refused solve: " + resp.error);
     }
-    health_[node].down = false; // The answer proves the node up.
+    peers_.reportSuccess(node); // The answer proves the node up.
     (resp.solve.cache_hit ? stats.remote_hits : stats.remote_misses)++;
     stats.solve_seconds += resp.solve_seconds;
     out = resp.solve;
@@ -428,29 +423,38 @@ ShardRouter::solveOne(const CacheKey &key, RouteStats &stats)
     req.settings_fp = settings_fp_;
     req.deadline_ms = fleet_.deadline_ms;
 
-    if (nodeUp(node)) {
+    {
         RpcSolveResult result;
         for (int attempt = 0; attempt <= fleet_.max_retries;
              ++attempt) {
             if (attempt > 0) {
                 stats.retries++;
                 std::this_thread::sleep_for(std::chrono::milliseconds(
-                    backoffDelayMs(fleet_, attempt, rng_)));
-                // No nodeUp() re-check here: this key's own retry IS
-                // the re-probe. The quarantine exists to keep *other*
-                // keys from routing onto a dead node, not to veto a
-                // deliberate backoff-paced re-attempt; a truly dead
-                // node fails each probe fast (refused) or at worst
-                // costs one deadline (blackholed), bounded by
-                // max_retries.
+                    backoffDelayMs(fleet_.backoff_ms, attempt, rng_)));
+            }
+            // Pick the target fresh each attempt. When the owner is
+            // offerable (never failed, or its quarantine window has
+            // opened) route to it — a retry against a just-opened
+            // quarantine IS the half-open re-probe. While the owner
+            // is quarantined, fail over to the next live ring node:
+            // under shard-aware replication (rpc/server.cc) the
+            // owner's ring successors are exactly the nodes that hold
+            // this key's replica, so the failover answer is warm.
+            // With nowhere live to fail over, keep probing the owner
+            // — a dead node fails fast (refused) or at worst costs
+            // one deadline (blackholed), bounded by max_retries.
+            std::size_t target = node;
+            if (!nodeUp(node)) {
+                const std::size_t next = nextUpNode(node);
+                target = next < clients_.size() ? next : node;
             }
             const Attempt a =
-                attemptHedged(node, req, stats, result);
+                attemptHedged(target, req, stats, result);
             if (a == Attempt::Done)
                 return result;
             // Overloaded and Transport both retry (the next attempt
-            // re-probes or hedges); exhausted retries fall through to
-            // the local solve.
+            // re-probes, fails over, or hedges); exhausted retries
+            // fall through to the local solve.
         }
         if (fleet_.local_fallback)
             logWarn("moptd node ", clients_[node].endpoint().str(),

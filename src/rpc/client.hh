@@ -32,9 +32,15 @@
  *    duplicate nearly free. The loser is abandoned.
  *  - **Mark-down with re-probe.** A node whose calls transport-fail
  *    (or time out entirely) is quarantined for markdown_ms, during
- *    which its keys solve locally or hedge elsewhere; after the
+ *    which its keys solve locally, fail over to the owner's ring
+ *    successor (which shard-aware replication keeps warm for exactly
+ *    those keys — rpc/server.cc), or hedge elsewhere; after the
  *    quarantine one call re-probes it (half-open) and success puts it
- *    back in rotation. Nothing is ever marked down forever.
+ *    back in rotation. Nothing is ever marked down forever. The
+ *    standing is kept in a fleet::PeerTable — the same state machine
+ *    the server's replication push thread runs — configured for the
+ *    router's historical semantics (first failure quarantines, fixed
+ *    window, no jitter).
  */
 
 #ifndef MOPT_RPC_CLIENT_HH
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "fleet/peer_table.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
 #include "rpc/protocol.hh"
@@ -278,14 +285,6 @@ class ShardRouter
     std::vector<RouteNodeState> nodeStates() const;
 
   private:
-    /** Persistent node health: quarantine until retry_at, then one
-     *  call re-probes (half-open). */
-    struct NodeHealth
-    {
-        bool down = false;
-        std::chrono::steady_clock::time_point retry_at{};
-    };
-
     /** How one remote attempt ended. */
     enum class Attempt {
         Done,       //!< Result obtained (or a fatal refusal threw).
@@ -314,7 +313,11 @@ class ShardRouter
     std::size_t nextUpNode(std::size_t primary) const;
 
     std::vector<Client> clients_;
-    std::vector<NodeHealth> health_;
+
+    /** Persistent node standing: first failure quarantines for
+     *  markdown_ms, then one call re-probes (half-open). */
+    PeerTable peers_;
+
     FleetOptions fleet_;
     MachineSpec machine_;
     OptimizerOptions opts_;

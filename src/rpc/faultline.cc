@@ -27,6 +27,7 @@ faultKindName(FaultKind kind)
     case FaultKind::PartialWrite: return "partial_write";
     case FaultKind::Garbage: return "garbage";
     case FaultKind::Blackhole: return "blackhole";
+    case FaultKind::Flapping: return "flapping";
     }
     panic("faultKindName: bad kind");
 }
@@ -45,6 +46,7 @@ FaultlineProxy::start(std::string *err)
 {
     if (!listener_.listenOn("127.0.0.1", 0, err))
         return false;
+    flap_epoch_ = std::chrono::steady_clock::now();
     started_.store(true, std::memory_order_release);
     accept_thread_ = std::thread([this] { acceptLoop(); });
     return true;
@@ -104,6 +106,7 @@ FaultlineProxy::acceptLoop()
         case FaultKind::PartialWrite: stats_.partial_writes++; break;
         case FaultKind::Garbage: stats_.garbage++; break;
         case FaultKind::Blackhole: stats_.blackholes++; break;
+        case FaultKind::Flapping: stats_.flapping++; break;
         }
         if (kind != FaultKind::None)
             stats_.faults++;
@@ -115,9 +118,25 @@ FaultlineProxy::acceptLoop()
     }
 }
 
+bool
+FaultlineProxy::flapDown() const
+{
+    const long up = options_.flap_up_ms;
+    const long down = options_.flap_down_ms;
+    if (up <= 0 || down <= 0)
+        return false; // Degenerate duty cycle: never down.
+    const long elapsed = static_cast<long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - flap_epoch_)
+            .count());
+    return elapsed % (up + down) >= up;
+}
+
 void
 FaultlineProxy::runConnection(TcpSocket client, FaultKind kind, Rng rng)
 {
+    if (kind == FaultKind::Flapping && flapDown())
+        return; // Down window: refuse by closing, like a dead peer.
     if (kind == FaultKind::Blackhole) {
         // Swallow everything, answer nothing, hold the connection
         // open: the peer's only way out is its own deadline.
@@ -148,6 +167,8 @@ FaultlineProxy::pump(TcpSocket &client, TcpSocket &server,
 {
     char buf[4096];
     while (!stopping_.load(std::memory_order_acquire)) {
+        if (kind == FaultKind::Flapping && flapDown())
+            return; // The peer just went down, mid-stream.
         // Alternate short-deadline reads on both directions. Not as
         // slick as one poll over both fds, but the pump is test
         // infrastructure and kPumpSliceMs bounds the added latency.
@@ -208,6 +229,12 @@ FaultlineProxy::pump(TcpSocket &client, TcpSocket &server,
         }
         case FaultKind::Blackhole:
             return; // Unreachable (handled before connect).
+        case FaultKind::Flapping:
+            // Up window: transparent (the loop head cuts the down
+            // windows).
+            if (!client.sendAll(chunk))
+                return;
+            break;
         }
     }
 }

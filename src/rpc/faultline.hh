@@ -29,6 +29,11 @@
  *  - Blackhole: the connection accepts and swallows bytes forever,
  *    never contacting the server (a dead peer with a live TCP
  *    window; *only* a deadline gets a client out of this).
+ *  - Flapping: the peer cycles up flap_up_ms / down flap_down_ms on
+ *    a proxy-global clock. During an up window the connection pipes
+ *    transparently; a down window cuts it immediately — including
+ *    mid-pump (a crash-looping or link-flapping peer; exercises the
+ *    membership state machine's Suspect/Down/half-open transitions).
  *
  * The proxy is test infrastructure, but it lives in src/ (not tests/)
  * so the smoke script and future soak tooling can link it too.
@@ -38,6 +43,7 @@
 #define MOPT_RPC_FAULTLINE_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -57,6 +63,7 @@ enum class FaultKind {
     PartialWrite,
     Garbage,
     Blackhole,
+    Flapping,
 };
 
 /** Printable fault name (for logs and test diagnostics). */
@@ -79,6 +86,11 @@ struct FaultlineOptions
     /** Response bytes delivered before the cut, for PartialWrite. */
     std::size_t partial_bytes = 5;
 
+    /** Flapping duty cycle (ms up, then ms down, repeating on a
+     *  proxy-global clock from start()). */
+    long flap_up_ms = 200;
+    long flap_down_ms = 200;
+
     /** Garbage-byte generator seed (deterministic). */
     std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 };
@@ -93,6 +105,7 @@ struct FaultlineStats
     std::int64_t partial_writes = 0;
     std::int64_t garbage = 0;
     std::int64_t blackholes = 0;
+    std::int64_t flapping = 0;
 };
 
 /**
@@ -129,6 +142,10 @@ class FaultlineProxy
     void acceptLoop();
     void runConnection(TcpSocket client, FaultKind kind, Rng rng);
 
+    /** True when the proxy-global flapping clock is in a down window
+     *  (always false with a non-positive duty cycle). */
+    bool flapDown() const;
+
     /** Pipe client<->server applying @p kind to the response path.
      *  Returns when either side closes, a fault cuts the stream, or
      *  stop() is requested. @p rng feeds the Garbage bytes. */
@@ -137,6 +154,8 @@ class FaultlineProxy
 
     FaultlineOptions options_;
     TcpListener listener_;
+    /** Flapping phase reference, set by start(). */
+    std::chrono::steady_clock::time_point flap_epoch_;
     std::thread accept_thread_;
     std::vector<std::thread> pumps_;
     std::atomic<bool> stopping_{false};

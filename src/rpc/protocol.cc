@@ -143,6 +143,8 @@ opFromName(const std::string &name, RpcOp &out)
         out = RpcOp::Shutdown;
     else if (name == "replicate")
         out = RpcOp::Replicate;
+    else if (name == "ping")
+        out = RpcOp::Ping;
     else
         return false;
     return true;
@@ -159,6 +161,7 @@ rpcOpName(RpcOp op)
     case RpcOp::Stats: return "stats";
     case RpcOp::Shutdown: return "shutdown";
     case RpcOp::Replicate: return "replicate";
+    case RpcOp::Ping: return "ping";
     }
     panic("rpcOpName: bad op");
 }
@@ -198,14 +201,24 @@ requestToJsonLine(const RpcRequest &req)
             oss << ",\"batch\":" << req.batch;
         break;
     case RpcOp::Replicate:
-        if (req.repl_pull)
+        if (req.repl_digest)
+            oss << ",\"digest\":1";
+        else if (req.repl_pull)
             oss << ",\"pull\":1";
         else
             oss << ",\"record\":"
-                << solutionToJsonLine(req.repl_key, req.repl_sol);
+                << solutionToJsonLine(req.repl_key, req.repl_sol, 0,
+                                      req.repl_seq);
+        // Optional cursors, absent by default: a full unfiltered pull
+        // stays byte-identical to the PR 9 wire format.
+        if ((req.repl_digest || req.repl_pull) && req.repl_since >= 0)
+            oss << ",\"since\":" << req.repl_since;
+        if ((req.repl_digest || req.repl_pull) && req.repl_for >= 0)
+            oss << ",\"for\":" << req.repl_for;
         break;
     case RpcOp::Stats:
     case RpcOp::Shutdown:
+    case RpcOp::Ping:
         break;
     }
     oss << "}";
@@ -297,23 +310,47 @@ requestFromJsonLine(const std::string &line, RpcRequest &out,
             }
             req.repl_pull = pull != 0;
         }
+        if (root.find("digest")) {
+            std::int64_t digest = 0;
+            if (!jsonGetInt(root, "digest", digest)) {
+                setError(err, "replicate: non-integer \"digest\"");
+                return false;
+            }
+            req.repl_digest = digest != 0;
+        }
+        if (root.find("since") &&
+            (!jsonGetInt(root, "since", req.repl_since) ||
+             req.repl_since < 0)) {
+            setError(err, "replicate: \"since\" must be a non-negative "
+                          "integer");
+            return false;
+        }
+        if (root.find("for") &&
+            (!jsonGetInt(root, "for", req.repl_for) ||
+             req.repl_for < 0)) {
+            setError(err, "replicate: \"for\" must be a non-negative "
+                          "integer");
+            return false;
+        }
         const JsonValue *rec = root.find("record");
         if (rec) {
-            if (!solutionFromJson(*rec, req.repl_key, req.repl_sol)) {
+            if (!solutionFromJson(*rec, req.repl_key, req.repl_sol,
+                                  nullptr, &req.repl_seq)) {
                 setError(err, "replicate: bad \"record\"");
                 return false;
             }
             req.has_record = true;
         }
-        if (!req.repl_pull && !req.has_record) {
-            setError(err,
-                     "replicate: missing \"record\" or \"pull\"");
+        if (!req.repl_pull && !req.repl_digest && !req.has_record) {
+            setError(err, "replicate: missing \"record\", \"pull\", "
+                          "or \"digest\"");
             return false;
         }
         break;
     }
     case RpcOp::Stats:
     case RpcOp::Shutdown:
+    case RpcOp::Ping:
         break;
     }
     out = std::move(req);
@@ -395,6 +432,8 @@ responseToJsonLine(const RpcResponse &resp)
             << ",\"srv_repl_push_failed\":" << resp.srv_repl_push_failed
             << ",\"srv_repl_applied\":" << resp.srv_repl_applied
             << ",\"srv_repl_prefetched\":" << resp.srv_repl_prefetched
+            << ",\"repl_queue_depth\":" << resp.repl_queue_depth
+            << ",\"journal_seq\":" << resp.journal_seq
             << ",\"entry_hits\":[";
         for (std::size_t i = 0; i < resp.entry_hits.size(); ++i) {
             if (i)
@@ -405,13 +444,18 @@ responseToJsonLine(const RpcResponse &resp)
         oss << "]";
         break;
     case RpcOp::Replicate:
-        if (resp.repl_is_pull) {
+        if (resp.repl_has_digest) {
+            oss << ",\"count\":" << resp.repl_digest_count
+                << ",\"fp\":\"" << jsonHex16(resp.repl_digest_fp)
+                << "\"";
+        } else if (resp.repl_is_pull) {
             oss << ",\"records\":[";
             for (std::size_t i = 0; i < resp.repl_records.size(); ++i) {
                 if (i)
                     oss << ",";
                 oss << solutionToJsonLine(resp.repl_records[i].key,
-                                          resp.repl_records[i].sol);
+                                          resp.repl_records[i].sol, 0,
+                                          resp.repl_records[i].seq);
             }
             oss << "]";
         } else {
@@ -419,6 +463,7 @@ responseToJsonLine(const RpcResponse &resp)
         }
         break;
     case RpcOp::Shutdown:
+    case RpcOp::Ping:
         break;
     }
     oss << "}";
@@ -538,7 +583,9 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
               {"srv_repl_pushed", &resp.srv_repl_pushed},
               {"srv_repl_push_failed", &resp.srv_repl_push_failed},
               {"srv_repl_applied", &resp.srv_repl_applied},
-              {"srv_repl_prefetched", &resp.srv_repl_prefetched}}) {
+              {"srv_repl_prefetched", &resp.srv_repl_prefetched},
+              {"repl_queue_depth", &resp.repl_queue_depth},
+              {"journal_seq", &resp.journal_seq}}) {
             if (root.find(key) && !jsonGetInt(root, key, *dst)) {
                 setError(err, std::string("stats: bad ") + key);
                 return false;
@@ -562,7 +609,17 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
     }
     case RpcOp::Replicate: {
         const JsonValue *recs = root.find("records");
-        if (recs) {
+        const JsonValue *fp = root.find("fp");
+        if (fp) {
+            if (!fp->isString() ||
+                !jsonParseHex16(fp->str, resp.repl_digest_fp) ||
+                !jsonGetInt(root, "count", resp.repl_digest_count) ||
+                resp.repl_digest_count < 0) {
+                setError(err, "replicate: bad digest");
+                return false;
+            }
+            resp.repl_has_digest = true;
+        } else if (recs) {
             if (!recs->isArray()) {
                 setError(err, "replicate: bad records");
                 return false;
@@ -571,7 +628,8 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
             resp.repl_records.reserve(recs->arr.size());
             for (const JsonValue &v : recs->arr) {
                 RpcReplRecord r;
-                if (!solutionFromJson(v, r.key, r.sol)) {
+                if (!solutionFromJson(v, r.key, r.sol, nullptr,
+                                      &r.seq)) {
                     setError(err, "replicate: bad record in records");
                     return false;
                 }
@@ -585,6 +643,7 @@ responseFromJsonLine(const std::string &line, RpcResponse &out,
         break;
     }
     case RpcOp::Shutdown:
+    case RpcOp::Ping:
         break;
     }
     out = std::move(resp);

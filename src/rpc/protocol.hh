@@ -17,7 +17,10 @@
  *   {"v":1,"op":"replicate", "machine":"<fp>", "settings":"<fp>",
  *    "record":{...journal record...}}            (warm-entry push)
  *   {"v":1,"op":"replicate", "machine":"<fp>", "settings":"<fp>",
- *    "pull":1}                                   (join-time prefetch)
+ *    "pull":1, "since":412, "for":2}             (join-time prefetch)
+ *   {"v":1,"op":"replicate", "machine":"<fp>", "settings":"<fp>",
+ *    "digest":1, "for":2}                        (anti-entropy digest)
+ *   {"v":1,"op":"ping"}
  *
  * "replicate" is the optional fleet-internal warm-entry op (PR 9): a
  * node that just finished a cold solve *pushes* the journal record to
@@ -29,6 +32,20 @@
  * Push response: {"ok":true,"op":"replicate","applied":0|1} (0 = the
  * entry was already present). Pull response:
  * {"ok":true,"op":"replicate","records":[{...},...]}.
+ *
+ * The self-healing extensions (PR 10) stay inside v1 the same way —
+ * every new field is optional with the old semantics as the default.
+ * A record may carry "seq", the origin's journal sequence; a pull may
+ * carry "since" (only records with seq > since are returned; absent =
+ * everything, the old full pull) and "for" (a fleet ring slot: only
+ * records whose static replica set contains that slot are returned;
+ * absent = no filter). "digest":1 asks for a summary instead of
+ * records — {"ok":true,"op":"replicate","count":N,"fp":"<hex16>"},
+ * the count and XOR-of-mixed-key-hashes of the entries the responder
+ * would return for the same "for" filter — which anti-entropy
+ * compares against its own before paying for a pull. "ping" is a
+ * liveness probe: {"ok":true,"op":"ping"}, answered without identity
+ * checks (probing asks "are you there", not "are you me").
  *
  * Any request may carry an optional "deadline_ms": the client's
  * remaining per-request budget in milliseconds at send time. The
@@ -80,6 +97,7 @@
  *    "sched_peak":2,"sched_budget":2,
  *    "srv_shed_overload":0,"srv_shed_client":0,"srv_shed_deadline":0,
  *    "calib_samples":0,"calib_active":0,
+ *    "repl_queue_depth":0,"journal_seq":412,
  *    "entry_hits":[{"key":"...","hits":3}, ...]}
  *   {"ok":true,"op":"shutdown"}
  *
@@ -116,7 +134,7 @@
 namespace mopt {
 
 /** Operations a server understands. */
-enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown, Replicate };
+enum class RpcOp { Solve, SolveNetwork, Stats, Shutdown, Replicate, Ping };
 
 /** Printable op name (the wire spelling). */
 std::string rpcOpName(RpcOp op);
@@ -169,13 +187,27 @@ struct RpcRequest
      *  in time. */
     std::int64_t deadline_ms = 0;
 
-    /** Replicate (push form): the journal record being replicated. */
+    /** Replicate (push form): the journal record being replicated,
+     *  and the origin's journal sequence for it (0 = none carried). */
     CacheKey repl_key;
     CachedSolution repl_sol;
+    std::int64_t repl_seq = 0;
     bool has_record = false;
 
-    /** Replicate (pull form): ask the peer for all its entries. */
+    /** Replicate (pull form): ask the peer for its entries. */
     bool repl_pull = false;
+
+    /** Replicate (pull/digest): only entries with seq > since; -1 =
+     *  absent on the wire = everything (the old full pull). */
+    std::int64_t repl_since = -1;
+
+    /** Replicate (pull/digest): only entries whose static replica set
+     *  contains this fleet ring slot; -1 = absent = no filter. */
+    std::int64_t repl_for = -1;
+
+    /** Replicate (digest form): ask for (count, fingerprint) instead
+     *  of the records themselves. */
+    bool repl_digest = false;
 };
 
 std::string requestToJsonLine(const RpcRequest &req);
@@ -198,6 +230,7 @@ struct RpcReplRecord
 {
     CacheKey key;
     CachedSolution sol;
+    std::int64_t seq = 0; //!< Origin journal sequence (0 = none).
 };
 
 /** Per-entry telemetry row of a stats response. */
@@ -266,10 +299,20 @@ struct RpcResponse
     std::int64_t srv_repl_applied = 0;     //!< Pushed records accepted.
     std::int64_t srv_repl_prefetched = 0;  //!< Entries pulled at join.
 
+    // Stats: replication-fabric gauges (optional on the wire; absent
+    // parses as 0 — an older server has no queue and no sequence).
+    std::int64_t repl_queue_depth = 0; //!< Records awaiting push.
+    std::int64_t journal_seq = 0;      //!< Journal high-water sequence.
+
     // Replicate.
     std::int64_t repl_applied = 0; //!< Push form: 1 = newly inserted.
     bool repl_is_pull = false;     //!< Response carries records[].
     std::vector<RpcReplRecord> repl_records; //!< Pull form payload.
+
+    // Replicate (digest form).
+    bool repl_has_digest = false;
+    std::int64_t repl_digest_count = 0;  //!< Entries behind the digest.
+    std::uint64_t repl_digest_fp = 0;    //!< XOR of mixed key hashes.
 };
 
 /** An error response for @p msg (op-independent). */

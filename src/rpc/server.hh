@@ -43,12 +43,20 @@
  *
  * Warm-entry replication (optional, --replicate): when a cold solve
  * inserts a fresh entry, the scheduler's on_insert hook enqueues the
- * journal record and a dedicated replicator thread pushes it to every
- * configured peer via the protocol's "replicate" op — asynchronously
- * and best-effort (a dead peer converges on its own next miss). At
- * start(), the server *pulls* every entry its peers hold (the
- * "replicate" op's pull form), so a node rejoining the fleet
- * converges to warm before it accepts its first request.
+ * journal record and a dedicated replicator thread pushes it to the
+ * key's replica set — the ring owner (hash % fleet size) and its
+ * replication_factor - 1 followers — via the protocol's "replicate"
+ * op, asynchronously with bounded-backoff retries. Peer liveness
+ * lives in a fleet/peer_table.hh PeerTable: pushes and pings feed it,
+ * a Down peer stops receiving pushes (its records spool and ride the
+ * drain when a half-open probe succeeds) and the walk spills over to
+ * the next live ring slot so the fleet still holds F live copies. At
+ * start(), the server *pulls* from its peers — entries newer than its
+ * own journal high-water sequence (the "since" cursor), so a
+ * rejoining node converges via delta, not a full transfer. A periodic
+ * low-priority anti-entropy round exchanges (count, fingerprint)
+ * digests with Up peers and pulls only what this node is missing, so
+ * even a blackholed push is eventually repaired.
  *
  * Shutdown paths: a "shutdown" RPC, or stop() from another thread.
  * Both retire the listener and read-side half-close every connection:
@@ -71,6 +79,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.hh"
+#include "fleet/peer_table.hh"
 #include "machine/machine.hh"
 #include "optimizer/mopt_optimizer.hh"
 #include "rpc/client.hh"
@@ -127,9 +137,26 @@ struct ServerOptions
 
     /** Peer endpoints ("host:port[,host:port...]") for warm-entry
      *  replication; empty = replication off. Fresh cold-solve inserts
-     *  are pushed to every peer, and start() prefetches every entry
-     *  the peers hold. */
+     *  are pushed to the key's replica set (see replication_factor),
+     *  and start() prefetches what the peers hold past this node's
+     *  own journal high-water sequence. */
     std::string replicate;
+
+    /** Replica-set size F: a fresh insert lands on the key's ring
+     *  owner (CacheKey::hash() % fleet size) and its F - 1 ring
+     *  followers. 0 (or >= the fleet size) = every node — the
+     *  historical full-fanout behavior and the default. */
+    int replication_factor = 0;
+
+    /** This node's slot on the fleet ring: its position in the
+     *  fleet's endpoint order (self + peers must agree fleet-wide).
+     *  Shard-aware push and anti-entropy digests key off it. */
+    int fleet_index = 0;
+
+    /** Anti-entropy period in ms; <= 0 disables. Each round swaps a
+     *  (count, fingerprint) digest with every Up peer and pulls only
+     *  the records this node is missing. */
+    long anti_entropy_ms = 1000;
 
     /** Calibration provenance surfaced by the stats op. The server
      *  never rescales the machine itself — the CLI applies
@@ -158,6 +185,15 @@ struct ServerCounters
     std::atomic<std::int64_t> repl_push_failed{0}; //!< Pushes dropped.
     std::atomic<std::int64_t> repl_applied{0};     //!< Peer pushes taken.
     std::atomic<std::int64_t> repl_prefetched{0};  //!< Pulled at join.
+
+    // Self-healing fabric (all 0 unless --replicate).
+    std::atomic<std::int64_t> repl_push_retries{0}; //!< Backoff retries.
+    std::atomic<std::int64_t> repl_spooled{0};  //!< Held for a Down peer.
+    std::atomic<std::int64_t> repl_probes{0};   //!< Half-open pings sent.
+    std::atomic<std::int64_t> repl_ae_applied{0}; //!< Anti-entropy pulls.
+    /** Gauge, not a counter: the "since" cursor the join-time prefetch
+     *  sent (0 = fresh journal, full pull). */
+    std::atomic<std::int64_t> repl_prefetch_since{0};
 };
 
 /**
@@ -269,23 +305,58 @@ class Server
     int loopTimeoutMs() const;
     void expireWriteDeadlines();
 
-    /** Push one fresh insert to every replication peer (replicator
-     *  thread); called with the record already dequeued. */
-    void pushRecord(std::vector<Client> &peers, const CacheKey &key,
-                    const CachedSolution &sol);
+    /** Walk the record's replica ring: push to live members, spool
+     *  for quarantined ones, spill over to the next live slot until F
+     *  copies are live (replicator thread). */
+    void pushRecord(std::vector<Client> &peers,
+                    const RpcReplRecord &rec);
 
-    /** Join-time pull of every entry each peer holds (start()). */
+    /** Bounded-backoff push of one record to one peer; feeds the
+     *  peer table. True = delivered (replicator thread). */
+    bool pushToPeer(std::vector<Client> &peers, std::size_t peer,
+                    const RpcReplRecord &rec);
+
+    /** Append @p rec to @p peer's spool, dropping (and counting) the
+     *  oldest record past the bound (replicator thread). */
+    void spoolFor(std::size_t peer, const RpcReplRecord &rec);
+
+    /** Re-push a recovered peer's spooled records until the spool is
+     *  empty or the peer fails again (replicator thread). */
+    void drainSpool(std::vector<Client> &peers, std::size_t peer);
+
+    /** Half-open probing: ping each Down peer whose quarantine has
+     *  expired; success drains its spool (replicator thread). */
+    void probeDownPeers(std::vector<Client> &peers);
+
+    /** One anti-entropy round: digest exchange with every Up peer,
+     *  delta pull of whatever is missing (replicator thread). */
+    void antiEntropy(std::vector<Client> &peers);
+
+    /** Pull records (seq > since when since >= 0, filtered to this
+     *  node's ring slot when for_slot) and apply the missing ones.
+     *  Returns how many were applied. */
+    std::int64_t pullFromPeer(Client &peer, std::int64_t since,
+                              bool for_slot);
+
+    /** (count, XOR-of-mixed-key-hashes) over the entries ring slot
+     *  @p slot should hold; slot < 0 = the whole cache. Requires
+     *  cache_. Thread-safe (the cache is sharded). */
+    std::pair<std::int64_t, std::uint64_t> digestForSlot(int slot) const;
+
+    /** Join-time delta prefetch: pull entries newer than this node's
+     *  journal high-water sequence from each peer (start()). */
     void prefetchFromPeers();
 
     /** Scheduler on_insert target: enqueue for the replicator. */
     void enqueueReplication(const CacheKey &key,
-                            const CachedSolution &sol);
+                            const CachedSolution &sol, std::int64_t seq);
 
     RpcResponse handleSolve(const RpcRequest &req, const Deadline &dl);
     RpcResponse handleSolveNetwork(const RpcRequest &req,
                                    const Deadline &dl);
     RpcResponse handleStats();
     RpcResponse handleReplicate(const RpcRequest &req);
+    RpcResponse handlePing() const;
 
     /** Fingerprint guard: nonzero client fingerprints must match the
      *  server's identity. Returns false and fills @p resp on reject. */
@@ -307,8 +378,25 @@ class Server
     std::vector<RpcEndpoint> repl_peers_;
     std::mutex repl_mu_;
     std::condition_variable repl_cv_;
-    std::deque<std::pair<CacheKey, CachedSolution>> repl_queue_;
+    std::deque<RpcReplRecord> repl_queue_;
     bool repl_stop_ = false;
+
+    /** Per-peer anti-entropy bookkeeping (replicator thread only):
+     *  escalate from delta to full pull only when the same mismatched
+     *  peer digest survives a delta round that applied nothing. */
+    struct AeState
+    {
+        std::uint64_t last_fp = 0;    //!< Peer digest, last round.
+        std::int64_t last_count = -1; //!< -1 = no round yet.
+        bool full_done = false; //!< Full pull tried for this digest.
+    };
+
+    /** Shared peer state machine (internally locked; sized by
+     *  start()). The replicator consults it before every push. */
+    std::unique_ptr<PeerTable> peer_table_;
+    std::vector<std::deque<RpcReplRecord>> repl_spool_; //!< Replicator only.
+    std::vector<AeState> ae_;                 //!< Replicator only.
+    Rng repl_rng_{0x5265706c696361ull}; //!< Replicator only (jitter).
     std::thread repl_thread_;
 
     /** Single-flight, bounded-concurrency solve admission for every

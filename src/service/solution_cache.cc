@@ -87,7 +87,7 @@ roundUpPow2(std::size_t v)
 
 std::string
 solutionToJsonLine(const CacheKey &key, const CachedSolution &sol,
-                   std::int64_t hits)
+                   std::int64_t hits, std::int64_t seq)
 {
     const ConvProblem &p = key.problem;
     std::ostringstream oss;
@@ -120,23 +120,27 @@ solutionToJsonLine(const CacheKey &key, const CachedSolution &sol,
         << jsonEscape(sol.perm_label) << "\"";
     if (hits > 0)
         oss << ",\"hits\":" << hits;
+    if (seq > 0)
+        oss << ",\"seq\":" << seq;
     oss << "}";
     return oss.str();
 }
 
 bool
 solutionFromJsonLine(const std::string &line, CacheKey &key,
-                     CachedSolution &sol, std::int64_t *hits)
+                     CachedSolution &sol, std::int64_t *hits,
+                     std::int64_t *seq)
 {
     JsonValue root;
     if (!jsonParse(line, root))
         return false;
-    return solutionFromJson(root, key, sol, hits);
+    return solutionFromJson(root, key, sol, hits, seq);
 }
 
 bool
 solutionFromJson(const JsonValue &root, CacheKey &key,
-                 CachedSolution &sol, std::int64_t *hits)
+                 CachedSolution &sol, std::int64_t *hits,
+                 std::int64_t *seq)
 {
     if (root.type != JsonValue::Type::Object)
         return false;
@@ -213,6 +217,14 @@ solutionFromJson(const JsonValue &root, CacheKey &key,
     if (hv && (!jsonGetInt(root, "hits", entry_hits) || entry_hits < 0))
         return false;
 
+    // "seq" is likewise optional: absent in journals written before
+    // the replication sequence existed, and in records that were
+    // never journaled.
+    std::int64_t entry_seq = 0;
+    const JsonValue *qv = root.find("seq");
+    if (qv && (!jsonGetInt(root, "seq", entry_seq) || entry_seq < 0))
+        return false;
+
     try {
         k.problem.validate();
     } catch (const FatalError &) {
@@ -223,6 +235,8 @@ solutionFromJson(const JsonValue &root, CacheKey &key,
     sol = std::move(s);
     if (hits)
         *hits = entry_hits;
+    if (seq)
+        *seq = entry_seq;
     return true;
 }
 
@@ -294,7 +308,7 @@ SolutionCache::lookup(const CacheKey &key, CachedSolution *out)
 
 bool
 SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
-                              std::int64_t hits)
+                              std::int64_t hits, std::int64_t seq)
 {
     Shard &sh = *shards_[static_cast<std::size_t>(shardOf(key))];
     const std::uint64_t h = key.hash();
@@ -312,6 +326,7 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
                     // the newest count when journal replay sees the
                     // same key twice.
                     entry_it->hits = std::max(entry_it->hits, hits);
+                    entry_it->seq = std::max(entry_it->seq, seq);
                     sh.lru.splice(sh.lru.begin(), sh.lru, entry_it);
                     fresh = false;
                     break;
@@ -320,7 +335,7 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
         }
         if (fresh) {
             sh.lru.push_front(
-                Entry{key, sol, hits,
+                Entry{key, sol, hits, seq,
                       compact_epoch_.load(std::memory_order_relaxed)});
             sh.map[h].push_back(sh.lru.begin());
             if (sh.lru.size() > per_shard_capacity_) {
@@ -347,12 +362,35 @@ SolutionCache::insertInMemory(const CacheKey &key, const CachedSolution &sol,
     return fresh;
 }
 
-void
+std::int64_t
 SolutionCache::insert(const CacheKey &key, const CachedSolution &sol)
 {
-    insertInMemory(key, sol);
+    const std::int64_t seq =
+        journal_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    insertInMemory(key, sol, 0, seq);
     if (!opts_.journal_path.empty()) {
-        appendJournalLine(Entry{key, sol});
+        appendJournalLine(Entry{key, sol, 0, seq});
+        if (journalNeedsCompaction())
+            compact();
+    }
+    return seq;
+}
+
+void
+SolutionCache::applyReplica(const CacheKey &key, const CachedSolution &sol,
+                            std::int64_t seq)
+{
+    // Lamport absorb: after seeing a peer's sequence, everything this
+    // node assigns is larger, keeping the fleet's `since` cursors
+    // loosely comparable across origins.
+    std::int64_t hw = journal_seq_.load(std::memory_order_relaxed);
+    while (seq > hw &&
+           !journal_seq_.compare_exchange_weak(hw, seq,
+                                               std::memory_order_relaxed))
+        ;
+    insertInMemory(key, sol, 0, seq);
+    if (!opts_.journal_path.empty()) {
+        appendJournalLine(Entry{key, sol, 0, seq});
         if (journalNeedsCompaction())
             compact();
     }
@@ -396,16 +434,17 @@ SolutionCache::entryStats() const
     return out;
 }
 
-std::vector<std::pair<CacheKey, CachedSolution>>
-SolutionCache::exportEntries() const
+std::vector<SolutionCacheRecord>
+SolutionCache::exportEntries(std::int64_t since) const
 {
-    std::vector<std::pair<CacheKey, CachedSolution>> out;
+    std::vector<SolutionCacheRecord> out;
     out.reserve(static_cast<std::size_t>(
         std::max<std::int64_t>(0, live_.load(std::memory_order_relaxed))));
     for (const auto &sh : shards_) {
         std::lock_guard<std::mutex> lock(sh->mu);
         for (const Entry &e : sh->lru)
-            out.emplace_back(e.key, e.sol);
+            if (e.seq > since)
+                out.push_back(SolutionCacheRecord{e.key, e.sol, e.seq});
     }
     return out;
 }
@@ -441,9 +480,16 @@ SolutionCache::loadJournal()
             CacheKey key;
             CachedSolution sol;
             std::int64_t entry_hits = 0;
-            if (solutionFromJsonLine(line, key, sol, &entry_hits)) {
-                insertInMemory(key, sol, entry_hits);
+            std::int64_t entry_seq = 0;
+            if (solutionFromJsonLine(line, key, sol, &entry_hits,
+                                     &entry_seq)) {
+                insertInMemory(key, sol, entry_hits, entry_seq);
                 ++loaded;
+                std::int64_t hw =
+                    journal_seq_.load(std::memory_order_relaxed);
+                if (entry_seq > hw)
+                    journal_seq_.store(entry_seq,
+                                       std::memory_order_relaxed);
             } else {
                 ++skipped;
             }
@@ -478,7 +524,7 @@ SolutionCache::appendJournalLine(const Entry &e)
     std::lock_guard<std::mutex> lock(journal_mu_);
     if (!journal_.is_open())
         return;
-    journal_ << solutionToJsonLine(e.key, e.sol) << "\n";
+    journal_ << solutionToJsonLine(e.key, e.sol, 0, e.seq) << "\n";
     journal_.flush();
     ++journal_lines_;
 }
@@ -549,7 +595,8 @@ SolutionCache::compact()
                     ++shed_count;
                     continue;
                 }
-                out << solutionToJsonLine(it->key, it->sol, it->hits)
+                out << solutionToJsonLine(it->key, it->sol, it->hits,
+                                          it->seq)
                     << "\n";
                 ++written;
             }

@@ -79,6 +79,15 @@ struct SolutionCacheOptions
     double compact_factor = 2.0;
 };
 
+/** One exported live entry: key, solution, and the journal sequence
+ *  it was inserted under (0 for entries from pre-sequence journals). */
+struct SolutionCacheRecord
+{
+    CacheKey key;
+    CachedSolution sol;
+    std::int64_t seq = 0;
+};
+
 /** Monotonic operation counters (snapshot via stats()). */
 struct SolutionCacheStats
 {
@@ -130,9 +139,29 @@ class SolutionCache
      * Insert (or overwrite) the solution for @p key, evicting the
      * shard's least-recently-used entry when the shard is full. When a
      * journal is configured the entry is appended before the call
-     * returns.
+     * returns. Returns the journal sequence number assigned to the
+     * insert (the node's high-water mark after it).
      */
-    void insert(const CacheKey &key, const CachedSolution &sol);
+    std::int64_t insert(const CacheKey &key, const CachedSolution &sol);
+
+    /**
+     * Insert an entry received from a *peer* (replication push,
+     * prefetch, or anti-entropy pull), preserving the sequence number
+     * it carries instead of assigning a fresh one. The node's
+     * high-water mark absorbs @p seq Lamport-style (max), so sequence
+     * numbers a node assigns after hearing from a peer always exceed
+     * everything it has already seen — which is what makes the
+     * `since` delta cursor effective across nodes.
+     */
+    void applyReplica(const CacheKey &key, const CachedSolution &sol,
+                      std::int64_t seq);
+
+    /** The node's journal high-water sequence: the largest sequence
+     *  assigned locally or absorbed from a peer (0 = nothing yet). */
+    std::int64_t journalSeq() const
+    {
+        return journal_seq_.load(std::memory_order_relaxed);
+    }
 
     /** Live entries across all shards. */
     std::size_t size() const;
@@ -157,11 +186,15 @@ class SolutionCache
     std::vector<SolutionCacheEntryStats> entryStats() const;
 
     /**
-     * Snapshot of every live entry (key + solution), same traversal
-     * order as entryStats. Feeds warm-entry replication: a joining
-     * peer pulls this and inserts what it is missing.
+     * Snapshot of every live entry (key, solution, sequence) whose
+     * sequence exceeds @p since, same traversal order as entryStats.
+     * The default (-1) exports everything, including pre-sequence
+     * entries carrying seq 0. Feeds warm-entry replication: a joining
+     * peer pulls this — with its own high-water mark as the cursor —
+     * and inserts what it is missing.
      */
-    std::vector<std::pair<CacheKey, CachedSolution>> exportEntries() const;
+    std::vector<SolutionCacheRecord>
+    exportEntries(std::int64_t since = -1) const;
 
     /** lookup() without the hit accounting or LRU touch: true when
      *  @p key is present. Lets the replication path answer "do I
@@ -193,6 +226,7 @@ class SolutionCache
         CacheKey key;
         CachedSolution sol;
         std::int64_t hits = 0; //!< lookup() hits on this entry.
+        std::int64_t seq = 0;  //!< Journal sequence (0 = pre-sequence).
 
         /** Value of compact_epoch_ when the entry was inserted; an
          *  entry is "young" (exempt from zero-hit shedding) until a
@@ -212,9 +246,10 @@ class SolutionCache
     /** Insert into the in-memory structure only; returns false when
      *  @p key was already present (value overwritten, no journal
      *  append needed by the loader). @p hits seeds the entry's hit
-     *  counter (journal replay restores the persisted count). */
+     *  counter (journal replay restores the persisted count) and
+     *  @p seq its journal sequence (an overwrite keeps the larger). */
     bool insertInMemory(const CacheKey &key, const CachedSolution &sol,
-                        std::int64_t hits = 0);
+                        std::int64_t hits = 0, std::int64_t seq = 0);
 
     void loadJournal();
     void appendJournalLine(const Entry &e);
@@ -240,26 +275,33 @@ class SolutionCache
 
     /** Bumped at each compact(); see Entry::epoch. */
     std::atomic<std::int64_t> compact_epoch_{0};
+
+    /** Journal high-water sequence; see journalSeq(). */
+    std::atomic<std::int64_t> journal_seq_{0};
 };
 
 /**
  * Serialize one (key, solution) pair as a single JSON line. @p hits
- * > 0 adds a "hits" telemetry field (absent fields read back as 0, so
- * journals written before the field existed stay loadable). This is
- * also the RPC wire encoding of a solution record (src/rpc/).
+ * > 0 adds a "hits" telemetry field and @p seq > 0 a "seq" journal-
+ * sequence field (absent fields read back as 0, so journals written
+ * before either field existed stay loadable). This is also the RPC
+ * wire encoding of a solution record (src/rpc/).
  */
 std::string solutionToJsonLine(const CacheKey &key,
                                const CachedSolution &sol,
-                               std::int64_t hits = 0);
+                               std::int64_t hits = 0,
+                               std::int64_t seq = 0);
 
 /**
  * Parse a journal line produced by solutionToJsonLine. Returns false
  * (leaving outputs untouched) on malformed input of any kind.
- * @p hits, when non-null, receives the entry's persisted hit count.
+ * @p hits / @p seq, when non-null, receive the entry's persisted hit
+ * count and journal sequence (0 when the field is absent).
  */
 bool solutionFromJsonLine(const std::string &line, CacheKey &key,
                           CachedSolution &sol,
-                          std::int64_t *hits = nullptr);
+                          std::int64_t *hits = nullptr,
+                          std::int64_t *seq = nullptr);
 
 /**
  * Parse an already-decoded JSON object in the journal's record format
@@ -267,7 +309,8 @@ bool solutionFromJsonLine(const std::string &line, CacheKey &key,
  * as solutionFromJsonLine.
  */
 bool solutionFromJson(const JsonValue &root, CacheKey &key,
-                      CachedSolution &sol, std::int64_t *hits = nullptr);
+                      CachedSolution &sol, std::int64_t *hits = nullptr,
+                      std::int64_t *seq = nullptr);
 
 } // namespace mopt
 

@@ -208,10 +208,11 @@ SolveScheduler::runnerLoop()
             // Publish to the cache before retiring the flight: a
             // request arriving between the two must find one or the
             // other (see submit()'s double-check).
+            std::int64_t seq = 0;
             if (cache_)
-                cache_->insert(flight.key, r.sol);
+                seq = cache_->insert(flight.key, r.sol);
             if (options_.on_insert)
-                options_.on_insert(flight.key, r.sol);
+                options_.on_insert(flight.key, r.sol, seq);
             {
                 std::lock_guard<std::mutex> lock(mu_);
                 eraseFlight(flight.key);

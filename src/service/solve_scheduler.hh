@@ -76,10 +76,14 @@ struct SolveSchedulerOptions
      * Only *paid* solves fire it: cache hits and coalesced waiters
      * never do, and neither do inserts that bypass the scheduler
      * (journal replay, replication applies), so a replicated entry
-     * cannot ping-pong back to its origin. Must not throw; keep it
-     * cheap (it runs inside the solve path).
+     * cannot ping-pong back to its origin. The third argument is the
+     * journal sequence the cache assigned to the insert (0 without a
+     * cache), which replication forwards so replicas preserve the
+     * origin's sequence. Must not throw; keep it cheap (it runs
+     * inside the solve path).
      */
-    std::function<void(const CacheKey &, const CachedSolution &)>
+    std::function<void(const CacheKey &, const CachedSolution &,
+                       std::int64_t)>
         on_insert;
 };
 

@@ -21,11 +21,14 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.hh"
+#include "fleet/ring.hh"
 #include "machine/machine.hh"
 #include "rpc/client.hh"
 #include "rpc/faultline.hh"
@@ -586,6 +589,344 @@ TEST(Chaos, ShutdownDrainsInFlightWrites)
     EXPECT_EQ(resp.entry_hits.size(), 20000u);
     EXPECT_EQ(reader.readLine(line, Deadline::in(10000)),
               LineReader::Status::Eof);
+}
+
+/** Reserve a loopback port: bind ephemeral, read it back, release.
+ *  The listener's SO_REUSEADDR makes the immediate re-bind safe. */
+int
+reservePort()
+{
+    TcpListener tmp;
+    if (!tmp.listenOn("127.0.0.1", 0))
+        fatal("reservePort: cannot bind");
+    return tmp.port();
+}
+
+/** This process's thread count (/proc/self/status Threads:). */
+int
+threadCount()
+{
+    std::ifstream f("/proc/self/status");
+    std::string word;
+    while (f >> word)
+        if (word == "Threads:") {
+            int n = 0;
+            f >> n;
+            return n;
+        }
+    return -1;
+}
+
+// The tentpole acceptance: a three-node fleet at replication factor 2
+// loses any single node mid-traffic and keeps serving every key warm,
+// byte-identical, under --no-fallback — the killed node's keys come
+// from their ring follower, and no survivor re-solves anything.
+TEST(Chaos, FleetServesWarmByteIdenticalAfterNodeKilled)
+{
+    // Fixed ports, reserved up front, so every node can name its
+    // peers before any of them is up.
+    const std::vector<int> ports{reservePort(), reservePort(),
+                                 reservePort()};
+    std::vector<RpcEndpoint> eps;
+    for (const int p : ports)
+        eps.push_back(RpcEndpoint{"127.0.0.1", p});
+
+    std::vector<std::unique_ptr<TestServer>> fleet;
+    for (int i = 0; i < 3; ++i) {
+        ServerOptions so;
+        so.port = ports[static_cast<std::size_t>(i)];
+        so.replication_factor = 2;
+        so.fleet_index = i;
+        so.anti_entropy_ms = 200;
+        // Peers in ring order with self removed (the fleet contract).
+        for (int j = 0; j < 3; ++j) {
+            if (j == i)
+                continue;
+            if (!so.replicate.empty())
+                so.replicate += ",";
+            so.replicate += eps[static_cast<std::size_t>(j)].str();
+        }
+        fleet.push_back(std::make_unique<TestServer>(so));
+    }
+
+    std::vector<ConvProblem> net;
+    for (int i = 0; i < 6; ++i)
+        net.push_back(smallProblem(16 + 8 * i));
+
+    ShardRouter router(eps, tiny(), fastOpts());
+    RouteStats rs;
+    const std::string plan = router.optimize(net, &rs).str();
+    EXPECT_EQ(rs.fallbacks, 0u);
+    EXPECT_EQ(rs.remote_misses, net.size());
+
+    // Replication factor 2: each key must reach exactly its ring
+    // owner and the owner's successor — no more, no fewer.
+    std::size_t want[3] = {0, 0, 0};
+    for (const ConvProblem &p : net)
+        for (const std::size_t s :
+             replicaSlots(CacheKey::make(p, tiny(), fastOpts()).hash(),
+                          3, 2))
+            ++want[s];
+    const auto t0 = std::chrono::steady_clock::now();
+    for (;;) {
+        bool done = true;
+        for (std::size_t i = 0; i < 3; ++i)
+            done = done && fleet[i]->cache().size() >= want[i];
+        if (done || elapsedMs(t0) > 20000)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::int64_t solves_before[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(fleet[i]->cache().size(), want[i]) << "node " << i;
+        solves_before[i] = fleet[i]->server().schedulerStats().solves;
+    }
+
+    // Kill the owner of the first key — any single node must do.
+    const std::size_t victim =
+        router.nodeOf(CacheKey::make(net[0], tiny(), fastOpts()));
+    fleet[victim].reset();
+
+    // A fresh router with local fallback OFF: only the fleet's warm
+    // copies may answer. Every key, including the victim's, must come
+    // back a remote hit, and the plan byte-identical.
+    FleetOptions nf;
+    nf.local_fallback = false;
+    nf.max_retries = 3;
+    nf.backoff_ms = 10;
+    nf.deadline_ms = 30000;
+    ShardRouter after(eps, tiny(), fastOpts(), nf);
+    RouteStats wrs;
+    EXPECT_EQ(after.optimize(net, &wrs).str(), plan);
+    EXPECT_EQ(wrs.remote_hits, net.size());
+    EXPECT_EQ(wrs.fallbacks, 0u);
+
+    // The survivors served from their caches: not one new solve.
+    for (std::size_t i = 0; i < 3; ++i) {
+        if (i != victim)
+            EXPECT_EQ(fleet[i]->server().schedulerStats().solves,
+                      solves_before[i]);
+    }
+}
+
+// Delta prefetch: a node that restarts with its journal intact asks
+// its peers only for what it missed ("since" its own high-water
+// sequence), not the full cache — and converges without solving.
+TEST(Chaos, RestartedNodeConvergesViaDeltaPrefetch)
+{
+    const std::string journal_a = tempPath("delta_a");
+    const std::string journal_b = tempPath("delta_b");
+    std::remove(journal_a.c_str());
+    std::remove(journal_b.c_str());
+    const int port_a = reservePort();
+    const int port_b = reservePort();
+
+    ServerOptions sa;
+    sa.port = port_a;
+    sa.replicate = "127.0.0.1:" + std::to_string(port_b);
+    sa.fleet_index = 0;
+    SolutionCacheOptions ca;
+    ca.journal_path = journal_a;
+    TestServer a(sa, ca);
+
+    ServerOptions sb;
+    sb.port = port_b;
+    sb.replicate = "127.0.0.1:" + std::to_string(port_a);
+    sb.fleet_index = 1;
+    SolutionCacheOptions cb;
+    cb.journal_path = journal_b;
+    auto b = std::make_unique<TestServer>(sb, cb);
+
+    // Five solves reach both nodes (factor defaults to all): journal
+    // sequences 1..5 on each side.
+    Client ac(a.ep());
+    std::vector<CachedSolution> sols;
+    for (int i = 0; i < 5; ++i) {
+        RpcResponse resp;
+        std::string err;
+        ASSERT_TRUE(
+            ac.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        sols.push_back(resp.solve.sol);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (b->cache().size() < 5 && elapsedMs(t0) < 15000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_EQ(b->cache().size(), 5u);
+
+    // B dies holding sequence 5; A keeps serving: sequences 6..8.
+    b.reset();
+    for (int i = 5; i < 8; ++i) {
+        RpcResponse resp;
+        std::string err;
+        ASSERT_TRUE(
+            ac.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        sols.push_back(resp.solve.sol);
+    }
+    EXPECT_EQ(a.cache().size(), 8u);
+
+    // Restart B on the same port with the same journal: the join
+    // prefetch must send since=5 and pull exactly the three missed
+    // records — a delta, not a full transfer.
+    b = std::make_unique<TestServer>(sb, cb);
+    EXPECT_EQ(b->server().counters().repl_prefetch_since.load(
+                  std::memory_order_relaxed),
+              5);
+    EXPECT_EQ(b->server().counters().repl_prefetched.load(
+                  std::memory_order_relaxed),
+              3);
+    EXPECT_EQ(b->cache().size(), 8u);
+    EXPECT_EQ(b->server().schedulerStats().solves, 0);
+
+    // A delta-pulled key serves warm from B, byte-identical.
+    Client bc(b->ep());
+    RpcResponse warm;
+    std::string err;
+    ASSERT_TRUE(
+        bc.call(solveRequest(smallProblem(16 + 8 * 7)), warm, &err))
+        << err;
+    ASSERT_TRUE(warm.ok) << warm.error;
+    EXPECT_TRUE(warm.solve.cache_hit);
+    EXPECT_EQ(warm.solve.sol, sols[7]);
+
+    b.reset();
+    std::remove(journal_a.c_str());
+    std::remove(journal_b.c_str());
+}
+
+// A flapping peer — up 200 ms, down 200 ms, forever — must converge
+// to the full record set with no duplicate solves and no lost
+// acknowledged entries, through the Suspect/Down/half-open machinery
+// and the per-peer spool; and the churn must not leak threads.
+TEST(Chaos, FlappingPeerConvergesWithoutDuplicatesOrThreadGrowth)
+{
+    TestServer peer;
+    FaultlineOptions fo = proxyTo(peer.ep(), {FaultKind::Flapping});
+    fo.flap_up_ms = 200;
+    fo.flap_down_ms = 200;
+    FaultlineProxy proxy(fo);
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    ServerOptions so;
+    so.replicate = "127.0.0.1:" + std::to_string(proxy.port());
+    so.anti_entropy_ms = 200;
+    TestServer origin(so);
+
+    constexpr int kKeys = 6;
+    Client oc(origin.ep());
+    std::vector<CachedSolution> sols;
+    for (int i = 0; i < kKeys; ++i) {
+        RpcResponse resp;
+        ASSERT_TRUE(
+            oc.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        sols.push_back(resp.solve.sol);
+    }
+
+    // Convergence: pushes that land in an up window deliver, ones
+    // that hit a down window spool and ride a later probe's drain.
+    const auto t0 = std::chrono::steady_clock::now();
+    while (peer.cache().size() < kKeys && elapsedMs(t0) < 30000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    ASSERT_EQ(peer.cache().size(), static_cast<std::size_t>(kKeys));
+
+    // No duplicate solves (the peer never solved at all) and no
+    // double-applied records despite retries across flaps.
+    EXPECT_EQ(peer.server().schedulerStats().solves, 0);
+    EXPECT_EQ(origin.server().schedulerStats().solves, kKeys);
+    EXPECT_EQ(peer.server().counters().repl_applied.load(
+                  std::memory_order_relaxed),
+              kKeys);
+
+    // No lost acknowledged entries: every record serves warm from the
+    // peer, byte-identical to the origin's answer.
+    Client pc(peer.ep());
+    for (int i = 0; i < kKeys; ++i) {
+        RpcResponse resp;
+        ASSERT_TRUE(
+            pc.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        EXPECT_TRUE(resp.solve.cache_hit);
+        EXPECT_EQ(resp.solve.sol, sols[static_cast<std::size_t>(i)]);
+    }
+
+    // Thread hygiene: several more probe + anti-entropy rounds against
+    // the still-flapping peer must recruit no new threads (a tolerance
+    // of 2 absorbs the proxy's transient per-connection pumps).
+    const int settled = threadCount();
+    ASSERT_GT(settled, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    EXPECT_LE(threadCount(), settled + 2);
+}
+
+// Anti-entropy is the backstop beneath the push path: when every push
+// from the origin is blackholed, the peer's periodic digest exchange
+// notices the gap and pulls the records — the fleet heals without a
+// single duplicate solve.
+TEST(Chaos, AntiEntropyRepairsBlackholedPush)
+{
+    // A's view of B is a blackhole; B's view of A is direct.
+    FaultlineOptions fo;
+    fo.upstream_port = 1; // Never contacted by a blackhole.
+    fo.schedule = std::vector<FaultKind>(64, FaultKind::Blackhole);
+    FaultlineProxy proxy(fo);
+    std::string err;
+    ASSERT_TRUE(proxy.start(&err)) << err;
+
+    const int port_a = reservePort();
+    ServerOptions sa;
+    sa.port = port_a;
+    sa.replicate = "127.0.0.1:" + std::to_string(proxy.port());
+    sa.fleet_index = 0;
+    sa.anti_entropy_ms = 0; // A must not repair; B's rounds do.
+    TestServer a(sa);
+
+    ServerOptions sb;
+    sb.replicate = "127.0.0.1:" + std::to_string(port_a);
+    sb.fleet_index = 1;
+    sb.anti_entropy_ms = 150;
+    TestServer b(sb);
+
+    constexpr int kKeys = 4;
+    Client ac(a.ep());
+    std::vector<CachedSolution> sols;
+    for (int i = 0; i < kKeys; ++i) {
+        RpcResponse resp;
+        ASSERT_TRUE(
+            ac.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        sols.push_back(resp.solve.sol);
+    }
+
+    // The pushes die in the blackhole; B's digest exchange against A
+    // sees count/fingerprint drift and pulls what it is missing.
+    const auto t0 = std::chrono::steady_clock::now();
+    while (b.cache().size() < kKeys && elapsedMs(t0) < 30000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    ASSERT_EQ(b.cache().size(), static_cast<std::size_t>(kKeys));
+    EXPECT_GE(b.server().counters().repl_ae_applied.load(
+                  std::memory_order_relaxed),
+              kKeys);
+    EXPECT_EQ(b.server().schedulerStats().solves, 0);
+
+    // Repaired entries serve warm and byte-identical.
+    Client bc(b.ep());
+    for (int i = 0; i < kKeys; ++i) {
+        RpcResponse resp;
+        ASSERT_TRUE(
+            bc.call(solveRequest(smallProblem(16 + 8 * i)), resp, &err))
+            << err;
+        ASSERT_TRUE(resp.ok) << resp.error;
+        EXPECT_TRUE(resp.solve.cache_hit);
+        EXPECT_EQ(resp.solve.sol, sols[static_cast<std::size_t>(i)]);
+    }
 }
 
 } // namespace

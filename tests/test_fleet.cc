@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests of the fleet-membership layer (src/fleet/): the ring
+ * placement math replica sets and digests key off, the shared backoff
+ * policy, and the PeerTable state machine (Up -> Suspect -> Down ->
+ * half-open probe) that both the ShardRouter's mark-down path and the
+ * server's replication push thread consult.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/rng.hh"
+#include "fleet/backoff.hh"
+#include "fleet/peer_table.hh"
+#include "fleet/ring.hh"
+
+namespace mopt {
+namespace {
+
+TEST(Ring, ResolveReplicationFactor)
+{
+    // 0 and out-of-range mean "every node" — the historical fanout.
+    EXPECT_EQ(resolveReplicationFactor(0, 3), 3u);
+    EXPECT_EQ(resolveReplicationFactor(-1, 3), 3u);
+    EXPECT_EQ(resolveReplicationFactor(3, 3), 3u);
+    EXPECT_EQ(resolveReplicationFactor(7, 3), 3u);
+    EXPECT_EQ(resolveReplicationFactor(1, 3), 1u);
+    EXPECT_EQ(resolveReplicationFactor(2, 3), 2u);
+    EXPECT_EQ(resolveReplicationFactor(1, 1), 1u);
+}
+
+TEST(Ring, ReplicaSlotsOwnerFirstRingOrder)
+{
+    // owner = hash % n, followers are the ring successors, wrapping.
+    const auto slots = replicaSlots(/*key_hash=*/7, /*n=*/3,
+                                    /*factor=*/2);
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0], 1u); // 7 % 3
+    EXPECT_EQ(slots[1], 2u);
+
+    const auto wrap = replicaSlots(/*key_hash=*/2, /*n=*/3,
+                                   /*factor=*/2);
+    ASSERT_EQ(wrap.size(), 2u);
+    EXPECT_EQ(wrap[0], 2u);
+    EXPECT_EQ(wrap[1], 0u); // Wraps past the end of the ring.
+
+    EXPECT_TRUE(replicaSlots(1, 0, 2).empty());
+    EXPECT_EQ(replicaSlots(5, 4, 0).size(), 4u); // factor 0 = all.
+}
+
+TEST(Ring, SlotHoldsKeyAgreesWithReplicaSlots)
+{
+    // Membership test and enumeration must be the same set, for every
+    // (hash, factor) over a small fleet.
+    const std::size_t n = 5;
+    for (std::uint64_t hash = 0; hash < 11; ++hash) {
+        for (int factor = 0; factor <= 5; ++factor) {
+            const auto slots = replicaSlots(hash, n, factor);
+            const std::set<std::size_t> set(slots.begin(), slots.end());
+            for (std::size_t slot = 0; slot < n; ++slot)
+                EXPECT_EQ(slotHoldsKey(hash, n, factor, slot),
+                          set.count(slot) == 1)
+                    << "hash=" << hash << " factor=" << factor
+                    << " slot=" << slot;
+        }
+    }
+    // Out-of-range slot is never a holder.
+    EXPECT_FALSE(slotHoldsKey(0, n, 0, n));
+    EXPECT_FALSE(slotHoldsKey(0, 0, 0, 0));
+}
+
+TEST(Ring, SlotToPeerIndexSkipsSelf)
+{
+    // A peers list is the ring with self removed; slots after self
+    // shift down by one.
+    EXPECT_EQ(slotToPeerIndex(0, /*self=*/2), 0u);
+    EXPECT_EQ(slotToPeerIndex(1, /*self=*/2), 1u);
+    EXPECT_EQ(slotToPeerIndex(3, /*self=*/2), 2u);
+    EXPECT_EQ(slotToPeerIndex(1, /*self=*/0), 0u);
+}
+
+TEST(Ring, Mix64DecorrelatesAndIsStable)
+{
+    // Deterministic, nonzero on small inputs, and distinct across
+    // adjacent values (the property the XOR digest fold relies on).
+    EXPECT_EQ(mix64(1), mix64(1));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < 100; ++x)
+        seen.insert(mix64(x));
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Backoff, DoublesToCapWithoutJitter)
+{
+    Rng rng(1);
+    EXPECT_EQ(backoffDelayMs(100, 1, rng, 2000, false), 100);
+    EXPECT_EQ(backoffDelayMs(100, 2, rng, 2000, false), 200);
+    EXPECT_EQ(backoffDelayMs(100, 3, rng, 2000, false), 400);
+    EXPECT_EQ(backoffDelayMs(100, 8, rng, 2000, false), 2000); // Capped.
+    EXPECT_EQ(backoffDelayMs(100, 100, rng, 2000, false), 2000);
+    // Equal base and cap: a fixed window at every attempt (the
+    // router's markdown_ms configuration).
+    EXPECT_EQ(backoffDelayMs(500, 1, rng, 500, false), 500);
+    EXPECT_EQ(backoffDelayMs(500, 9, rng, 500, false), 500);
+    // Degenerate inputs clamp instead of looping or returning 0.
+    EXPECT_GE(backoffDelayMs(0, 1, rng, 0, false), 1);
+}
+
+TEST(Backoff, JitterIsBoundedAndDeterministic)
+{
+    Rng a(42), b(42);
+    for (int attempt = 1; attempt <= 6; ++attempt) {
+        const long da = backoffDelayMs(100, attempt, a, 2000, true);
+        const long db = backoffDelayMs(100, attempt, b, 2000, true);
+        EXPECT_EQ(da, db); // Same seed, same schedule.
+        long base = 100;
+        for (int i = 1; i < attempt && base < 2000; ++i)
+            base *= 2;
+        base = std::min(base, 2000l);
+        EXPECT_GE(da, base);
+        EXPECT_LE(da, base + base / 2);
+    }
+}
+
+TEST(PeerTable, SuspectThenDownThenHalfOpenProbe)
+{
+    PeerTableOptions po;
+    po.down_after = 3;
+    po.probe_backoff_ms = 40;
+    po.probe_backoff_cap_ms = 40; // Fixed window: test-friendly.
+    po.jitter = false;
+    PeerTable table(2, po);
+    ASSERT_EQ(table.size(), 2u);
+
+    // Fresh peers are Up and offerable; no probe is scheduled.
+    EXPECT_EQ(table.state(0), PeerState::Up);
+    EXPECT_TRUE(table.offerable(0));
+    EXPECT_EQ(table.msUntilProbe(), -1);
+
+    // Strikes one and two: Suspect, still offered (pushes keep
+    // probing it for free).
+    table.reportFailure(0);
+    EXPECT_EQ(table.state(0), PeerState::Suspect);
+    EXPECT_TRUE(table.offerable(0));
+    table.reportFailure(0);
+    EXPECT_EQ(table.state(0), PeerState::Suspect);
+    EXPECT_EQ(table.info(0).failures, 2);
+
+    // Strike three: Down and quarantined.
+    table.reportFailure(0);
+    EXPECT_TRUE(table.isDown(0));
+    EXPECT_FALSE(table.offerable(0));
+    EXPECT_GT(table.info(0).retry_in_ms, 0);
+    EXPECT_GE(table.msUntilProbe(), 0);
+    // The other peer is untouched.
+    EXPECT_EQ(table.state(1), PeerState::Up);
+
+    // After the window the peer re-opens half-way: offerable while
+    // still Down, so exactly one caller probes it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_TRUE(table.isDown(0));
+    EXPECT_TRUE(table.offerable(0));
+    EXPECT_EQ(table.info(0).retry_in_ms, 0);
+
+    // A success during half-open resets everything.
+    table.reportSuccess(0);
+    EXPECT_EQ(table.state(0), PeerState::Up);
+    EXPECT_EQ(table.info(0).failures, 0);
+    EXPECT_EQ(table.msUntilProbe(), -1);
+}
+
+TEST(PeerTable, FailedProbeReArmsDoubledQuarantine)
+{
+    PeerTableOptions po;
+    po.down_after = 1; // First failure quarantines.
+    po.probe_backoff_ms = 50;
+    po.probe_backoff_cap_ms = 400;
+    po.jitter = false;
+    PeerTable table(1, po);
+
+    table.reportFailure(0);
+    EXPECT_TRUE(table.isDown(0));
+    const long first = table.info(0).retry_in_ms;
+    EXPECT_GT(first, 0);
+    EXPECT_LE(first, 50);
+
+    // A failure while Down doubles the next window (capped).
+    table.reportFailure(0);
+    const long second = table.info(0).retry_in_ms;
+    EXPECT_GT(second, first);
+    EXPECT_LE(second, 100);
+    for (int i = 0; i < 10; ++i)
+        table.reportFailure(0);
+    EXPECT_LE(table.info(0).retry_in_ms, 400); // Capped, jitter off.
+}
+
+TEST(PeerTable, RouterConfigHoldsExactlyMarkdownWindow)
+{
+    // down_after = 1 with base == cap and no jitter reproduces the
+    // router's historical markdown_ms semantics: every failure holds
+    // the node for the same fixed window.
+    PeerTableOptions po;
+    po.down_after = 1;
+    po.probe_backoff_ms = 80;
+    po.probe_backoff_cap_ms = 80;
+    po.jitter = false;
+    PeerTable table(3, po);
+
+    table.reportFailure(2);
+    EXPECT_TRUE(table.isDown(2));
+    EXPECT_FALSE(table.offerable(2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(table.offerable(2));
+    // Another failure after the window: the same 80 ms hold again
+    // (base == cap defeats the doubling).
+    table.reportFailure(2);
+    EXPECT_FALSE(table.offerable(2));
+    EXPECT_LE(table.info(2).retry_in_ms, 80);
+}
+
+} // namespace
+} // namespace mopt

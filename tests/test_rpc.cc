@@ -727,5 +727,184 @@ TEST(RpcServer, IdleConnectionsCostNoThreadsAndFragmentsInterleave)
         kConns);
 }
 
+TEST(RpcProtocol, PingRoundTripAndServerAnswersWithoutIdentity)
+{
+    RpcRequest req;
+    req.op = RpcOp::Ping;
+    RpcRequest back;
+    std::string err;
+    ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(req), back, &err))
+        << err;
+    EXPECT_EQ(back.op, RpcOp::Ping);
+    // The exact probe a foreign fleet tool would send: no
+    // fingerprints, nothing but the op.
+    ASSERT_TRUE(
+        requestFromJsonLine("{\"v\":1,\"op\":\"ping\"}", back, &err))
+        << err;
+    EXPECT_EQ(back.op, RpcOp::Ping);
+
+    // A live server answers it even with mismatched fingerprints —
+    // probing asks "are you there", not "are you me".
+    TestServer ts;
+    Client c(ts.ep());
+    req.machine_fp = CacheKey::machineFingerprint(tiny()) ^ 1;
+    RpcResponse resp;
+    ASSERT_TRUE(c.call(req, resp, &err)) << err;
+    EXPECT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.op, RpcOp::Ping);
+
+    RpcResponse resp_back;
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(resp),
+                                     resp_back, &err))
+        << err;
+    EXPECT_TRUE(resp_back.ok);
+    EXPECT_EQ(resp_back.op, RpcOp::Ping);
+}
+
+TEST(RpcProtocol, ReplicatePullCursorAndFilterRoundTrip)
+{
+    // Delta pull: since + for travel; absent means -1 (full pull, no
+    // filter — the PR 9 wire form).
+    RpcRequest req;
+    req.op = RpcOp::Replicate;
+    req.repl_pull = true;
+    req.repl_since = 412;
+    req.repl_for = 2;
+    RpcRequest back;
+    std::string err;
+    const std::string line = requestToJsonLine(req);
+    EXPECT_NE(line.find("\"since\":412"), std::string::npos);
+    EXPECT_NE(line.find("\"for\":2"), std::string::npos);
+    ASSERT_TRUE(requestFromJsonLine(line, back, &err)) << err;
+    EXPECT_TRUE(back.repl_pull);
+    EXPECT_EQ(back.repl_since, 412);
+    EXPECT_EQ(back.repl_for, 2);
+
+    ASSERT_TRUE(requestFromJsonLine(
+        "{\"v\":1,\"op\":\"replicate\",\"pull\":1}", back, &err))
+        << err;
+    EXPECT_TRUE(back.repl_pull);
+    EXPECT_EQ(back.repl_since, -1);
+    EXPECT_EQ(back.repl_for, -1);
+
+    // Negative cursors are malformed, not silently clamped.
+    EXPECT_FALSE(requestFromJsonLine(
+        "{\"v\":1,\"op\":\"replicate\",\"pull\":1,\"since\":-3}", back,
+        &err));
+}
+
+TEST(RpcProtocol, ReplicateDigestRoundTrip)
+{
+    RpcRequest req;
+    req.op = RpcOp::Replicate;
+    req.repl_digest = true;
+    req.repl_for = 1;
+    RpcRequest back;
+    std::string err;
+    ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(req), back, &err))
+        << err;
+    EXPECT_TRUE(back.repl_digest);
+    EXPECT_FALSE(back.repl_pull);
+    EXPECT_EQ(back.repl_for, 1);
+
+    // Digest response: count + 16-hex fingerprint, high bit intact.
+    RpcResponse resp;
+    resp.ok = true;
+    resp.op = RpcOp::Replicate;
+    resp.repl_has_digest = true;
+    resp.repl_digest_count = 7;
+    resp.repl_digest_fp = 0xdeadbeefcafef00dull;
+    RpcResponse resp_back;
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(resp),
+                                     resp_back, &err))
+        << err;
+    EXPECT_TRUE(resp_back.repl_has_digest);
+    EXPECT_EQ(resp_back.repl_digest_count, 7);
+    EXPECT_EQ(resp_back.repl_digest_fp, 0xdeadbeefcafef00dull);
+}
+
+TEST(RpcProtocol, ReplicateRecordSequenceRoundTrips)
+{
+    // A real solve gives the record substance; the sequence rides it.
+    SolutionCache cache;
+    Server server(tiny(), fastOpts(), &cache);
+    const RpcResponse solved = server.handle(solveRequest(smallProblem()));
+    ASSERT_TRUE(solved.ok) << solved.error;
+
+    RpcRequest push;
+    push.op = RpcOp::Replicate;
+    push.has_record = true;
+    push.repl_key = solved.solve.key;
+    push.repl_sol = solved.solve.sol;
+    push.repl_seq = 99;
+    RpcRequest back;
+    std::string err;
+    ASSERT_TRUE(requestFromJsonLine(requestToJsonLine(push), back, &err))
+        << err;
+    ASSERT_TRUE(back.has_record);
+    EXPECT_EQ(back.repl_key, push.repl_key);
+    EXPECT_EQ(back.repl_sol, push.repl_sol);
+    EXPECT_EQ(back.repl_seq, 99);
+
+    // Pull responses carry per-record sequences the same way; a PR 9
+    // record without one reads as seq 0 (never newer than anything).
+    RpcResponse pull;
+    pull.ok = true;
+    pull.op = RpcOp::Replicate;
+    pull.repl_is_pull = true;
+    pull.repl_records.push_back(
+        RpcReplRecord{solved.solve.key, solved.solve.sol, 7});
+    RpcResponse pull_back;
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(pull),
+                                     pull_back, &err))
+        << err;
+    ASSERT_EQ(pull_back.repl_records.size(), 1u);
+    EXPECT_EQ(pull_back.repl_records[0].seq, 7);
+
+    std::string legacy = responseToJsonLine(pull);
+    const auto pos = legacy.find(",\"seq\":7");
+    ASSERT_NE(pos, std::string::npos);
+    legacy.erase(pos, std::string(",\"seq\":7").size());
+    ASSERT_TRUE(responseFromJsonLine(legacy, pull_back, &err)) << err;
+    ASSERT_EQ(pull_back.repl_records.size(), 1u);
+    EXPECT_EQ(pull_back.repl_records[0].seq, 0);
+}
+
+TEST(RpcProtocol, StatsCarryFabricGauges)
+{
+    SolutionCache cache;
+    Server server(tiny(), fastOpts(), &cache);
+    ASSERT_TRUE(server.handle(solveRequest(smallProblem())).ok);
+
+    RpcRequest req;
+    req.op = RpcOp::Stats;
+    const RpcResponse stats = server.handle(req);
+    ASSERT_TRUE(stats.ok);
+    EXPECT_EQ(stats.repl_queue_depth, 0); // No peers: nothing queued.
+    EXPECT_EQ(stats.journal_seq, 1);      // One insert, sequence 1.
+
+    RpcResponse back;
+    std::string err;
+    ASSERT_TRUE(responseFromJsonLine(responseToJsonLine(stats), back,
+                                     &err))
+        << err;
+    EXPECT_EQ(back.repl_queue_depth, 0);
+    EXPECT_EQ(back.journal_seq, 1);
+
+    // A pre-fabric stats line (no gauges) parses as 0 — rolling-fleet
+    // back-compat, same contract as every other optional stats field.
+    std::string legacy = responseToJsonLine(stats);
+    for (const std::string field : {"repl_queue_depth", "journal_seq"}) {
+        const auto pos = legacy.find(",\"" + field + "\":");
+        ASSERT_NE(pos, std::string::npos) << field;
+        const auto next = legacy.find(",\"", pos + 1);
+        ASSERT_NE(next, std::string::npos) << field;
+        legacy.erase(pos, next - pos);
+    }
+    ASSERT_TRUE(responseFromJsonLine(legacy, back, &err)) << err;
+    EXPECT_EQ(back.repl_queue_depth, 0);
+    EXPECT_EQ(back.journal_seq, 0);
+}
+
 } // namespace
 } // namespace mopt

@@ -142,10 +142,21 @@ Serving mode (moptd: long-lived optimizer daemon + fleet client):
     --max-per-client=N   per-client-IP connection cap (default 0 = off)
     --replicate=host:port[,host:port...]
                          warm-entry replication peers: every fresh
-                         cold-solve insert is pushed to them
-                         asynchronously, and startup pulls every entry
-                         they already hold (a restarted node rejoins
-                         warm). Best-effort: a dead peer costs nothing
+                         cold-solve insert is pushed to the key's
+                         replica set asynchronously, and startup pulls
+                         what they hold past this node's own journal
+                         sequence (a restarted node rejoins warm via a
+                         delta, not a full transfer). Best-effort: a
+                         dead peer spools and is probed half-open
+    --replication-factor=F
+                         copies per key: the key's ring owner
+                         (hash % fleet size) plus F-1 successors
+                         (default 0 = every node)
+    --fleet-index=N      this node's slot on the fleet ring (must
+                         agree with the order peers and clients list
+                         the fleet in; default 0)
+    --anti-entropy-ms=N  background digest-exchange period repairing
+                         lost pushes (default 1000; 0 = off)
   mopt query --connect=host:port[,host:port...] <what> [options]
     <what> is one of:
       --net=<name|file.cfg> [--batch=N]
@@ -507,7 +518,8 @@ runServe(int argc, char **argv)
                          "sequential", "effort", "top-k", "cache",
                          "cache-capacity", "solve-concurrency",
                          "max-pending", "max-per-client", "replicate",
-                         "calibration", "help"});
+                         "replication-factor", "fleet-index",
+                         "anti-entropy-ms", "calibration", "help"});
     if (flags.getBool("help", false)) {
         printUsage();
         return 0;
@@ -537,6 +549,18 @@ runServe(int argc, char **argv)
               "--max-per-client must be 0 (unlimited) .. 65536");
     so.max_per_client = static_cast<int>(per_client);
     so.replicate = flags.getString("replicate", "");
+    const std::int64_t factor = flags.getInt("replication-factor", 0);
+    checkUser(factor >= 0 && factor <= 65536,
+              "--replication-factor must be 0 (all nodes) .. 65536");
+    so.replication_factor = static_cast<int>(factor);
+    const std::int64_t fleet_index = flags.getInt("fleet-index", 0);
+    checkUser(fleet_index >= 0 && fleet_index <= 65536,
+              "--fleet-index must be 0 .. 65536");
+    so.fleet_index = static_cast<int>(fleet_index);
+    const std::int64_t ae_ms = flags.getInt("anti-entropy-ms", 1000);
+    checkUser(ae_ms >= 0 && ae_ms <= 86400000,
+              "--anti-entropy-ms must be 0 (off) .. 86400000");
+    so.anti_entropy_ms = static_cast<long>(ae_ms);
     so.calib_samples = cm.calibration.samples_used;
     so.calib_active = !cm.calibration.isIdentity();
 
@@ -552,10 +576,19 @@ runServe(int argc, char **argv)
     if (!co.journal_path.empty())
         std::cout << "moptd: cache journal " << co.journal_path << " ("
                   << cache.stats().journal_loaded << " entries loaded)\n";
-    if (!so.replicate.empty())
+    if (!so.replicate.empty()) {
+        // Keep the base form stable (the smoke harness greps it); the
+        // since cursor only appears on a delta (journal-resumed) pull.
         std::cout << "moptd: replicating to " << so.replicate << " ("
                   << server.counters().repl_prefetched
-                  << " entries prefetched)\n";
+                  << " entries prefetched";
+        const std::int64_t since =
+            server.counters().repl_prefetch_since.load(
+                std::memory_order_relaxed);
+        if (since > 0)
+            std::cout << ", since=" << since;
+        std::cout << ")\n";
+    }
     // The smoke harness (and any supervisor) greps this exact line to
     // learn the bound port, so it must be flushed before serving.
     std::cout << "moptd: listening on " << so.host << ":"
@@ -586,6 +619,13 @@ runServe(int argc, char **argv)
                   << " push failures / " << sc.repl_applied
                   << " applied / " << sc.repl_prefetched
                   << " prefetched\n";
+    if (sc.repl_push_retries || sc.repl_spooled || sc.repl_probes ||
+        sc.repl_ae_applied)
+        std::cout << "moptd: fabric " << sc.repl_push_retries
+                  << " push retries / " << sc.repl_spooled
+                  << " spooled / " << sc.repl_probes
+                  << " probes / " << sc.repl_ae_applied
+                  << " anti-entropy repairs\n";
     return 0;
 }
 
@@ -724,6 +764,10 @@ queryStats(const QuerySetup &q)
                       << " push failures / " << resp.srv_repl_applied
                       << " applied / " << resp.srv_repl_prefetched
                       << " prefetched\n";
+        if (resp.repl_queue_depth || resp.journal_seq)
+            std::cout << "  fabric queue depth "
+                      << resp.repl_queue_depth << ", journal seq "
+                      << resp.journal_seq << "\n";
         // Hottest entries first: the per-entry telemetry a fleet
         // operator would use to decide what has stopped earning its
         // cache slot.

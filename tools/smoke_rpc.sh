@@ -50,6 +50,9 @@ server2_pid=""
 server3_pid=""
 serverA_pid=""
 serverB_pid=""
+fleet0_pid=""
+fleet1_pid=""
+fleet2_pid=""
 failed=1
 
 cleanup() {
@@ -57,7 +60,9 @@ cleanup() {
         for log in "$work/server.log" "$work/server2.log" \
                    "$work/server3.log" "$work/server3b.log" \
                    "$work/serverA.log" "$work/serverB.log" \
-                   "$work/serverB2.log"; do
+                   "$work/serverB2.log" "$work/fleet0.log" \
+                   "$work/fleet1.log" "$work/fleet2.log" \
+                   "$work/fleet_restart.log"; do
             [[ -f $log ]] || continue
             echo "==== smoke_rpc FAILED; $log follows ====" >&2
             cat "$log" >&2 || true
@@ -65,7 +70,8 @@ cleanup() {
         done
     fi
     for pid in "$server_pid" "$server2_pid" "$server3_pid" \
-               "$serverA_pid" "$serverB_pid"; do
+               "$serverA_pid" "$serverB_pid" "$fleet0_pid" \
+               "$fleet1_pid" "$fleet2_pid"; do
         if [[ -n $pid ]] && kill -0 "$pid" 2>/dev/null; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -409,6 +415,156 @@ serverB_pid=""
 "$mopt" query --connect "127.0.0.1:$portA" --shutdown
 wait "$serverA_pid" 2>/dev/null || true
 serverA_pid=""
+
+echo "== fleet: 3 nodes at factor 2, SIGKILL the hot owner =="
+# Three journal-backed nodes on fixed ports (reserved by a throwaway
+# ephemeral bind each — SO_REUSEADDR makes the re-bind safe), each
+# naming the other two as replication peers in ring order, at
+# --replication-factor 2: every key lives on its owner and one
+# follower only.
+reserve_port() {
+    local tag=$1 pid port
+    "$mopt" serve --port 0 "${common_args[@]}" \
+        > "$work/reserve_$tag.log" 2>&1 &
+    pid=$!
+    port=$(wait_for_port "$work/reserve_$tag.log" "$pid")
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    echo "$port"
+}
+fport=()
+fport[0]=$(reserve_port f0)
+fport[1]=$(reserve_port f1)
+fport[2]=$(reserve_port f2)
+fleet_all="127.0.0.1:${fport[0]},127.0.0.1:${fport[1]},127.0.0.1:${fport[2]}"
+
+fleet_peers() { # peers of node $1, ring order with self removed
+    local i=$1 out="" j
+    for j in 0 1 2; do
+        [[ $j -eq $i ]] && continue
+        out+="${out:+,}127.0.0.1:${fport[j]}"
+    done
+    echo "$out"
+}
+start_fleet_node() { # $1 = index, $2 = log file
+    "$mopt" serve --port "${fport[$1]}" --replicate "$(fleet_peers "$1")" \
+        --replication-factor 2 --fleet-index "$1" "${common_args[@]}" \
+        --cache "$work/fleet$1.json" > "$2" 2>&1 &
+}
+start_fleet_node 0 "$work/fleet0.log"; fleet0_pid=$!
+start_fleet_node 1 "$work/fleet1.log"; fleet1_pid=$!
+start_fleet_node 2 "$work/fleet2.log"; fleet2_pid=$!
+wait_for_port "$work/fleet0.log" "$fleet0_pid" > /dev/null
+wait_for_port "$work/fleet1.log" "$fleet1_pid" > /dev/null
+wait_for_port "$work/fleet2.log" "$fleet2_pid" > /dev/null
+echo "   fleet up on ports ${fport[0]}/${fport[1]}/${fport[2]}"
+
+"$mopt" query --connect "$fleet_all" --net resnet18 \
+    "${common_args[@]}" --plan-out "$work/fleet_cold.txt" \
+    > "$work/fleet_cold.out" 2>&1
+grep -q "hit rate 0.0%" "$work/fleet_cold.out" || {
+    echo "error: fleet cold query was not actually cold" >&2
+    cat "$work/fleet_cold.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/fleet_cold.txt"
+
+# Shard-aware push: each key is inserted on its owner and replicated
+# to exactly one follower — fleet-wide inserts converge to 2x unique.
+node_inserts() {
+    "$mopt" query --connect "127.0.0.1:${fport[$1]}" --stats \
+        2>/dev/null | sed -n 's/^.*; \([0-9]*\) inserts,.*$/\1/p' \
+        | head -1
+}
+want=$((2 * unique))
+total=0
+for _ in $(seq 1 150); do
+    total=0
+    for i in 0 1 2; do
+        n=$(node_inserts "$i")
+        total=$((total + ${n:-0}))
+    done
+    [[ $total -eq $want ]] && break
+    sleep 0.1
+done
+[[ $total -eq $want ]] || {
+    echo "error: expected $want fleet-wide inserts (factor 2)," \
+         "saw $total" >&2
+    exit 1
+}
+echo "   every key on exactly 2 of 3 nodes ($total inserts)"
+
+# The hot owner: the node holding the most entries. Kill it -9.
+victim=0
+victim_entries=-1
+for i in 0 1 2; do
+    n=$("$mopt" query --connect "127.0.0.1:${fport[$i]}" --stats \
+        2>/dev/null | grep -o "[0-9]* entries in" | head -1 \
+        | cut -d' ' -f1)
+    if [[ ${n:-0} -gt $victim_entries ]]; then
+        victim=$i
+        victim_entries=${n:-0}
+    fi
+done
+victim_pid_var="fleet${victim}_pid"
+kill -9 "${!victim_pid_var}" 2>/dev/null
+wait "${!victim_pid_var}" 2>/dev/null || true
+printf -v "$victim_pid_var" ""
+echo "   killed -9 node $victim ($victim_entries entries)"
+
+# Followers must serve the victim's keys warm under --no-fallback:
+# the replicas are on the ring successors, and the router's failover
+# walks exactly that ring.
+"$mopt" query --connect "$fleet_all" --no-fallback --retries 4 \
+    --net resnet18 "${common_args[@]}" \
+    --plan-out "$work/fleet_warm.txt" > "$work/fleet_warm.out" 2>&1
+grep -q "hit rate 100.0%" "$work/fleet_warm.out" || {
+    echo "error: fleet did not serve 100% warm with node $victim" \
+         "dead under --no-fallback" >&2
+    cat "$work/fleet_warm.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/fleet_warm.txt"
+echo "   followers served the dead owner's keys warm, plan identical"
+
+echo "== fleet: restart the victim, expect a delta prefetch =="
+# The victim comes back with its OLD journal: its high-water sequence
+# survived, so the join prefetch must be a since-cursor delta, not a
+# full transfer.
+"$mopt" serve --port "${fport[$victim]}" \
+    --replicate "$(fleet_peers "$victim")" --replication-factor 2 \
+    --fleet-index "$victim" "${common_args[@]}" \
+    --cache "$work/fleet$victim.json" > "$work/fleet_restart.log" 2>&1 &
+printf -v "$victim_pid_var" "%s" "$!"
+wait_for_port "$work/fleet_restart.log" "${!victim_pid_var}" > /dev/null
+grep -q "entries prefetched, since=[1-9]" "$work/fleet_restart.log" || {
+    echo "error: restarted node $victim did not report a since-cursor" \
+         "delta prefetch" >&2
+    cat "$work/fleet_restart.log" >&2
+    exit 1
+}
+echo "   node $victim rejoined via delta prefetch:" \
+    "$(grep -o 'replicating to .*' "$work/fleet_restart.log" | head -1)"
+
+"$mopt" query --connect "$fleet_all" --no-fallback --retries 4 \
+    --net resnet18 "${common_args[@]}" \
+    --plan-out "$work/fleet_rejoin.txt" > "$work/fleet_rejoin.out" 2>&1
+grep -q "hit rate 100.0%" "$work/fleet_rejoin.out" || {
+    echo "error: rejoined fleet did not serve 100% warm" >&2
+    cat "$work/fleet_rejoin.out" >&2
+    exit 1
+}
+cmp "$work/local.txt" "$work/fleet_rejoin.txt"
+echo "   rejoined fleet fully warm, plan identical"
+
+for i in 0 1 2; do
+    "$mopt" query --connect "127.0.0.1:${fport[$i]}" --shutdown \
+        > /dev/null 2>&1 || true
+done
+for v in fleet0_pid fleet1_pid fleet2_pid; do
+    [[ -n ${!v} ]] && wait "${!v}" 2>/dev/null || true
+    printf -v "$v" ""
+done
 
 failed=0
 echo "smoke_rpc: PASS"
